@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices called out in DESIGN.md §4:
+//!
+//! * `dedup_on/off` — the relationship FK-projection DISTINCT (Example
+//!   4/6). Off reproduces SQAK's over-counting; the bench shows what the
+//!   extra DISTINCT projection costs at execution time.
+//! * `groupby_id_on/off` — grounding disambiguation GROUPBYs on object
+//!   ids vs matched attribute values (Example 5).
+//! * `rewrite_on/off` — the Section 4.1 rules on the unnormalized TPCH'.
+//!   Off executes the raw many-subquery translation (Example 9); on
+//!   executes the collapsed form (Example 10). The speedup is the rules'
+//!   entire reason to exist.
+
+use aqks_core::{Engine, EngineOptions, RewriteOptions, TranslateOptions};
+use aqks_eval::{workload, Scale};
+use aqks_sqlgen::execute;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn engine_with(
+    db: aqks_relational::Database,
+    translate: TranslateOptions,
+    rewrite: RewriteOptions,
+    skip_rewrites: bool,
+) -> Engine {
+    Engine::with_options(db, EngineOptions { translate, rewrite, skip_rewrites, discover_fds: false })
+        .unwrap()
+}
+
+fn ablation_dedup(c: &mut Criterion) {
+    let db = workload::tpch_database(Scale::Small);
+    let on = engine_with(db.clone(), TranslateOptions::default(), RewriteOptions::default(), false);
+    let off = engine_with(
+        db.clone(),
+        TranslateOptions { dedup_relationships: false, group_by_object_id: true },
+        RewriteOptions::default(),
+        false,
+    );
+    let q = r#"COUNT supplier "Indian black chocolate""#; // T5
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            let g = on.generate(q, 1).unwrap();
+            black_box(execute(&g[0].sql, &db).unwrap())
+        })
+    });
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            let g = off.generate(q, 1).unwrap();
+            black_box(execute(&g[0].sql, &db).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn ablation_groupby_id(c: &mut Criterion) {
+    let db = workload::tpch_database(Scale::Small);
+    let on = engine_with(db.clone(), TranslateOptions::default(), RewriteOptions::default(), false);
+    let off = engine_with(
+        db.clone(),
+        TranslateOptions { dedup_relationships: true, group_by_object_id: false },
+        RewriteOptions::default(),
+        false,
+    );
+    let q = r#"COUNT order "royal olive""#; // T3
+    let mut group = c.benchmark_group("ablation_groupby_id");
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            let g = on.generate(q, 1).unwrap();
+            black_box(execute(&g[0].sql, &db).unwrap())
+        })
+    });
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            let g = off.generate(q, 1).unwrap();
+            black_box(execute(&g[0].sql, &db).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn ablation_rewrite(c: &mut Criterion) {
+    let db = workload::tpch_prime_database(Scale::Small);
+    let on = engine_with(db.clone(), TranslateOptions::default(), RewriteOptions::default(), false);
+    let off =
+        engine_with(db.clone(), TranslateOptions::default(), RewriteOptions::default(), true);
+    // Rule-by-rule variants.
+    let rule12 = engine_with(
+        db.clone(),
+        TranslateOptions::default(),
+        RewriteOptions { prune_projections: true, push_selections: true, collapse_joins: false },
+        false,
+    );
+    let q = r#"COUNT order "royal olive""#; // T3 on TPCH'
+    let mut group = c.benchmark_group("ablation_rewrite");
+    group.sample_size(20);
+    for (name, engine) in [("all_rules", &on), ("no_rules", &off), ("rules_1_2_only", &rule12)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let g = engine.generate(q, 1).unwrap();
+                black_box(execute(&g[0].sql, &db).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_dedup, ablation_groupby_id, ablation_rewrite);
+criterion_main!(benches);

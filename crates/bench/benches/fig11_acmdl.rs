@@ -1,0 +1,24 @@
+//! Figure 11(b): SQL-generation time on ACMDL, queries A1–A8, the
+//! semantic engine vs SQAK.
+
+use aqks_bench::acmdl_engines;
+use aqks_eval::acmdl_queries;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig11_acmdl(c: &mut Criterion) {
+    let (engine, sqak, _db) = acmdl_engines();
+    let mut group = c.benchmark_group("fig11_acmdl");
+    for q in acmdl_queries() {
+        group.bench_with_input(BenchmarkId::new("ours", q.id), &q, |b, q| {
+            b.iter(|| black_box(engine.generate(q.text, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("sqak", q.id), &q, |b, q| {
+            b.iter(|| black_box(sqak.generate(q.text)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11_acmdl);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 11(a): SQL-generation time on TPC-H, queries T1–T8, the
+//! semantic engine vs SQAK. The paper's claim: both are fast (the SQL
+//! *execution* dominates end-to-end time) and the semantic engine pays a
+//! modest premium for interpreting the query, disambiguating objects, and
+//! detecting relationship duplicates.
+
+use aqks_bench::tpch_engines;
+use aqks_eval::tpch_queries;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig11_tpch(c: &mut Criterion) {
+    let (engine, sqak, _db) = tpch_engines();
+    let mut group = c.benchmark_group("fig11_tpch");
+    for q in tpch_queries() {
+        group.bench_with_input(BenchmarkId::new("ours", q.id), &q, |b, q| {
+            b.iter(|| black_box(engine.generate(q.text, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("sqak", q.id), &q, |b, q| {
+            b.iter(|| black_box(sqak.generate(q.text)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11_tpch);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Scaling behaviour beyond the paper: how engine construction (index +
+//! ORM graph) and SQL generation grow with database size. Generation
+//! should stay near-constant — it touches the index and the schema graph,
+//! not the data — while construction is linear in stored tuples.
+
+use aqks_core::Engine;
+use aqks_datasets::{generate_tpch, TpchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn config(scale: usize) -> TpchConfig {
+    TpchConfig {
+        seed: 42,
+        parts: 120 * scale,
+        suppliers: 40 * scale,
+        customers: 60 * scale,
+        orders: 400 * scale,
+        parts_per_supplier: 12,
+        max_orders_per_pair: 3,
+    }
+}
+
+fn scaling(c: &mut Criterion) {
+    let mut build = c.benchmark_group("scaling_engine_build");
+    build.sample_size(10);
+    for scale in [1usize, 2, 4, 8] {
+        let db = generate_tpch(&config(scale));
+        build.bench_with_input(BenchmarkId::from_parameter(scale), &db, |b, db| {
+            b.iter(|| black_box(Engine::new(db.clone()).unwrap()))
+        });
+    }
+    build.finish();
+
+    let mut generate = c.benchmark_group("scaling_sql_generation");
+    for scale in [1usize, 2, 4, 8] {
+        let db = generate_tpch(&config(scale));
+        let engine = Engine::new(db).unwrap();
+        generate.bench_with_input(BenchmarkId::from_parameter(scale), &engine, |b, engine| {
+            b.iter(|| black_box(engine.generate(r#"COUNT order "royal olive""#, 1)))
+        });
+    }
+    generate.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

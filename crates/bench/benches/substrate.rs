@@ -1,0 +1,66 @@
+//! Micro-benches of the substrates the pipeline stands on: match-index
+//! construction, ORM graph construction, FD-driven 3NF synthesis
+//! (Algorithm 1), and the executor's join/aggregate core.
+
+use aqks_eval::{workload, Scale};
+use aqks_orm::OrmGraph;
+use aqks_relational::{MatchIndex, NormalizedView};
+use aqks_sqlgen::{
+    execute, AggFunc, ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn substrate(c: &mut Criterion) {
+    let tpch = workload::tpch_database(Scale::Small);
+    let prime = workload::tpch_prime_database(Scale::Small);
+
+    c.bench_function("match_index_build", |b| {
+        b.iter(|| black_box(MatchIndex::build(&tpch)))
+    });
+
+    let schema = tpch.schema();
+    c.bench_function("orm_graph_build", |b| b.iter(|| black_box(OrmGraph::build(&schema))));
+
+    let prime_schema = prime.schema();
+    c.bench_function("normalize_3nf_synthesis", |b| {
+        b.iter(|| black_box(NormalizedView::build(&prime_schema)))
+    });
+
+    // Executor core: 3-way join + grouped aggregate (T6's plan).
+    let stmt = SelectStatement {
+        distinct: false,
+        items: vec![
+            SelectItem::Column { col: ColumnRef::new("S", "suppkey"), alias: None },
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: ColumnRef::new("P", "partkey"),
+                distinct: false,
+                alias: "numpartkey".into(),
+            },
+        ],
+        from: vec![
+            TableExpr::Relation { name: "Part".into(), alias: "P".into() },
+            TableExpr::Relation { name: "Lineitem".into(), alias: "L".into() },
+            TableExpr::Relation { name: "Supplier".into(), alias: "S".into() },
+        ],
+        predicates: vec![
+            Predicate::JoinEq(ColumnRef::new("L", "partkey"), ColumnRef::new("P", "partkey")),
+            Predicate::JoinEq(ColumnRef::new("L", "suppkey"), ColumnRef::new("S", "suppkey")),
+        ],
+        group_by: vec![ColumnRef::new("S", "suppkey")],
+        ..Default::default()
+    };
+    c.bench_function("exec_join_group_aggregate", |b| {
+        b.iter(|| black_box(execute(&stmt, &tpch).unwrap()))
+    });
+
+    // Value matching through the inverted index (phrase query).
+    let index = MatchIndex::build(&tpch);
+    c.bench_function("index_phrase_match", |b| {
+        b.iter(|| black_box(index.match_values(&tpch, "royal olive")))
+    });
+}
+
+criterion_group!(benches, substrate);
+criterion_main!(benches);

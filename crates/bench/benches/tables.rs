@@ -1,0 +1,43 @@
+//! End-to-end pipeline benches for the four answer tables: generate the
+//! top interpretation *and execute it*, per query workload. This is the
+//! cost a user actually experiences, and it shows SQL execution dominating
+//! the interpretation overhead measured in `fig11_*` — the paper's
+//! "good tradeoff" argument (Section 6.2).
+
+use aqks_bench::{acmdl_engines, acmdl_prime_engines, tpch_engines, tpch_prime_engines};
+use aqks_core::Engine;
+use aqks_eval::{acmdl_queries, tpch_queries, EvalQuery};
+use aqks_sqak::Sqak;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn answer_all(engine: &Engine, sqak: &Sqak, queries: &[EvalQuery]) {
+    for q in queries {
+        let _ = black_box(engine.answer(q.text, 1));
+        let _ = black_box(sqak.answer(q.text));
+    }
+}
+
+fn tables(c: &mut Criterion) {
+    let tpch_qs = tpch_queries();
+    let acmdl_qs = acmdl_queries();
+
+    let (engine, sqak, _db) = tpch_engines();
+    c.bench_function("table5_pipeline", |b| b.iter(|| answer_all(&engine, &sqak, &tpch_qs)));
+
+    let (engine, sqak, _db) = acmdl_engines();
+    c.bench_function("table6_pipeline", |b| b.iter(|| answer_all(&engine, &sqak, &acmdl_qs)));
+
+    let (engine, sqak, _db) = tpch_prime_engines();
+    c.bench_function("table8_pipeline", |b| b.iter(|| answer_all(&engine, &sqak, &tpch_qs)));
+
+    let (engine, sqak, _db) = acmdl_prime_engines();
+    c.bench_function("table9_pipeline", |b| b.iter(|| answer_all(&engine, &sqak, &acmdl_qs)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = tables
+}
+criterion_main!(benches);

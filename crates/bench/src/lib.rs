@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # aqks-bench
+//!
+//! Shared setup for the Criterion benchmark suite. The benches (one
+//! target per paper table/figure plus ablations and substrate
+//! micro-benches) live in `benches/`:
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `fig11_tpch` | Figure 11(a): SQL-generation time, T1–T8, ours vs SQAK |
+//! | `fig11_acmdl` | Figure 11(b): SQL-generation time, A1–A8, ours vs SQAK |
+//! | `tables` | Tables 5/6/8/9: full generate+execute pipelines |
+//! | `ablations` | the design-choice switches of DESIGN.md §4 (FK-projection dedup, object-id grouping, rewrite Rules 1–3) |
+//! | `substrate` | index build, ORM graph build, 3NF synthesis, executor joins |
+//! | `scaling` | engine construction vs. SQL generation across dataset sizes |
+
+use aqks_core::Engine;
+use aqks_eval::workload;
+use aqks_eval::Scale;
+use aqks_relational::Database;
+use aqks_sqak::Sqak;
+
+/// Both engines over the normalized TPC-H test database.
+pub fn tpch_engines() -> (Engine, Sqak, Database) {
+    let db = workload::tpch_database(Scale::Small);
+    (Engine::new(db.clone()).unwrap(), Sqak::new(db.clone()), db)
+}
+
+/// Both engines over the normalized ACMDL test database.
+pub fn acmdl_engines() -> (Engine, Sqak, Database) {
+    let db = workload::acmdl_database(Scale::Small);
+    (Engine::new(db.clone()).unwrap(), Sqak::new(db.clone()), db)
+}
+
+/// Both engines over the unnormalized TPCH' database.
+pub fn tpch_prime_engines() -> (Engine, Sqak, Database) {
+    let db = workload::tpch_prime_database(Scale::Small);
+    (Engine::new(db.clone()).unwrap(), Sqak::new(db.clone()), db)
+}
+
+/// Both engines over the unnormalized ACMDL' database.
+pub fn acmdl_prime_engines() -> (Engine, Sqak, Database) {
+    let db = workload::acmdl_prime_database(Scale::Small);
+    (Engine::new(db.clone()).unwrap(), Sqak::new(db.clone()), db)
+}

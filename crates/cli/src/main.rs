@@ -1,0 +1,221 @@
+//! `aqks` — an interactive keyword-query shell over the bundled datasets.
+//!
+//! ```text
+//! aqks --dataset tpch 'COUNT order "royal olive"'     # one-shot
+//! aqks --dataset university                           # REPL
+//! ```
+//!
+//! Options:
+//!
+//! * `--dataset NAME` — `university` (default), `fig2`, `fig8`, `tpch`,
+//!   `acmdl`, `tpch-prime`, `acmdl-prime`
+//! * `--paper-scale` — full-cardinality synthetic data
+//! * `--k N` — show the top-N interpretations (default 1)
+//! * `--sqak` — also run the SQAK baseline for contrast
+//! * `--explain` — print the ORM schema graph and the query pattern
+//!
+//! REPL commands: `\schema` (relations), `\graph` (ORM graph), `\q`.
+
+use std::io::{BufRead, Write};
+
+use aqks_core::Engine;
+use aqks_datasets::{
+    denormalize_acmdl, denormalize_tpch, generate_acmdl, generate_tpch, university, AcmdlConfig,
+    TpchConfig,
+};
+use aqks_relational::Database;
+use aqks_sqak::Sqak;
+
+struct Options {
+    dataset: String,
+    paper_scale: bool,
+    k: usize,
+    sqak: bool,
+    explain: bool,
+    export: Option<String>,
+    query: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        dataset: "university".into(),
+        paper_scale: false,
+        k: 1,
+        sqak: false,
+        explain: false,
+        export: None,
+        query: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut positional: Vec<String> = Vec::new();
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" | "-d" => {
+                i += 1;
+                opts.dataset =
+                    args.get(i).ok_or("--dataset needs a value")?.to_lowercase();
+            }
+            "--paper-scale" => opts.paper_scale = true,
+            "--sqak" => opts.sqak = true,
+            "--explain" => opts.explain = true,
+            "--export" => {
+                i += 1;
+                opts.export =
+                    Some(args.get(i).ok_or("--export needs a directory")?.to_string());
+            }
+            "--k" => {
+                i += 1;
+                opts.k = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--k needs a number")?;
+            }
+            "--help" | "-h" => {
+                println!("usage: aqks [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--export DIR] [QUERY]");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if !positional.is_empty() {
+        opts.query = Some(positional.join(" "));
+    }
+    Ok(opts)
+}
+
+fn load_dataset(name: &str, paper_scale: bool) -> Result<Database, String> {
+    let tpch_cfg = if paper_scale { TpchConfig::paper_scale() } else { TpchConfig::small() };
+    let acmdl_cfg = if paper_scale { AcmdlConfig::paper_scale() } else { AcmdlConfig::small() };
+    Ok(match name {
+        "university" | "uni" => university::normalized(),
+        "fig2" => university::unnormalized_fig2(),
+        "fig8" | "enrolment" => university::enrolment_fig8(),
+        "hobbies" => university::with_hobbies(),
+        "tpch" => generate_tpch(&tpch_cfg),
+        "acmdl" => generate_acmdl(&acmdl_cfg),
+        "tpch-prime" | "tpch'" => denormalize_tpch(&generate_tpch(&tpch_cfg)),
+        "acmdl-prime" | "acmdl'" => denormalize_acmdl(&generate_acmdl(&acmdl_cfg)),
+        // Anything path-like imports a schema.txt + CSV directory.
+        other if other.contains('/') || std::path::Path::new(other).is_dir() => {
+            aqks_relational::import_dir(std::path::Path::new(other))
+                .map_err(|e| format!("import `{other}`: {e}"))?
+        }
+        other => return Err(format!("unknown dataset `{other}`")),
+    })
+}
+
+fn run_query(engine: &Engine, sqak: Option<&Sqak>, query: &str, k: usize, explain: bool) {
+    if explain {
+        match engine.explain(query) {
+            Ok(ex) => {
+                println!("── interpretation trace");
+                for t in &ex.terms {
+                    let kind = if t.is_operator { "operator" } else { "term" };
+                    if t.matches.is_empty() {
+                        println!("  {kind} {:<12}", t.term);
+                    } else {
+                        println!("  {kind} {:<12} -> {}", t.term, t.matches.join(" | "));
+                    }
+                }
+                println!("  {} pattern(s) generated", ex.patterns.len());
+            }
+            Err(e) => println!("explain error: {e}"),
+        }
+    }
+    match engine.answer(query, k) {
+        Ok(answers) => {
+            for (rank, a) in answers.iter().enumerate() {
+                println!("── interpretation #{}", rank + 1);
+                if explain {
+                    println!("pattern: {}", a.pattern_description);
+                }
+                println!("{}", a.sql_text);
+                println!("{}", a.result);
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+    if let Some(sqak) = sqak {
+        println!("── SQAK baseline");
+        match sqak.generate(query) {
+            Ok(g) => {
+                println!("{}", g.sql_text);
+                match sqak.answer(query) {
+                    Ok(r) => println!("{r}"),
+                    Err(e) => println!("execution error: {e}"),
+                }
+            }
+            Err(e) => println!("N.A.: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let db = match load_dataset(&opts.dataset, opts.paper_scale) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("dataset `{}`: {} tuples", opts.dataset, db.total_rows());
+    if let Some(dir) = &opts.export {
+        if let Err(e) = aqks_relational::export_dir(&db, std::path::Path::new(dir)) {
+            eprintln!("export failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("exported schema.txt + CSVs to {dir}");
+    }
+
+    let sqak = opts.sqak.then(|| Sqak::new(db.clone()));
+    let engine = match Engine::new(db) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if engine.is_unnormalized() {
+        eprintln!("(unnormalized database: querying through the normalized view)");
+    }
+
+    if let Some(q) = &opts.query {
+        run_query(&engine, sqak.as_ref(), q, opts.k, opts.explain);
+        return;
+    }
+
+    // REPL.
+    eprintln!("enter keyword queries; \\schema, \\graph, \\q to quit");
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("aqks> ");
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "\\q" | "\\quit" | "exit" => break,
+            "\\schema" => {
+                for rel in &engine.database().schema().relations {
+                    let attrs: Vec<&str> = rel.attr_names().collect();
+                    println!("{}({})", rel.name, attrs.join(", "));
+                }
+            }
+            "\\graph" => println!("{}", engine.orm_graph().describe()),
+            q => run_query(&engine, sqak.as_ref(), q, opts.k, opts.explain),
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Pattern disambiguation (Section 3.1.2, Algorithm 3 lines 13-23).
+//!
+//! A condition `a = t` on an object/mixed node may be satisfied by more
+//! than one object (two students named Green). The aggregate then has two
+//! readings: over *all* matching objects together, or *per distinct
+//! object*. Disambiguation forks each pattern over the powerset of its
+//! ambiguous nodes, annotating the per-object copies with `GROUPBY(id)`
+//! — the step SQAK lacks and the reason it merges the two Greens.
+
+use aqks_orm::NodeKind;
+use aqks_relational::DatabaseSchema;
+
+use crate::pattern::{NodeAnnotation, QueryPattern};
+
+/// Maximum ambiguous nodes to fork over (the powerset is exponential;
+/// queries in practice have one or two ambiguous terms).
+const MAX_FORK_NODES: usize = 4;
+
+/// Expands `patterns` with the per-object (`GROUPBY(id)`) variants.
+///
+/// For every pattern, each object/mixed node whose condition matches more
+/// than one object doubles the pattern set: one copy aggregates over all
+/// matching objects, the other distinguishes them. The returned list
+/// contains the originals and all forks.
+pub fn disambiguate(patterns: Vec<QueryPattern>, namespace: &DatabaseSchema) -> Vec<QueryPattern> {
+    let mut out = Vec::new();
+    for pattern in patterns {
+        let ambiguous: Vec<usize> = pattern
+            .nodes
+            .iter()
+            .filter(|n| {
+                matches!(n.kind, NodeKind::Object | NodeKind::Mixed)
+                    && n.condition.as_ref().is_some_and(|c| c.tuple_count > 1)
+            })
+            .map(|n| n.id)
+            .take(MAX_FORK_NODES)
+            .collect();
+
+        let mut s = vec![pattern];
+        for node in ambiguous {
+            let mut forks = Vec::with_capacity(s.len());
+            for p in &s {
+                let mut fork = p.clone();
+                let rel = fork.nodes[node].relation.clone();
+                let key = namespace
+                    .relation(&rel)
+                    .map(|r| r.primary_key.clone())
+                    .unwrap_or_default();
+                if key.is_empty() {
+                    continue;
+                }
+                fork.nodes[node]
+                    .annotations
+                    .push(NodeAnnotation::Distinguish { relation: rel, attributes: key });
+                forks.push(fork);
+            }
+            s.extend(forks);
+        }
+        out.extend(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{Matcher, TermRole};
+    use crate::pattern::generate_patterns;
+    use crate::query::{KeywordQuery, Operator, Term};
+    use aqks_datasets::university;
+    use aqks_orm::OrmGraph;
+    use aqks_sqlgen::AggFunc;
+
+    fn annotated(q: &str) -> Vec<QueryPattern> {
+        let db = university::normalized();
+        let graph = OrmGraph::build(&db.schema()).unwrap();
+        let matcher = Matcher::normalized(&db);
+        let query = KeywordQuery::parse(q).unwrap();
+        let matches: Vec<_> = query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Term::Basic(text) => {
+                    let role = if query.is_operand(i) {
+                        match query.terms[i - 1] {
+                            Term::Op(Operator::Agg(AggFunc::Count))
+                            | Term::Op(Operator::GroupBy) => TermRole::CountGroupByOperand,
+                            _ => TermRole::AggOperand,
+                        }
+                    } else {
+                        TermRole::Free
+                    };
+                    matcher.matches(&db, text, role)
+                }
+                Term::Op(_) => Vec::new(),
+            })
+            .collect();
+        let ps = generate_patterns(&query, &matches, &graph, &db.schema()).unwrap();
+        disambiguate(ps, &db.schema())
+    }
+
+    /// Example 3: {Green George COUNT Code} forks on the Green node (two
+    /// students) but not on George (one student) — yielding P1 and P3.
+    #[test]
+    fn example3_forks_only_green() {
+        let ps = annotated("Green George COUNT Code");
+        let two_students: Vec<&QueryPattern> = ps
+            .iter()
+            .filter(|p| p.nodes.iter().filter(|n| n.relation == "Student").count() == 2)
+            .collect();
+        assert_eq!(two_students.len(), 2, "P1 (merged) and P3 (per-object)");
+
+        let forked = two_students
+            .iter()
+            .find(|p| {
+                p.nodes
+                    .iter()
+                    .any(|n| n.annotations.iter().any(|a| matches!(a, NodeAnnotation::Distinguish { .. })))
+            })
+            .expect("per-object fork exists");
+        let dist_node = forked
+            .nodes
+            .iter()
+            .find(|n| n.annotations.iter().any(|a| matches!(a, NodeAnnotation::Distinguish { .. })))
+            .unwrap();
+        assert_eq!(dist_node.condition.as_ref().unwrap().term, "Green");
+        assert_eq!(
+            dist_node.annotations,
+            vec![NodeAnnotation::Distinguish {
+                relation: "Student".into(),
+                attributes: vec!["Sid".into()],
+            }]
+        );
+    }
+
+    /// A condition matching a single object does not fork.
+    #[test]
+    fn unambiguous_condition_does_not_fork() {
+        let ps = annotated("Java SUM Price");
+        // Java names one course; textbook/price interpretation unique.
+        let course_patterns: Vec<_> = ps
+            .iter()
+            .filter(|p| p.nodes.iter().any(|n| n.relation == "Course" && n.condition.is_some()))
+            .collect();
+        assert!(!course_patterns.is_empty());
+        for p in course_patterns {
+            assert!(
+                !p.nodes
+                    .iter()
+                    .any(|n| n.annotations.iter().any(|a| matches!(a, NodeAnnotation::Distinguish { .. }))),
+                "{}",
+                p.describe()
+            );
+        }
+    }
+
+    /// Two ambiguous nodes fork into the full powerset (4 variants).
+    #[test]
+    fn two_ambiguous_nodes_make_four_variants() {
+        // Both Greens *and* both... Green matches two students; George
+        // matches one student and one lecturer: choose Green twice.
+        let ps = annotated("Green Green COUNT Code");
+        let ambiguous_pair: Vec<_> = ps
+            .iter()
+            .filter(|p| p.nodes.iter().filter(|n| n.relation == "Student").count() == 2)
+            .collect();
+        assert_eq!(ambiguous_pair.len(), 4, "powerset over two Green nodes");
+    }
+}

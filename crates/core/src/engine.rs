@@ -1,0 +1,396 @@
+//! The end-to-end engine (Algorithm 2).
+//!
+//! [`Engine::new`] inspects the database: if every relation is in 3NF
+//! (under its declared FDs) the ORM schema graph is built directly on the
+//! schema; otherwise Algorithm 1 builds the normalized view `D'` first
+//! and everything — matching, pattern generation, translation — runs over
+//! `D'`, with the final SQL mapped back to the original relations and
+//! simplified by the Section 4.1 rewrite rules.
+//!
+//! [`Engine::generate`] produces the ranked SQL statements (what
+//! Figure 11 times); [`Engine::answer`] additionally executes them.
+
+use aqks_orm::OrmGraph;
+use aqks_relational::{Database, DatabaseSchema, NormalizedView};
+use aqks_sqlgen::{execute, ResultTable, SelectStatement};
+
+use crate::annotate::disambiguate;
+use crate::error::CoreError;
+use crate::matching::{Matcher, TermMatch, TermRole};
+use crate::pattern::{generate_patterns, QueryPattern};
+use crate::query::{KeywordQuery, Operator, Term};
+use crate::rank::rank_patterns;
+use crate::translate::{translate_ex, TranslateOptions};
+use crate::unnormalized::{rewrite, RewriteOptions};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Translation rules (ablation switches).
+    pub translate: TranslateOptions,
+    /// Rewrite rules for unnormalized databases (ablation switches).
+    pub rewrite: RewriteOptions,
+    /// Skip the Section 4.1 rewriting entirely when true.
+    pub skip_rewrites: bool,
+    /// Run instance-level FD discovery before deciding whether the
+    /// database is normalized — for unnormalized databases whose schema
+    /// declares no FDs (the paper assumes FDs are given; a deployed
+    /// system has to mine them).
+    pub discover_fds: bool,
+}
+
+/// A generated (not yet executed) interpretation.
+#[derive(Debug, Clone)]
+pub struct GeneratedSql {
+    /// The annotated query pattern.
+    pub pattern: QueryPattern,
+    /// The SQL statement.
+    pub sql: SelectStatement,
+    /// Rendered SQL text.
+    pub sql_text: String,
+    /// The pattern's rank key (smaller ranks first); interpretations are
+    /// returned in rank order.
+    pub score: crate::rank::RankKey,
+}
+
+/// An executed interpretation.
+#[derive(Debug, Clone)]
+pub struct Interpretation {
+    /// Human-readable pattern description.
+    pub pattern_description: String,
+    /// The SQL statement.
+    pub sql: SelectStatement,
+    /// Rendered SQL text.
+    pub sql_text: String,
+    /// The answer rows (deterministically sorted).
+    pub result: ResultTable,
+}
+
+/// How one query term matched the database (see [`Engine::explain`]).
+#[derive(Debug, Clone)]
+pub struct TermReport {
+    /// The term's text (operators in their keyword form).
+    pub term: String,
+    /// True for aggregate/GROUPBY operators.
+    pub is_operator: bool,
+    /// Human-readable descriptions of each match.
+    pub matches: Vec<String>,
+}
+
+/// One ranked interpretation in an [`Explanation`].
+#[derive(Debug, Clone)]
+pub struct PatternReport {
+    /// One-line pattern description.
+    pub description: String,
+    /// Graphviz rendering of the pattern.
+    pub dot: String,
+    /// The rank key (smaller ranks first).
+    pub score: crate::rank::RankKey,
+}
+
+/// The interpretation trace of a query (see [`Engine::explain`]).
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Per-term match reports, in query order.
+    pub terms: Vec<TermReport>,
+    /// All generated patterns, ranked best-first.
+    pub patterns: Vec<PatternReport>,
+}
+
+/// The semantic keyword-search engine.
+pub struct Engine {
+    db: Database,
+    namespace: DatabaseSchema,
+    graph: OrmGraph,
+    matcher: Matcher,
+    view: Option<NormalizedView>,
+    options: EngineOptions,
+}
+
+impl Engine {
+    /// Builds an engine with default options.
+    pub fn new(db: Database) -> Result<Engine, CoreError> {
+        Engine::with_options(db, EngineOptions::default())
+    }
+
+    /// Builds an engine with explicit options.
+    pub fn with_options(mut db: Database, options: EngineOptions) -> Result<Engine, CoreError> {
+        if options.discover_fds {
+            db.discover_and_declare_fds(&aqks_relational::DiscoveryOptions::default());
+        }
+        let schema = db.schema();
+        if NormalizedView::is_normalized(&schema) {
+            let graph = OrmGraph::build(&schema)?;
+            let matcher = Matcher::normalized(&db);
+            Ok(Engine { db, namespace: schema, graph, matcher, view: None, options })
+        } else {
+            let view = NormalizedView::build(&schema);
+            let namespace = view.schema();
+            let graph = OrmGraph::build(&namespace)?;
+            let matcher = Matcher::unnormalized(&db, view.clone());
+            Ok(Engine { db, namespace, graph, matcher, view: Some(view), options })
+        }
+    }
+
+    /// True when the database required a normalized view (Section 4).
+    pub fn is_unnormalized(&self) -> bool {
+        self.view.is_some()
+    }
+
+    /// The ORM schema graph the engine works over.
+    pub fn orm_graph(&self) -> &OrmGraph {
+        &self.graph
+    }
+
+    /// The pattern-namespace schema (`D` or `D'`).
+    pub fn namespace(&self) -> &DatabaseSchema {
+        &self.namespace
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Parses, matches, generates, ranks, and translates — everything but
+    /// execution. This is the work Figure 11 measures.
+    pub fn generate(&self, query: &str, k: usize) -> Result<Vec<GeneratedSql>, CoreError> {
+        let query = KeywordQuery::parse(query)?;
+        let matches = self.term_matches(&query);
+        let patterns = generate_patterns(&query, &matches, &self.graph, &self.namespace)?;
+        let patterns = rank_patterns(disambiguate(patterns, &self.namespace));
+
+        let mut out = Vec::new();
+        for p in patterns.into_iter().take(k) {
+            let t = translate_ex(
+                &p,
+                &self.graph,
+                &self.namespace,
+                self.view.as_ref(),
+                &self.options.translate,
+            )?;
+            let sql = if self.view.is_some() && !self.options.skip_rewrites {
+                rewrite(&t.stmt, &t.derived_keys, &self.db.schema(), &self.options.rewrite)
+            } else {
+                t.stmt
+            };
+            let sql_text = sql.to_string();
+            let score = crate::rank::rank_key(&p);
+            out.push(GeneratedSql { pattern: p, sql, sql_text, score });
+        }
+        Ok(out)
+    }
+
+    /// Full Algorithm 2: generate the top-`k` interpretations and execute
+    /// them against the database.
+    pub fn answer(&self, query: &str, k: usize) -> Result<Vec<Interpretation>, CoreError> {
+        let generated = self.generate(query, k)?;
+        let mut out = Vec::with_capacity(generated.len());
+        for g in generated {
+            let result = execute(&g.sql, &self.db)?.sorted();
+            out.push(Interpretation {
+                pattern_description: g.pattern.describe(),
+                sql: g.sql,
+                sql_text: g.sql_text,
+                result,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Explains how a query is interpreted: each term's matches and the
+    /// ranked patterns with their scores — the trace behind
+    /// [`Engine::generate`], for debugging and the CLI's `--explain`.
+    pub fn explain(&self, query: &str) -> Result<Explanation, CoreError> {
+        let parsed = KeywordQuery::parse(query)?;
+        let matches = self.term_matches(&parsed);
+        let term_reports = parsed
+            .terms
+            .iter()
+            .zip(&matches)
+            .map(|(t, ms)| {
+                let text = match t {
+                    Term::Basic(s) => s.clone(),
+                    Term::Op(Operator::GroupBy) => "GROUPBY".to_string(),
+                    Term::Op(Operator::Agg(f)) => f.keyword().to_string(),
+                };
+                let descriptions = ms
+                    .iter()
+                    .map(|m| match m {
+                        TermMatch::RelationName { relation } => {
+                            format!("relation `{relation}`")
+                        }
+                        TermMatch::AttributeName { relation, attribute } => {
+                            format!("attribute `{relation}.{attribute}`")
+                        }
+                        TermMatch::Value { relation, attribute, tuple_count } => format!(
+                            "value of `{relation}.{attribute}` ({tuple_count} object(s))"
+                        ),
+                    })
+                    .collect();
+                TermReport { term: text, is_operator: matches!(t, Term::Op(_)), matches: descriptions }
+            })
+            .collect();
+
+        let patterns = generate_patterns(&parsed, &matches, &self.graph, &self.namespace)?;
+        let ranked = rank_patterns(disambiguate(patterns, &self.namespace));
+        let pattern_reports = ranked
+            .iter()
+            .map(|p| PatternReport {
+                description: p.describe(),
+                dot: p.to_dot(),
+                score: crate::rank::rank_key(p),
+            })
+            .collect();
+        Ok(Explanation { terms: term_reports, patterns: pattern_reports })
+    }
+
+    fn term_matches(&self, query: &KeywordQuery) -> Vec<Vec<TermMatch>> {
+        query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Term::Basic(text) => {
+                    let role = if query.is_operand(i) {
+                        match query.terms[i - 1] {
+                            Term::Op(Operator::Agg(aqks_sqlgen::AggFunc::Count))
+                            | Term::Op(Operator::GroupBy) => TermRole::CountGroupByOperand,
+                            Term::Op(Operator::Agg(_)) => TermRole::AggOperand,
+                            Term::Basic(_) => TermRole::Free,
+                        }
+                    } else {
+                        TermRole::Free
+                    };
+                    self.matcher.matches(&self.db, text, role)
+                }
+                Term::Op(_) => Vec::new(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqks_datasets::university;
+    use aqks_relational::Value;
+
+    #[test]
+    fn q1_end_to_end() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let answers = engine.answer("Green SUM Credit", 1).unwrap();
+        let r = &answers[0].result;
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0].last().unwrap(), &Value::Float(5.0));
+        assert_eq!(r.rows[1].last().unwrap(), &Value::Float(8.0));
+    }
+
+    #[test]
+    fn q2_end_to_end() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let answers = engine.answer("Java SUM Price", 3).unwrap();
+        let textbook = answers
+            .iter()
+            .find(|a| a.result.column_index("sumPrice").is_some())
+            .expect("textbook interpretation");
+        assert_eq!(textbook.result.rows[0].last().unwrap(), &Value::Int(25));
+    }
+
+    /// Q3 on Figure 2: the unnormalized engine counts 1 department in
+    /// Engineering (SQAK's join over duplicated Lecturer rows says 2).
+    #[test]
+    fn q3_unnormalized_fig2() {
+        let engine = Engine::new(university::unnormalized_fig2()).unwrap();
+        assert!(engine.is_unnormalized());
+        let answers = engine.answer("Engineering COUNT Department", 1).unwrap();
+        let r = &answers[0].result;
+        assert_eq!(r.rows[0].last().unwrap(), &Value::Int(1), "{}\n{r}", answers[0].sql_text);
+    }
+
+    /// Example 9/10 end to end on the Figure-8 database.
+    #[test]
+    fn fig8_green_george_count_code() {
+        let engine = Engine::new(university::enrolment_fig8()).unwrap();
+        assert!(engine.is_unnormalized());
+        let answers = engine.answer("Green George COUNT Code", 1).unwrap();
+        let r = &answers[0].result;
+        assert_eq!(r.len(), 2, "{}\n{r}", answers[0].sql_text);
+        assert_eq!(r.rows[0].last().unwrap(), &Value::Int(1));
+        assert_eq!(r.rows[1].last().unwrap(), &Value::Int(2));
+        // The rewritten SQL runs on the original Enrolment relation.
+        assert!(answers[0].sql_text.contains("Enrolment"));
+    }
+
+    /// FD discovery substitutes for declared FDs: an Enrolment database
+    /// with *no* declared dependencies still gets decomposed, and every
+    /// discovered dependency holds on the instance, so the answers match
+    /// the declared-FD engine.
+    #[test]
+    fn discovery_substitutes_for_declared_fds() {
+        let declared = Engine::new(university::enrolment_fig8()).unwrap();
+
+        let mut undeclared = university::enrolment_fig8();
+        // Strip the declared FDs (and naming hints) from the schema.
+        let mut bare = aqks_relational::Database::new("fig8-bare");
+        let mut schema = undeclared.table("Enrolment").unwrap().schema.clone();
+        schema.extra_fds.clear();
+        schema.entity_names.clear();
+        bare.add_relation(schema).unwrap();
+        for row in undeclared.table("Enrolment").unwrap().rows() {
+            bare.insert("Enrolment", row.clone()).unwrap();
+        }
+        undeclared = bare;
+
+        // Without discovery the engine treats the relation as normalized.
+        let naive = Engine::new(undeclared.clone()).unwrap();
+        assert!(!naive.is_unnormalized());
+
+        let discovering = Engine::with_options(
+            undeclared,
+            EngineOptions { discover_fds: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(discovering.is_unnormalized());
+
+        let a = &declared.answer("Green George COUNT Code", 1).unwrap()[0];
+        let b = &discovering.answer("Green George COUNT Code", 1).unwrap()[0];
+        let left: Vec<&Value> =
+            a.result.rows.iter().map(|r| r.last().unwrap()).collect();
+        let right: Vec<&Value> =
+            b.result.rows.iter().map(|r| r.last().unwrap()).collect();
+        assert_eq!(left, right, "{}\nvs\n{}", a.sql_text, b.sql_text);
+    }
+
+    #[test]
+    fn nonexistent_term_errors() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        assert!(matches!(
+            engine.answer("zebra COUNT Code", 1),
+            Err(CoreError::NoMatch(_))
+        ));
+    }
+
+    #[test]
+    fn explain_reports_matches_and_patterns() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let ex = engine.explain("Green SUM Credit").unwrap();
+        assert_eq!(ex.terms.len(), 3);
+        assert!(ex.terms[0].matches[0].contains("Student.Sname"), "{:?}", ex.terms);
+        assert!(ex.terms[1].is_operator);
+        assert!(ex.patterns.len() >= 2, "merged + per-Green");
+        // Ranked: scores are non-decreasing.
+        for w in ex.patterns.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+        assert!(ex.patterns[0].dot.starts_with("graph pattern {"));
+    }
+
+    #[test]
+    fn generate_does_not_execute() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let gen = engine.generate("COUNT Lecturer GROUPBY Course", 2).unwrap();
+        assert!(!gen.is_empty());
+        assert!(gen[0].sql_text.contains("COUNT"));
+    }
+}

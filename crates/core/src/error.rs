@@ -1,0 +1,48 @@
+//! Error type of the semantic engine.
+
+use std::fmt;
+
+/// Errors surfaced by query processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The query string violates Definition 1's constraints.
+    Parse(String),
+    /// A term matches nothing in the database.
+    NoMatch(String),
+    /// An operator operand's matches violate the match-level constraints
+    /// (e.g. `SUM` followed by something that is not an attribute name).
+    BadOperand(String),
+    /// No connected query pattern exists for any interpretation.
+    NoPattern,
+    /// SQL execution failed (executor bug or malformed translation).
+    Exec(String),
+    /// Schema-level problem (e.g. ORM graph construction failed).
+    Schema(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(m) => write!(f, "query parse error: {m}"),
+            CoreError::NoMatch(t) => write!(f, "term `{t}` matches nothing in the database"),
+            CoreError::BadOperand(m) => write!(f, "invalid operator operand: {m}"),
+            CoreError::NoPattern => write!(f, "no connected query pattern exists"),
+            CoreError::Exec(m) => write!(f, "execution error: {m}"),
+            CoreError::Schema(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<aqks_sqlgen::ExecError> for CoreError {
+    fn from(e: aqks_sqlgen::ExecError) -> Self {
+        CoreError::Exec(e.to_string())
+    }
+}
+
+impl From<aqks_relational::Error> for CoreError {
+    fn from(e: aqks_relational::Error) -> Self {
+        CoreError::Schema(e.to_string())
+    }
+}

@@ -1,0 +1,868 @@
+//! Query-pattern generation (Section 3.1.1).
+//!
+//! For each combination of term interpretations, the generator creates a
+//! pattern node per referenced object/relationship (duplicating nodes
+//! when two terms refer to two *different* objects of the same class, as
+//! in Figure 4), connects the nodes into a minimal connected graph over
+//! the ORM schema graph — instantiating fresh relationship nodes along
+//! connecting paths — and annotates the nodes with the query's operators
+//! (Algorithm 3's first phase, including nested aggregates).
+//!
+//! Two merging rules shape the node set, following \[15\]:
+//!
+//! * *metadata merging* — all relation-name/attribute-name matches on the
+//!   same ORM node collapse into one pattern node (`{proceeding AVG
+//!   pages}` yields a single Proceeding node);
+//! * *context merging* — a value match merges into the node of an
+//!   immediately preceding metadata term on the same ORM node
+//!   (`{Lecturer George}` yields one Lecturer node with the condition
+//!   `Lname = George`), which is how metadata keywords disambiguate the
+//!   keywords that follow them.
+
+use aqks_orm::{NodeId, NodeKind, OrmGraph};
+use aqks_relational::DatabaseSchema;
+use aqks_sqlgen::AggFunc;
+
+use crate::error::CoreError;
+use crate::matching::TermMatch;
+use crate::query::{KeywordQuery, Operator, Term};
+
+/// A value condition `attribute = term` on a pattern node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// Relation holding the attribute (the node's primary relation or one
+    /// of its components).
+    pub relation: String,
+    /// Conditioned attribute.
+    pub attribute: String,
+    /// The matched term text.
+    pub term: String,
+    /// Distinct objects satisfying the condition (from matching).
+    pub tuple_count: usize,
+}
+
+/// An operator annotation attached to a pattern node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeAnnotation {
+    /// `func(relation.attribute)` in the SELECT clause.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Relation holding the aggregated attribute.
+        relation: String,
+        /// Aggregated attribute.
+        attribute: String,
+    },
+    /// Explicit `GROUPBY` from the query.
+    GroupBy {
+        /// Relation holding the grouping attributes.
+        relation: String,
+        /// Grouping attributes (a full object identifier may be compound).
+        attributes: Vec<String>,
+    },
+    /// `GROUPBY(id)` added by pattern disambiguation (Section 3.1.2) to
+    /// separate objects sharing an attribute value.
+    Distinguish {
+        /// The node's primary relation.
+        relation: String,
+        /// The object identifier attributes.
+        attributes: Vec<String>,
+    },
+}
+
+/// One node of a query pattern: an *instance* of an ORM schema-graph node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternNode {
+    /// Node id within the pattern.
+    pub id: usize,
+    /// The ORM schema-graph node this instantiates.
+    pub orm: NodeId,
+    /// Kind of the ORM node.
+    pub kind: NodeKind,
+    /// Primary relation of the ORM node (pattern namespace).
+    pub relation: String,
+    /// True if the node was created for a query term (vs. a connector).
+    pub terminal: bool,
+    /// Value condition, if a term matched tuple values of this node.
+    pub condition: Option<Condition>,
+    /// Operator annotations.
+    pub annotations: Vec<NodeAnnotation>,
+}
+
+/// One edge of a query pattern; `a` instantiates the FK-owning side of
+/// the underlying ORM edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternEdge {
+    /// Pattern node instantiating `orm_edge.a` (the FK owner).
+    pub a: usize,
+    /// Pattern node instantiating `orm_edge.b` (the referenced side).
+    pub b: usize,
+    /// Index of the ORM edge this instantiates.
+    pub orm_edge: usize,
+}
+
+/// A query pattern: one interpretation of the keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPattern {
+    /// Nodes, indexed by `PatternNode::id`.
+    pub nodes: Vec<PatternNode>,
+    /// Edges.
+    pub edges: Vec<PatternEdge>,
+    /// Nested aggregate chain (Section 3.2): aggregates whose operand is
+    /// another aggregate, in query order (outermost first).
+    pub nested: Vec<AggFunc>,
+    /// Pattern node of each query term (None for operators).
+    pub term_nodes: Vec<Option<usize>>,
+}
+
+impl QueryPattern {
+    /// Number of object/mixed nodes (the primary ranking key).
+    pub fn object_mixed_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Object | NodeKind::Mixed))
+            .count()
+    }
+
+    /// Neighbours of node `id` in the pattern graph.
+    pub fn neighbors(&self, id: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|e| {
+                if e.a == id {
+                    Some(e.b)
+                } else if e.b == id {
+                    Some(e.a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// BFS distance in the pattern graph.
+    pub fn distance(&self, from: usize, to: usize) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.nodes.len()];
+        dist[from] = 0;
+        let mut q = std::collections::VecDeque::from([from]);
+        while let Some(n) = q.pop_front() {
+            for m in self.neighbors(n) {
+                if dist[m] == usize::MAX {
+                    dist[m] = dist[n] + 1;
+                    if m == to {
+                        return Some(dist[m]);
+                    }
+                    q.push_back(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// A canonical serialization used for de-duplication and
+    /// deterministic tie-breaking.
+    pub fn fingerprint(&self) -> String {
+        let mut parts: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                format!(
+                    "{}:{}:{:?}:{:?}",
+                    n.relation,
+                    n.terminal,
+                    n.condition.as_ref().map(|c| format!("{}.{}={}", c.relation, c.attribute, c.term)),
+                    n.annotations,
+                )
+            })
+            .collect();
+        parts.sort();
+        let mut edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|e| {
+                let mut pair = [
+                    format!("{}|{:?}", self.nodes[e.a].relation, self.nodes[e.a].condition.as_ref().map(|c| &c.term)),
+                    format!("{}|{:?}", self.nodes[e.b].relation, self.nodes[e.b].condition.as_ref().map(|c| &c.term)),
+                ];
+                pair.sort();
+                pair.join("--")
+            })
+            .collect();
+        edges.sort();
+        format!("N[{}]E[{}]X{:?}", parts.join(";"), edges.join(";"), self.nested)
+    }
+
+    /// Graphviz (DOT) rendering of the pattern, mirroring the paper's
+    /// figures: conditions and annotations appear inside node labels,
+    /// nested aggregates as a floating note.
+    pub fn to_dot(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = String::from("graph pattern {\n  node [fontname=\"Helvetica\"];\n");
+        for n in &self.nodes {
+            let mut label = n.relation.clone();
+            if let Some(c) = &n.condition {
+                label.push_str(&format!("\\n{}={}", c.attribute, c.term));
+            }
+            for a in &n.annotations {
+                match a {
+                    NodeAnnotation::Agg { func, attribute, .. } => {
+                        label.push_str(&format!("\\n{}({})", func.keyword(), attribute))
+                    }
+                    NodeAnnotation::GroupBy { attributes, .. } => {
+                        label.push_str(&format!("\\nGROUPBY({})", attributes.join(",")))
+                    }
+                    NodeAnnotation::Distinguish { attributes, .. } => {
+                        label.push_str(&format!("\\nGROUPBY({})*", attributes.join(",")))
+                    }
+                }
+            }
+            let shape = match n.kind {
+                NodeKind::Relationship => "diamond",
+                NodeKind::Mixed => "doublecircle",
+                NodeKind::Object => "ellipse",
+            };
+            out.push_str(&format!("  p{} [label=\"{}\", shape={shape}];\n", n.id, esc(&label)));
+        }
+        for e in &self.edges {
+            out.push_str(&format!("  p{} -- p{};\n", e.a, e.b));
+        }
+        for (i, f) in self.nested.iter().enumerate() {
+            out.push_str(&format!(
+                "  nested{i} [label=\"{}(…)\", shape=note];\n",
+                f.keyword()
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable description for the evaluation harness.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        for n in &self.nodes {
+            s.push_str(&format!("({}", n.relation));
+            if let Some(c) = &n.condition {
+                s.push_str(&format!(" {}={}", c.attribute, c.term));
+            }
+            for a in &n.annotations {
+                match a {
+                    NodeAnnotation::Agg { func, attribute, .. } => {
+                        s.push_str(&format!(" {}({attribute})", func.keyword()))
+                    }
+                    NodeAnnotation::GroupBy { attributes, .. } => {
+                        s.push_str(&format!(" GROUPBY({})", attributes.join(",")))
+                    }
+                    NodeAnnotation::Distinguish { attributes, .. } => {
+                        s.push_str(&format!(" GROUPBY*({})", attributes.join(",")))
+                    }
+                }
+            }
+            s.push_str(") ");
+        }
+        for f in &self.nested {
+            s.push_str(&format!("nested:{} ", f.keyword()));
+        }
+        s.trim_end().to_string()
+    }
+}
+
+/// Bounds for pattern enumeration.
+const MAX_COMBOS: usize = 64;
+const MAX_PATTERN_NODES: usize = 16;
+
+/// Generates the annotated query patterns for a query.
+///
+/// `matches[i]` holds term `i`'s interpretations (empty for operators).
+/// `namespace` is the pattern-namespace schema (for identifier lookup).
+pub fn generate_patterns(
+    query: &KeywordQuery,
+    matches: &[Vec<TermMatch>],
+    graph: &OrmGraph,
+    namespace: &DatabaseSchema,
+) -> Result<Vec<QueryPattern>, CoreError> {
+    let basic: Vec<usize> = query
+        .terms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.as_basic().map(|_| i))
+        .collect();
+    for &i in &basic {
+        if matches[i].is_empty() {
+            let text = query.terms[i].as_basic().unwrap_or_default();
+            if query.is_operand(i) {
+                return Err(CoreError::BadOperand(format!(
+                    "`{text}` does not match the metadata an operator operand requires"
+                )));
+            }
+            return Err(CoreError::NoMatch(text.to_string()));
+        }
+    }
+
+    let mut patterns = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for combo in combos(&basic, matches, MAX_COMBOS) {
+        if let Some(p) = build_pattern(query, &basic, &combo, graph, namespace) {
+            if seen.insert(p.fingerprint()) {
+                patterns.push(p);
+            }
+        }
+    }
+    if patterns.is_empty() {
+        return Err(CoreError::NoPattern);
+    }
+    Ok(patterns)
+}
+
+/// Cartesian product of per-term matches, capped.
+fn combos<'m>(
+    basic: &[usize],
+    matches: &'m [Vec<TermMatch>],
+    cap: usize,
+) -> Vec<Vec<&'m TermMatch>> {
+    let mut out: Vec<Vec<&TermMatch>> = vec![Vec::new()];
+    for &i in basic {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for m in &matches[i] {
+                if next.len() >= cap {
+                    break;
+                }
+                let mut row = prefix.clone();
+                row.push(m);
+                next.push(row);
+            }
+        }
+        out = next;
+        if out.len() >= cap {
+            out.truncate(cap);
+        }
+    }
+    out
+}
+
+/// Builds one pattern for one interpretation combo; None if the
+/// interpretation cannot be connected.
+fn build_pattern(
+    query: &KeywordQuery,
+    basic: &[usize],
+    combo: &[&TermMatch],
+    graph: &OrmGraph,
+    namespace: &DatabaseSchema,
+) -> Option<QueryPattern> {
+    let mut nodes: Vec<PatternNode> = Vec::new();
+    let mut edges: Vec<PatternEdge> = Vec::new();
+    let mut term_nodes: Vec<Option<usize>> = vec![None; query.terms.len()];
+
+    // --- Create terminal nodes with the two merging rules -----------------
+    // Metadata terms first: one node per ORM node.
+    for (bi, &ti) in basic.iter().enumerate() {
+        let m = combo[bi];
+        if !m.is_metadata() {
+            continue;
+        }
+        let orm = graph.node_of_relation(m.relation())?;
+        let existing = nodes.iter().position(|n| n.orm == orm && n.terminal);
+        let id = match existing {
+            Some(id) => id,
+            None => {
+                let id = nodes.len();
+                let n = graph.node(orm);
+                nodes.push(PatternNode {
+                    id,
+                    orm,
+                    kind: n.kind,
+                    relation: n.relation.clone(),
+                    terminal: true,
+                    condition: None,
+                    annotations: Vec::new(),
+                });
+                id
+            }
+        };
+        term_nodes[ti] = Some(id);
+    }
+    // Value terms: context-merge or create.
+    for (bi, &ti) in basic.iter().enumerate() {
+        let m = combo[bi];
+        let TermMatch::Value { relation, attribute, tuple_count } = m else { continue };
+        let orm = graph.node_of_relation(relation)?;
+        let condition = Condition {
+            relation: relation.clone(),
+            attribute: attribute.clone(),
+            term: query.terms[ti].as_basic().unwrap().to_string(),
+            tuple_count: *tuple_count,
+        };
+        // Context merge: the immediately preceding term is a metadata term
+        // on the same ORM node (and same attribute, if it named one) whose
+        // node has no condition yet.
+        let mut merged = None;
+        if ti > 0 && !query.is_operand(ti) {
+            if let Some(prev_bi) = basic.iter().position(|&x| x == ti - 1) {
+                let prev = combo[prev_bi];
+                let compatible = match prev {
+                    TermMatch::RelationName { .. } => true,
+                    TermMatch::AttributeName { attribute: a, .. } => {
+                        a.eq_ignore_ascii_case(attribute)
+                    }
+                    TermMatch::Value { .. } => false,
+                };
+                if compatible {
+                    if let Some(prev_node) = term_nodes[ti - 1] {
+                        if nodes[prev_node].orm == orm && nodes[prev_node].condition.is_none() {
+                            merged = Some(prev_node);
+                        }
+                    }
+                }
+            }
+        }
+        let id = match merged {
+            Some(id) => {
+                nodes[id].condition = Some(condition);
+                id
+            }
+            None => {
+                let id = nodes.len();
+                let n = graph.node(orm);
+                nodes.push(PatternNode {
+                    id,
+                    orm,
+                    kind: n.kind,
+                    relation: n.relation.clone(),
+                    terminal: true,
+                    condition: Some(condition),
+                    annotations: Vec::new(),
+                });
+                id
+            }
+        };
+        term_nodes[ti] = Some(id);
+    }
+
+    // --- Connect -----------------------------------------------------------
+    let terminals: Vec<usize> = (0..nodes.len()).collect();
+    let mut connected: Vec<usize> = Vec::new();
+    for &t in &terminals {
+        if connected.is_empty() {
+            connected.push(t);
+            continue;
+        }
+        if nodes.len() > MAX_PATTERN_NODES {
+            return None;
+        }
+        attach(t, &mut connected, &mut nodes, &mut edges, graph)?;
+    }
+
+    // --- Operator annotation (Algorithm 3, lines 3-12) ---------------------
+    let mut nested: Vec<AggFunc> = Vec::new();
+    for (i, term) in query.terms.iter().enumerate() {
+        let Term::Op(op) = term else { continue };
+        match &query.terms[i + 1] {
+            Term::Op(_) => {
+                // Nested aggregate: this operator applies to the result of
+                // the next one (GROUPBY-before-operator is rejected at
+                // parse time, so `op` is an aggregate here).
+                if let Operator::Agg(f) = op {
+                    nested.push(*f);
+                }
+            }
+            Term::Basic(_) => {
+                let bi = basic.iter().position(|&x| x == i + 1)?;
+                let node = term_nodes[i + 1]?;
+                let (relation, attributes) = match combo[bi] {
+                    TermMatch::RelationName { relation } => {
+                        let rel = namespace.relation(relation)?;
+                        (relation.clone(), rel.primary_key.clone())
+                    }
+                    TermMatch::AttributeName { relation, attribute } => {
+                        (relation.clone(), vec![attribute.clone()])
+                    }
+                    TermMatch::Value { .. } => return None, // excluded by roles
+                };
+                if attributes.is_empty() {
+                    return None;
+                }
+                let ann = match op {
+                    Operator::Agg(f) => NodeAnnotation::Agg {
+                        func: *f,
+                        relation,
+                        attribute: attributes[0].clone(),
+                    },
+                    Operator::GroupBy => NodeAnnotation::GroupBy { relation, attributes },
+                };
+                nodes[node].annotations.push(ann);
+            }
+        }
+    }
+
+    Some(QueryPattern { nodes, edges, nested, term_nodes })
+}
+
+/// Attaches terminal `t` to the connected component, instantiating fresh
+/// intermediate nodes along the shortest admissible ORM path. Returns
+/// None when no connection exists.
+fn attach(
+    t: usize,
+    connected: &mut Vec<usize>,
+    nodes: &mut Vec<PatternNode>,
+    edges: &mut Vec<PatternEdge>,
+    graph: &OrmGraph,
+) -> Option<()> {
+    // Admissible attach points: terminals, or object/mixed connectors —
+    // never a relationship instance created for another connection (its
+    // foreign keys are already "spoken for"), and never a node of the
+    // same ORM class (two instances of one class denote two different
+    // objects; joining them directly would force them equal). A
+    // relationship *terminal* may accept the connection only through a
+    // participant slot (ORM edge) it has not used yet: Enrol links one
+    // student — a second student must come in through a fresh path.
+    let best = connected
+        .iter()
+        .copied()
+        .filter(|&u| {
+            nodes[u].orm != nodes[t].orm
+                && (nodes[u].terminal
+                    || matches!(nodes[u].kind, NodeKind::Object | NodeKind::Mixed))
+        })
+        .filter_map(|u| {
+            let path = graph.shortest_path_edges(nodes[u].orm, nodes[t].orm)?;
+            if matches!(nodes[u].kind, NodeKind::Relationship) {
+                let first = *path.first()?;
+                let slot_taken = edges
+                    .iter()
+                    .any(|pe| (pe.a == u || pe.b == u) && pe.orm_edge == first);
+                if slot_taken {
+                    return None;
+                }
+            }
+            Some((path.len(), u))
+        })
+        .min();
+
+    match best {
+        Some((_, u)) => {
+            instantiate_path(u, t, nodes, edges, graph)?;
+            connected.push(t);
+            Some(())
+        }
+        None => {
+            // Hub fallback (two instances of the same class, e.g.
+            // {Green George}): route both through the nearest other
+            // object/mixed class.
+            let hub_orm = nearest_other_object(nodes[t].orm, graph)?;
+            let hub_id = nodes.len();
+            let hn = graph.node(hub_orm);
+            nodes.push(PatternNode {
+                id: hub_id,
+                orm: hub_orm,
+                kind: hn.kind,
+                relation: hn.relation.clone(),
+                terminal: false,
+                condition: None,
+                annotations: Vec::new(),
+            });
+            instantiate_path(hub_id, t, nodes, edges, graph)?;
+            attach(hub_id, connected, nodes, edges, graph)?;
+            connected.push(t);
+            Some(())
+        }
+    }
+}
+
+/// The nearest object/mixed ORM node other than `from`.
+fn nearest_other_object(from: NodeId, graph: &OrmGraph) -> Option<NodeId> {
+    graph
+        .nodes()
+        .iter()
+        .filter(|n| {
+            n.id != from && matches!(n.kind, NodeKind::Object | NodeKind::Mixed)
+        })
+        .filter_map(|n| graph.distance(from, n.id).map(|d| (d, n.id)))
+        .min()
+        .map(|(_, id)| id)
+}
+
+/// Instantiates the shortest ORM path between existing pattern nodes `u`
+/// and `t` with fresh intermediate nodes.
+fn instantiate_path(
+    u: usize,
+    t: usize,
+    nodes: &mut Vec<PatternNode>,
+    edges: &mut Vec<PatternEdge>,
+    graph: &OrmGraph,
+) -> Option<()> {
+    let path = graph.shortest_path_edges(nodes[u].orm, nodes[t].orm)?;
+    let mut cur_orm = nodes[u].orm;
+    let mut cur_node = u;
+    for (step, &ei) in path.iter().enumerate() {
+        let edge = graph.edge(ei);
+        let next_orm = edge.other(cur_orm);
+        let next_node = if step + 1 == path.len() {
+            t
+        } else {
+            let id = nodes.len();
+            let n = graph.node(next_orm);
+            nodes.push(PatternNode {
+                id,
+                orm: next_orm,
+                kind: n.kind,
+                relation: n.relation.clone(),
+                terminal: false,
+                condition: None,
+                annotations: Vec::new(),
+            });
+            id
+        };
+        let (a, b) =
+            if edge.a == cur_orm { (cur_node, next_node) } else { (next_node, cur_node) };
+        edges.push(PatternEdge { a, b, orm_edge: ei });
+        cur_orm = next_orm;
+        cur_node = next_node;
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{Matcher, TermRole};
+    use aqks_datasets::university;
+    use aqks_orm::OrmGraph;
+
+    fn setup() -> (aqks_relational::Database, OrmGraph, Matcher) {
+        let db = university::normalized();
+        let graph = OrmGraph::build(&db.schema()).unwrap();
+        let matcher = Matcher::normalized(&db);
+        (db, graph, matcher)
+    }
+
+    fn patterns_for(q: &str) -> Vec<QueryPattern> {
+        let (db, graph, matcher) = setup();
+        let query = KeywordQuery::parse(q).unwrap();
+        let matches: Vec<Vec<TermMatch>> = query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Term::Basic(text) => {
+                    let role = if query.is_operand(i) {
+                        match query.terms[i - 1] {
+                            Term::Op(Operator::Agg(AggFunc::Count))
+                            | Term::Op(Operator::GroupBy) => TermRole::CountGroupByOperand,
+                            _ => TermRole::AggOperand,
+                        }
+                    } else {
+                        TermRole::Free
+                    };
+                    matcher.matches(&db, text, role)
+                }
+                Term::Op(_) => Vec::new(),
+            })
+            .collect();
+        generate_patterns(&query, &matches, &graph, &db.schema()).unwrap()
+    }
+
+    /// Figure 4: {Green George Code} connects two Student instances to one
+    /// Course through two Enrol instances.
+    #[test]
+    fn figure4_pattern_shape() {
+        let ps = patterns_for("Green George Code");
+        // The top interpretation (both names as students) must exist.
+        let fig4 = ps
+            .iter()
+            .find(|p| {
+                p.nodes.iter().filter(|n| n.relation == "Student").count() == 2
+                    && p.nodes.iter().filter(|n| n.relation == "Enrol").count() == 2
+                    && p.nodes.iter().filter(|n| n.relation == "Course").count() == 1
+            })
+            .expect("figure-4 pattern generated");
+        assert_eq!(fig4.nodes.len(), 5);
+        assert_eq!(fig4.edges.len(), 4);
+        // George also matches a lecturer: an alternative pattern exists.
+        assert!(ps.iter().any(|p| p.nodes.iter().any(|n| n.relation == "Lecturer")));
+    }
+
+    /// Figure 5(a): {Green George COUNT Code} annotates the Course node.
+    #[test]
+    fn figure5a_annotation() {
+        let ps = patterns_for("Green George COUNT Code");
+        let p = ps
+            .iter()
+            .find(|p| p.nodes.iter().filter(|n| n.relation == "Student").count() == 2)
+            .unwrap();
+        let course = p.nodes.iter().find(|n| n.relation == "Course").unwrap();
+        assert_eq!(
+            course.annotations,
+            vec![NodeAnnotation::Agg {
+                func: AggFunc::Count,
+                relation: "Course".into(),
+                attribute: "Code".into(),
+            }]
+        );
+    }
+
+    /// Figure 5(b): {COUNT Lecturer GROUPBY Course} -> Lecturer
+    /// COUNT(Lid), Course GROUPBY(Code), connected via Teach.
+    #[test]
+    fn figure5b_pattern() {
+        let ps = patterns_for("COUNT Lecturer GROUPBY Course");
+        let p = &ps[0];
+        assert_eq!(p.nodes.len(), 3, "{}", p.describe());
+        let lect = p.nodes.iter().find(|n| n.relation == "Lecturer").unwrap();
+        assert_eq!(
+            lect.annotations,
+            vec![NodeAnnotation::Agg {
+                func: AggFunc::Count,
+                relation: "Lecturer".into(),
+                attribute: "Lid".into(),
+            }]
+        );
+        let course = p.nodes.iter().find(|n| n.relation == "Course").unwrap();
+        assert_eq!(
+            course.annotations,
+            vec![NodeAnnotation::GroupBy {
+                relation: "Course".into(),
+                attributes: vec!["Code".into()],
+            }]
+        );
+        assert!(p.nodes.iter().any(|n| n.relation == "Teach"));
+    }
+
+    /// Figure 7: {AVG COUNT Lecturer GROUPBY Course} nests AVG over COUNT.
+    #[test]
+    fn figure7_nested() {
+        let ps = patterns_for("AVG COUNT Lecturer GROUPBY Course");
+        let p = &ps[0];
+        assert_eq!(p.nested, vec![AggFunc::Avg]);
+        let lect = p.nodes.iter().find(|n| n.relation == "Lecturer").unwrap();
+        assert!(matches!(
+            lect.annotations[0],
+            NodeAnnotation::Agg { func: AggFunc::Count, .. }
+        ));
+    }
+
+    /// Context merging: {Lecturer George} puts the condition on the
+    /// Lecturer node in the top pattern.
+    #[test]
+    fn context_merging() {
+        let ps = patterns_for("Lecturer George");
+        let merged = ps
+            .iter()
+            .find(|p| p.nodes.len() == 1 && p.nodes[0].relation == "Lecturer")
+            .expect("merged single-node pattern");
+        let c = merged.nodes[0].condition.as_ref().unwrap();
+        assert_eq!(c.attribute, "Lname");
+        assert_eq!(c.term, "George");
+        // The student interpretation still exists as a 2-object pattern.
+        assert!(ps.iter().any(|p| p.nodes.iter().any(|n| n.relation == "Student")));
+    }
+
+    /// {Green SUM Credit}: Student condition node + Course SUM node via Enrol.
+    #[test]
+    fn q1_pattern() {
+        let ps = patterns_for("Green SUM Credit");
+        let p = &ps[0];
+        assert_eq!(p.nodes.len(), 3, "{}", p.describe());
+        let student = p.nodes.iter().find(|n| n.relation == "Student").unwrap();
+        assert_eq!(student.condition.as_ref().unwrap().tuple_count, 2);
+        let course = p.nodes.iter().find(|n| n.relation == "Course").unwrap();
+        assert!(matches!(
+            course.annotations[0],
+            NodeAnnotation::Agg { func: AggFunc::Sum, .. }
+        ));
+    }
+
+    /// Operand constraint: SUM over a value term fails.
+    #[test]
+    fn sum_over_value_is_rejected() {
+        let (db, graph, matcher) = setup();
+        let query = KeywordQuery::parse("SUM Green").unwrap();
+        let matches = vec![Vec::new(), matcher.matches(&db, "Green", TermRole::AggOperand)];
+        let err = generate_patterns(&query, &matches, &graph, &db.schema()).unwrap_err();
+        assert!(matches!(err, CoreError::BadOperand(_)));
+    }
+
+    #[test]
+    fn dot_export_shows_annotations() {
+        let ps = patterns_for("COUNT Lecturer GROUPBY Course");
+        let dot = ps[0].to_dot();
+        assert!(dot.contains("COUNT(Lid)"), "{dot}");
+        assert!(dot.contains("GROUPBY(Code)"), "{dot}");
+        assert!(dot.contains("shape=diamond"), "Teach renders as a diamond: {dot}");
+        assert_eq!(dot.matches(" -- ").count(), 2, "{dot}");
+    }
+
+    /// Terminals on ORM nodes with no connecting path fail cleanly.
+    #[test]
+    fn disconnected_schema_yields_no_pattern() {
+        use aqks_relational::{AttrType, Database, RelationSchema};
+        let mut db = Database::new("2islands");
+        let mut a = RelationSchema::new("Apple");
+        a.add_attr("aid", AttrType::Int).add_attr("aname", AttrType::Text);
+        a.set_primary_key(["aid"]);
+        db.add_relation(a).unwrap();
+        let mut b = RelationSchema::new("Banana");
+        b.add_attr("bid", AttrType::Int).add_attr("bname", AttrType::Text);
+        b.set_primary_key(["bid"]);
+        db.add_relation(b).unwrap();
+        db.insert("Apple", vec![aqks_relational::Value::Int(1), aqks_relational::Value::str("fuji")]).unwrap();
+        db.insert("Banana", vec![aqks_relational::Value::Int(1), aqks_relational::Value::str("cavendish")]).unwrap();
+
+        let graph = OrmGraph::build(&db.schema()).unwrap();
+        let matcher = Matcher::normalized(&db);
+        let query = KeywordQuery::parse("fuji COUNT Banana").unwrap();
+        let matches: Vec<_> = query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Term::Basic(text) => {
+                    let role = if query.is_operand(i) {
+                        TermRole::CountGroupByOperand
+                    } else {
+                        TermRole::Free
+                    };
+                    matcher.matches(&db, text, role)
+                }
+                Term::Op(_) => Vec::new(),
+            })
+            .collect();
+        let err = generate_patterns(&query, &matches, &graph, &db.schema()).unwrap_err();
+        assert!(matches!(err, CoreError::NoPattern), "{err:?}");
+    }
+
+    /// The combination cap bounds pattern enumeration without panicking
+    /// on highly ambiguous queries.
+    #[test]
+    fn ambiguous_query_is_bounded() {
+        // "George" matches Student and Lecturer values; repeating it four
+        // times multiplies interpretations — generation must stay bounded
+        // and deterministic.
+        let ps = patterns_for("George George George COUNT Code");
+        assert!(!ps.is_empty());
+        assert!(ps.len() <= 64, "{}", ps.len());
+        for p in &ps {
+            assert!(p.nodes.len() <= 16);
+        }
+    }
+
+    /// Pattern distance and fingerprint determinism.
+    #[test]
+    fn pattern_utilities() {
+        let ps = patterns_for("Green George Code");
+        let p = ps
+            .iter()
+            .find(|p| p.nodes.iter().filter(|n| n.relation == "Student").count() == 2)
+            .unwrap();
+        let students: Vec<usize> = p
+            .nodes
+            .iter()
+            .filter(|n| n.relation == "Student")
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(p.distance(students[0], students[1]), Some(4));
+        assert_eq!(p.fingerprint(), p.clone().fingerprint());
+    }
+}

@@ -1,0 +1,231 @@
+//! The extended keyword query language of Definition 1.
+//!
+//! A query is a sequence of terms; each term is either a *basic term*
+//! (matching a relation name, attribute name, or tuple value) or an
+//! *operator* (one of the five aggregate functions or `GROUPBY`).
+//! Multi-word values are written as quoted phrases
+//! (`COUNT order "royal olive"`).
+//!
+//! Structural constraints checked at parse time:
+//!
+//! 1. the last term must be basic;
+//! 2. an aggregate operator must be followed by a basic term or (the
+//!    nested-aggregate relaxation of Section 3.2) another aggregate;
+//! 3. `GROUPBY` must be followed by a basic term.
+//!
+//! The match-level constraints (an aggregate's operand must match an
+//! attribute name, `COUNT`/`GROUPBY` operands a relation or attribute
+//! name) are enforced during term matching.
+
+use aqks_sqlgen::AggFunc;
+
+use crate::error::CoreError;
+
+/// An operator term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operator {
+    /// One of `COUNT`, `SUM`, `AVG`, `MIN`, `MAX`.
+    Agg(AggFunc),
+    /// `GROUPBY`.
+    GroupBy,
+}
+
+impl Operator {
+    /// Parses a token as an operator (case-insensitive).
+    pub fn parse(token: &str) -> Option<Operator> {
+        if token.eq_ignore_ascii_case("GROUPBY") {
+            return Some(Operator::GroupBy);
+        }
+        AggFunc::parse(token).map(Operator::Agg)
+    }
+}
+
+/// One term of a keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A basic term (the matched text; quoted phrases keep their spaces).
+    Basic(String),
+    /// An operator.
+    Op(Operator),
+}
+
+impl Term {
+    /// The basic term's text, if this is one.
+    pub fn as_basic(&self) -> Option<&str> {
+        match self {
+            Term::Basic(s) => Some(s),
+            Term::Op(_) => None,
+        }
+    }
+}
+
+/// A parsed keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordQuery {
+    /// Terms in query order.
+    pub terms: Vec<Term>,
+    /// The original query text.
+    pub raw: String,
+}
+
+impl KeywordQuery {
+    /// Tokenizes and validates a query string.
+    pub fn parse(input: &str) -> Result<KeywordQuery, CoreError> {
+        let tokens = tokenize(input)?;
+        if tokens.is_empty() {
+            return Err(CoreError::Parse("empty query".into()));
+        }
+        let terms: Vec<Term> = tokens
+            .into_iter()
+            .map(|(text, quoted)| {
+                if !quoted {
+                    if let Some(op) = Operator::parse(&text) {
+                        return Term::Op(op);
+                    }
+                }
+                Term::Basic(text)
+            })
+            .collect();
+
+        // Constraint 1: last term is basic.
+        if matches!(terms.last(), Some(Term::Op(_))) {
+            return Err(CoreError::Parse(
+                "the last term cannot be an aggregate function or GROUPBY".into(),
+            ));
+        }
+        // Constraints 2-3 (structural part).
+        for (i, term) in terms.iter().enumerate() {
+            match term {
+                Term::Op(Operator::GroupBy) => {
+                    if !matches!(terms.get(i + 1), Some(Term::Basic(_))) {
+                        return Err(CoreError::Parse(
+                            "GROUPBY must be followed by a relation or attribute name".into(),
+                        ));
+                    }
+                }
+                Term::Op(Operator::Agg(_)) => {
+                    if terms.get(i + 1).is_none() {
+                        return Err(CoreError::Parse(
+                            "an aggregate function needs an operand".into(),
+                        ));
+                    }
+                }
+                Term::Basic(_) => {}
+            }
+        }
+        Ok(KeywordQuery { terms, raw: input.to_string() })
+    }
+
+    /// Indices and texts of the basic terms, in order.
+    pub fn basic_terms(&self) -> Vec<(usize, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_basic().map(|s| (i, s)))
+            .collect()
+    }
+
+    /// True if any term is an operator (an *aggregate query*).
+    pub fn is_aggregate_query(&self) -> bool {
+        self.terms.iter().any(|t| matches!(t, Term::Op(_)))
+    }
+
+    /// True if term `i` is the operand of an operator (the preceding term
+    /// is an operator).
+    pub fn is_operand(&self, i: usize) -> bool {
+        i > 0 && matches!(self.terms[i - 1], Term::Op(_))
+    }
+}
+
+/// Splits on whitespace, honouring double-quoted phrases. Returns
+/// (text, was_quoted) pairs.
+fn tokenize(input: &str) -> Result<Vec<(String, bool)>, CoreError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut phrase = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some(ch) => phrase.push(ch),
+                    None => return Err(CoreError::Parse("unterminated quote".into())),
+                }
+            }
+            if phrase.trim().is_empty() {
+                return Err(CoreError::Parse("empty quoted phrase".into()));
+            }
+            out.push((phrase, true));
+        } else {
+            let mut word = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() || ch == '"' {
+                    break;
+                }
+                word.push(ch);
+                chars.next();
+            }
+            out.push((word, false));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_operators_and_phrases() {
+        let q = KeywordQuery::parse(r#"COUNT order "royal olive""#).unwrap();
+        assert_eq!(q.terms.len(), 3);
+        assert_eq!(q.terms[0], Term::Op(Operator::Agg(AggFunc::Count)));
+        assert_eq!(q.terms[1], Term::Basic("order".into()));
+        assert_eq!(q.terms[2], Term::Basic("royal olive".into()));
+        assert!(q.is_aggregate_query());
+        assert!(q.is_operand(1));
+        assert!(!q.is_operand(2));
+    }
+
+    #[test]
+    fn quoted_operator_word_is_basic() {
+        let q = KeywordQuery::parse(r#""count" Student"#).unwrap();
+        assert_eq!(q.terms[0], Term::Basic("count".into()));
+        assert!(!q.is_aggregate_query());
+    }
+
+    #[test]
+    fn rejects_trailing_operator() {
+        assert!(KeywordQuery::parse("Green SUM").is_err());
+        assert!(KeywordQuery::parse("Student GROUPBY").is_err());
+    }
+
+    #[test]
+    fn rejects_groupby_followed_by_operator() {
+        assert!(KeywordQuery::parse("COUNT Lecturer GROUPBY COUNT Course").is_err());
+    }
+
+    #[test]
+    fn nested_aggregates_allowed() {
+        let q = KeywordQuery::parse("AVG COUNT Lecturer GROUPBY Course").unwrap();
+        assert_eq!(q.terms.len(), 5);
+        assert_eq!(q.basic_terms().len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_unterminated() {
+        assert!(KeywordQuery::parse("   ").is_err());
+        assert!(KeywordQuery::parse(r#"Green "unterminated"#).is_err());
+        assert!(KeywordQuery::parse(r#""""#).is_err());
+    }
+
+    #[test]
+    fn groupby_case_insensitive() {
+        let q = KeywordQuery::parse("count Student groupby Course").unwrap();
+        assert_eq!(q.terms[0], Term::Op(Operator::Agg(AggFunc::Count)));
+        assert_eq!(q.terms[2], Term::Op(Operator::GroupBy));
+    }
+}

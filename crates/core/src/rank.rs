@@ -1,0 +1,191 @@
+//! Pattern ranking (end of Section 3.1.2).
+//!
+//! Patterns are ranked by, in order:
+//!
+//! 1. fewer object/mixed nodes (simpler interpretations first — a
+//!    lecturer named George beats a student-George-joined-to-Lecturer
+//!    reading);
+//! 2. smaller average distance between *target* nodes (aggregate
+//!    annotations) and *condition* nodes (value conditions or GROUPBY);
+//! 3. more `GROUPBY(id)` disambiguation annotations — the per-object
+//!    reading the paper reports as the correct answers ranks above the
+//!    merged one;
+//! 4. a deterministic fingerprint tie-break, so runs are reproducible.
+
+use std::cmp::Ordering;
+
+use crate::pattern::{NodeAnnotation, QueryPattern};
+
+/// The comparable rank of a pattern (smaller is better).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankKey {
+    /// Number of object/mixed nodes.
+    pub object_mixed: usize,
+    /// Average target-condition distance, in thousandths of an edge.
+    pub avg_distance_milli: u64,
+    /// Conditions/annotations sitting on relationship nodes (objects are
+    /// the primary semantic carriers; interpretations grounding terms on
+    /// relationships rank after those grounding them on objects).
+    pub relationship_load: usize,
+    /// Negated count of `Distinguish` annotations (more forks rank first).
+    pub merged_bias: usize,
+    /// Deterministic tie-break.
+    pub fingerprint: String,
+}
+
+impl PartialOrd for RankKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.object_mixed
+            .cmp(&other.object_mixed)
+            .then_with(|| self.avg_distance_milli.cmp(&other.avg_distance_milli))
+            .then_with(|| self.relationship_load.cmp(&other.relationship_load))
+            .then_with(|| self.merged_bias.cmp(&other.merged_bias))
+            .then_with(|| self.fingerprint.cmp(&other.fingerprint))
+    }
+}
+
+/// Computes a pattern's rank key.
+pub fn rank_key(p: &QueryPattern) -> RankKey {
+    let targets: Vec<usize> = p
+        .nodes
+        .iter()
+        .filter(|n| n.annotations.iter().any(|a| matches!(a, NodeAnnotation::Agg { .. })))
+        .map(|n| n.id)
+        .collect();
+    let conditions: Vec<usize> = p
+        .nodes
+        .iter()
+        .filter(|n| {
+            n.condition.is_some()
+                || n.annotations.iter().any(|a| {
+                    matches!(a, NodeAnnotation::GroupBy { .. } | NodeAnnotation::Distinguish { .. })
+                })
+        })
+        .map(|n| n.id)
+        .collect();
+
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for &t in &targets {
+        for &c in &conditions {
+            if t == c {
+                continue;
+            }
+            if let Some(d) = p.distance(t, c) {
+                total += d;
+                pairs += 1;
+            }
+        }
+    }
+    let avg_distance_milli = (total * 1000).checked_div(pairs).unwrap_or(0) as u64;
+
+    let distinguish = p
+        .nodes
+        .iter()
+        .flat_map(|n| &n.annotations)
+        .filter(|a| matches!(a, NodeAnnotation::Distinguish { .. }))
+        .count();
+
+    let relationship_load = p
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.kind, aqks_orm::NodeKind::Relationship))
+        .map(|n| n.annotations.len() + usize::from(n.condition.is_some()))
+        .sum();
+
+    RankKey {
+        object_mixed: p.object_mixed_count(),
+        avg_distance_milli,
+        relationship_load,
+        merged_bias: usize::MAX - distinguish,
+        fingerprint: p.fingerprint(),
+    }
+}
+
+/// Sorts patterns best-first.
+pub fn rank_patterns(mut patterns: Vec<QueryPattern>) -> Vec<QueryPattern> {
+    patterns.sort_by_cached_key(rank_key);
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{PatternNode, QueryPattern};
+    use aqks_orm::NodeKind;
+
+    fn node(id: usize, relation: &str, kind: NodeKind) -> PatternNode {
+        PatternNode {
+            id,
+            orm: 0,
+            kind,
+            relation: relation.into(),
+            terminal: true,
+            condition: None,
+            annotations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fewer_objects_rank_first() {
+        let small = QueryPattern {
+            nodes: vec![node(0, "Lecturer", NodeKind::Mixed)],
+            edges: vec![],
+            nested: vec![],
+            term_nodes: vec![],
+        };
+        let mut big = small.clone();
+        big.nodes.push(node(1, "Student", NodeKind::Object));
+        let ranked = rank_patterns(vec![big.clone(), small.clone()]);
+        assert_eq!(ranked[0], small);
+    }
+
+    #[test]
+    fn distinguished_variant_ranks_above_merged() {
+        use crate::pattern::{Condition, NodeAnnotation};
+        let mut merged = QueryPattern {
+            nodes: vec![node(0, "Student", NodeKind::Object)],
+            edges: vec![],
+            nested: vec![],
+            term_nodes: vec![],
+        };
+        merged.nodes[0].condition = Some(Condition {
+            relation: "Student".into(),
+            attribute: "Sname".into(),
+            term: "Green".into(),
+            tuple_count: 2,
+        });
+        let mut forked = merged.clone();
+        forked.nodes[0].annotations.push(NodeAnnotation::Distinguish {
+            relation: "Student".into(),
+            attributes: vec!["Sid".into()],
+        });
+        let ranked = rank_patterns(vec![merged.clone(), forked.clone()]);
+        assert_eq!(ranked[0], forked);
+    }
+
+    #[test]
+    fn rank_is_deterministic() {
+        let a = QueryPattern {
+            nodes: vec![node(0, "A", NodeKind::Object)],
+            edges: vec![],
+            nested: vec![],
+            term_nodes: vec![],
+        };
+        let b = QueryPattern {
+            nodes: vec![node(0, "B", NodeKind::Object)],
+            edges: vec![],
+            nested: vec![],
+            term_nodes: vec![],
+        };
+        let r1 = rank_patterns(vec![a.clone(), b.clone()]);
+        let r2 = rank_patterns(vec![b, a]);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,708 @@
+//! Pattern translation into SQL (Sections 3.1.3, 3.2 and 4).
+//!
+//! The two ORA-semantics rules that distinguish this translation from a
+//! naive join — and that fix SQAK's wrong answers — are explicit,
+//! switchable options so the benchmark suite can ablate them:
+//!
+//! * **relationship duplicate elimination** ([`TranslateOptions::dedup_relationships`]):
+//!   a relationship node adjacent to *fewer* participating object/mixed
+//!   nodes in the pattern than in the ORM schema graph is replaced by a
+//!   `SELECT DISTINCT fk…` projection (Example 4/6 — without it the same
+//!   lecturer is counted once per textbook);
+//! * **object-identifier grouping** ([`TranslateOptions::group_by_object_id`]):
+//!   disambiguation GROUPBYs bind to the object's *id*, not the matched
+//!   attribute value (Example 5 — without it the two Greens merge).
+//!
+//! For unnormalized databases a [`aqks_relational::NormalizedView`] is
+//! supplied and every FROM item becomes a projection subquery over the
+//! original relations (Section 4); the rewrite rules of Section 4.1 then
+//! simplify the result (see [`crate::unnormalized`]).
+
+use std::collections::HashMap;
+
+use aqks_orm::{NodeKind, OrmGraph};
+use aqks_relational::{DatabaseSchema, NormalizedView};
+use aqks_sqlgen::{ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
+
+use crate::error::CoreError;
+use crate::pattern::{NodeAnnotation, QueryPattern};
+
+/// Switches for the two ORA-semantics translation rules (ablations).
+#[derive(Debug, Clone)]
+pub struct TranslateOptions {
+    /// Project relationship relations onto the participating foreign keys
+    /// (with DISTINCT) when the pattern uses a subset of participants.
+    pub dedup_relationships: bool,
+    /// Ground disambiguation GROUPBYs on object identifiers; when false
+    /// the condition attribute is used instead (SQAK-like behaviour).
+    pub group_by_object_id: bool,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions { dedup_relationships: true, group_by_object_id: true }
+    }
+}
+
+/// A translated pattern plus the metadata the Section-4.1 rewrite rules
+/// need: which FROM aliases are derived projections and what their
+/// derived keys are (keys must survive Rule 1's pruning, or DISTINCT
+/// semantics would change).
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// The SQL statement.
+    pub stmt: SelectStatement,
+    /// FROM alias -> derived-relation key attributes (unnormalized only).
+    pub derived_keys: HashMap<String, Vec<String>>,
+}
+
+/// Translates one annotated pattern into a SQL statement.
+///
+/// `view` is `Some` for an unnormalized database: FROM items are then
+/// projection subqueries over the original relations per the `D' -> D`
+/// mappings.
+pub fn translate(
+    pattern: &QueryPattern,
+    graph: &OrmGraph,
+    namespace: &DatabaseSchema,
+    view: Option<&NormalizedView>,
+    opts: &TranslateOptions,
+) -> Result<SelectStatement, CoreError> {
+    translate_ex(pattern, graph, namespace, view, opts).map(|t| t.stmt)
+}
+
+/// Like [`translate`] but also returning rewrite metadata.
+pub fn translate_ex(
+    pattern: &QueryPattern,
+    graph: &OrmGraph,
+    namespace: &DatabaseSchema,
+    view: Option<&NormalizedView>,
+    opts: &TranslateOptions,
+) -> Result<Translation, CoreError> {
+    let aliases = assign_aliases(pattern);
+    let mut derived_keys: HashMap<String, Vec<String>> = HashMap::new();
+    let mut stmt = SelectStatement::new();
+
+    // ---- Required attributes per (node, relation) -------------------------
+    // relation is the node's primary relation or one of its components.
+    let mut required: HashMap<(usize, String), Vec<String>> = HashMap::new();
+    let mut require = |node: usize, relation: &str, attr: &str| {
+        let key = (node, relation.to_lowercase());
+        let list = required.entry(key).or_default();
+        if !list.iter().any(|a| a.eq_ignore_ascii_case(attr)) {
+            list.push(attr.to_string());
+        }
+    };
+    for e in &pattern.edges {
+        let oe = graph.edge(e.orm_edge);
+        for a in &oe.a_attrs {
+            require(e.a, &oe.a_rel, a);
+        }
+        for b in &oe.b_attrs {
+            require(e.b, &oe.b_rel, b);
+        }
+    }
+    for n in &pattern.nodes {
+        if let Some(c) = &n.condition {
+            require(n.id, &c.relation, &c.attribute);
+        }
+        for ann in &n.annotations {
+            match ann {
+                NodeAnnotation::Agg { relation, attribute, .. } => {
+                    require(n.id, relation, attribute)
+                }
+                NodeAnnotation::GroupBy { relation, attributes }
+                | NodeAnnotation::Distinguish { relation, attributes } => {
+                    for a in attributes {
+                        require(n.id, relation, a);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- FROM items, components, and alias resolution ---------------------
+    // (node, relation-lowercase) -> alias used in column references.
+    let mut alias_of: HashMap<(usize, String), String> = HashMap::new();
+
+    for n in &pattern.nodes {
+        let node_alias = aliases[n.id].clone();
+        alias_of.insert((n.id, n.relation.to_lowercase()), node_alias.clone());
+
+        let node_required: Vec<String> = required
+            .get(&(n.id, n.relation.to_lowercase()))
+            .cloned()
+            .unwrap_or_default();
+
+        // Relationship duplicate elimination (Section 3.1.3 FROM rule).
+        let pattern_participants = participant_count(pattern, n.id);
+        let graph_participants = graph.adjacent_object_mixed(n.orm).len();
+        let dedup = opts.dedup_relationships
+            && matches!(n.kind, NodeKind::Relationship)
+            && pattern_participants < graph_participants
+            && !node_required.is_empty();
+
+        let table = build_from_item(
+            &n.relation,
+            &node_alias,
+            dedup,
+            &node_required,
+            namespace,
+            view,
+        )?;
+        if view.is_some() {
+            if let Some(rel) = namespace.relation(&n.relation) {
+                derived_keys.insert(node_alias.clone(), rel.primary_key.clone());
+            }
+        }
+        stmt.from.push(table);
+
+        // Components referenced by conditions/annotations join the node's
+        // primary relation on their parent foreign key.
+        let comps: Vec<String> = required
+            .keys()
+            .filter(|(id, rel)| *id == n.id && *rel != n.relation.to_lowercase())
+            .map(|(_, rel)| rel.clone())
+            .collect();
+        for comp in comps {
+            let comp_schema = namespace
+                .relation(&comp)
+                .ok_or_else(|| CoreError::Schema(format!("unknown component `{comp}`")))?;
+            let comp_alias = format!("{node_alias}_{}", stmt.from.len());
+            let fk = comp_schema
+                .foreign_keys
+                .iter()
+                .find(|fk| fk.ref_relation.eq_ignore_ascii_case(&n.relation))
+                .ok_or_else(|| {
+                    CoreError::Schema(format!(
+                        "component `{comp}` has no foreign key to `{}`",
+                        n.relation
+                    ))
+                })?;
+            stmt.from.push(TableExpr::Relation {
+                name: comp_schema.name.clone(),
+                alias: comp_alias.clone(),
+            });
+            for (ca, pa) in fk.attrs.iter().zip(&fk.ref_attrs) {
+                stmt.predicates.push(Predicate::JoinEq(
+                    ColumnRef::new(comp_alias.clone(), ca.clone()),
+                    ColumnRef::new(node_alias.clone(), pa.clone()),
+                ));
+            }
+            alias_of.insert((n.id, comp.clone()), comp_alias);
+        }
+    }
+
+    let col = |node: usize, relation: &str, attr: &str| -> Result<ColumnRef, CoreError> {
+        let alias = alias_of
+            .get(&(node, relation.to_lowercase()))
+            .ok_or_else(|| CoreError::Schema(format!("no alias for `{relation}`")))?;
+        Ok(ColumnRef::new(alias.clone(), attr))
+    };
+
+    // ---- WHERE: joins along pattern edges + value conditions ---------------
+    for e in &pattern.edges {
+        let oe = graph.edge(e.orm_edge);
+        for (x, y) in oe.a_attrs.iter().zip(&oe.b_attrs) {
+            stmt.predicates
+                .push(Predicate::JoinEq(col(e.a, &oe.a_rel, x)?, col(e.b, &oe.b_rel, y)?));
+        }
+    }
+    for n in &pattern.nodes {
+        if let Some(c) = &n.condition {
+            stmt.predicates
+                .push(Predicate::Contains(col(n.id, &c.relation, &c.attribute)?, c.term.clone()));
+        }
+    }
+
+    // ---- SELECT and GROUP BY ------------------------------------------------
+    let mut agg_aliases: Vec<String> = Vec::new();
+    for n in &pattern.nodes {
+        for ann in &n.annotations {
+            match ann {
+                NodeAnnotation::GroupBy { relation, attributes } => {
+                    for a in attributes {
+                        let c = col(n.id, relation, a)?;
+                        stmt.items.push(SelectItem::Column { col: c.clone(), alias: None });
+                        stmt.group_by.push(c);
+                    }
+                }
+                NodeAnnotation::Distinguish { relation, attributes } => {
+                    if opts.group_by_object_id {
+                        for a in attributes {
+                            let c = col(n.id, relation, a)?;
+                            stmt.items.push(SelectItem::Column { col: c.clone(), alias: None });
+                            stmt.group_by.push(c);
+                        }
+                    } else if let Some(c) = &n.condition {
+                        // Ablation: group by the matched attribute value,
+                        // as SQAK does.
+                        let cr = col(n.id, &c.relation, &c.attribute)?;
+                        stmt.items.push(SelectItem::Column { col: cr.clone(), alias: None });
+                        stmt.group_by.push(cr);
+                    }
+                }
+                NodeAnnotation::Agg { .. } => {}
+            }
+        }
+    }
+    for n in &pattern.nodes {
+        for ann in &n.annotations {
+            if let NodeAnnotation::Agg { func, relation, attribute } = ann {
+                let mut alias = format!("{}{}", func.alias_prefix(), attribute);
+                let mut k = 1;
+                while agg_aliases.iter().any(|a| a.eq_ignore_ascii_case(&alias)) {
+                    k += 1;
+                    alias = format!("{}{}{k}", func.alias_prefix(), attribute);
+                }
+                agg_aliases.push(alias.clone());
+                stmt.items.push(SelectItem::Aggregate {
+                    func: *func,
+                    arg: col(n.id, relation, attribute)?,
+                    distinct: false,
+                    alias,
+                });
+            }
+        }
+    }
+
+    // Non-aggregate query: select the terminal nodes' identifiers and
+    // conditioned attributes.
+    if stmt.items.is_empty() {
+        stmt.distinct = true;
+        for n in &pattern.nodes {
+            if !n.terminal {
+                continue;
+            }
+            if let Some(rel) = namespace.relation(&n.relation) {
+                for k in &rel.primary_key {
+                    stmt.items
+                        .push(SelectItem::Column { col: col(n.id, &n.relation, k)?, alias: None });
+                }
+            }
+        }
+        if stmt.items.is_empty() {
+            return Err(CoreError::Schema("nothing to select".into()));
+        }
+    }
+
+    // ---- Nested aggregates (Section 3.2) -------------------------------------
+    let mut out = stmt;
+    let nested = &pattern.nested;
+    for func in nested.iter().rev() {
+        let inner_alias = out
+            .items
+            .iter()
+            .find_map(|i| match i {
+                SelectItem::Aggregate { alias, .. } => Some(alias.clone()),
+                SelectItem::Column { .. } => None,
+            })
+            .ok_or_else(|| {
+                CoreError::Schema("nested aggregate has no inner aggregate".into())
+            })?;
+        let alias = format!("{}{}", func.alias_prefix(), inner_alias);
+        out = SelectStatement {
+            distinct: false,
+            items: vec![SelectItem::Aggregate {
+                func: *func,
+                arg: ColumnRef::new("R", inner_alias),
+                distinct: false,
+                alias,
+            }],
+            from: vec![TableExpr::Derived { query: Box::new(out), alias: "R".into() }],
+            predicates: vec![],
+            group_by: vec![],
+            ..Default::default()
+        };
+    }
+    Ok(Translation { stmt: out, derived_keys })
+}
+
+/// Distinct object/mixed neighbours of `node` in the pattern.
+fn participant_count(pattern: &QueryPattern, node: usize) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for m in pattern.neighbors(node) {
+        if matches!(pattern.nodes[m].kind, NodeKind::Object | NodeKind::Mixed) {
+            seen.insert(m);
+        }
+    }
+    seen.len()
+}
+
+/// Builds the FROM item for one node.
+fn build_from_item(
+    relation: &str,
+    alias: &str,
+    dedup: bool,
+    required: &[String],
+    namespace: &DatabaseSchema,
+    view: Option<&NormalizedView>,
+) -> Result<TableExpr, CoreError> {
+    match view {
+        None => {
+            if dedup {
+                // (SELECT DISTINCT fk1, ..., fkx FROM R) alias
+                let inner = SelectStatement {
+                    distinct: true,
+                    items: required
+                        .iter()
+                        .map(|a| SelectItem::Column {
+                            col: ColumnRef::new(relation, a.clone()),
+                            alias: None,
+                        })
+                        .collect(),
+                    from: vec![TableExpr::Relation {
+                        name: relation.to_string(),
+                        alias: relation.to_string(),
+                    }],
+                    predicates: vec![],
+                    group_by: vec![],
+                    ..Default::default()
+                };
+                Ok(TableExpr::Derived { query: Box::new(inner), alias: alias.to_string() })
+            } else {
+                Ok(TableExpr::Relation { name: relation.to_string(), alias: alias.to_string() })
+            }
+        }
+        Some(view) => from_item_via_view(relation, alias, dedup, required, namespace, view),
+    }
+}
+
+/// FROM item for an unnormalized database: a projection subquery over the
+/// original relation(s) of `relation`'s mapping (Section 4).
+fn from_item_via_view(
+    relation: &str,
+    alias: &str,
+    dedup: bool,
+    required: &[String],
+    namespace: &DatabaseSchema,
+    view: &NormalizedView,
+) -> Result<TableExpr, CoreError> {
+    let derived = view
+        .relation(relation)
+        .ok_or_else(|| CoreError::Schema(format!("`{relation}` not in normalized view")))?;
+
+    // Identity relations execute directly against the original database.
+    if derived.identity && !dedup {
+        return Ok(TableExpr::Relation {
+            name: derived.sources[0].original.clone(),
+            alias: alias.to_string(),
+        });
+    }
+
+    let schema = namespace
+        .relation(relation)
+        .ok_or_else(|| CoreError::Schema(format!("`{relation}` missing from namespace")))?;
+    // The paper's translation projects the full derived relation and lets
+    // rewrite Rule 1 prune unused attributes; with `dedup` we project the
+    // participating keys only, composing both DISTINCT rules.
+    let projected: Vec<String> = if dedup {
+        required.to_vec()
+    } else {
+        schema.attr_names().map(str::to_string).collect()
+    };
+
+    // Pick a minimal set of sources covering the projection (usually one).
+    let needed: Vec<&str> = projected.iter().map(String::as_str).collect();
+    if let Some(src) = derived.source_covering(&needed) {
+        let inner = SelectStatement {
+            distinct: dedup || src.distinct,
+            items: projected
+                .iter()
+                .map(|a| SelectItem::Column {
+                    col: ColumnRef::new(src.original.clone(), a.clone()),
+                    alias: None,
+                })
+                .collect(),
+            from: vec![TableExpr::Relation {
+                name: src.original.clone(),
+                alias: src.original.clone(),
+            }],
+            predicates: vec![],
+            group_by: vec![],
+            ..Default::default()
+        };
+        return Ok(TableExpr::Derived { query: Box::new(inner), alias: alias.to_string() });
+    }
+
+    // No single source covers: join sources on the derived key.
+    let key = &schema.primary_key;
+    let mut chosen: Vec<&aqks_relational::normalize::SourceProjection> = Vec::new();
+    let mut covered: Vec<&str> = Vec::new();
+    for _ in 0..derived.sources.len() {
+        let best = derived
+            .sources
+            .iter()
+            .filter(|s| !chosen.iter().any(|c| std::ptr::eq(*c, *s)))
+            .max_by_key(|s| {
+                needed
+                    .iter()
+                    .filter(|n| {
+                        !covered.iter().any(|c| c.eq_ignore_ascii_case(n))
+                            && s.attrs.iter().any(|a| a.eq_ignore_ascii_case(n))
+                    })
+                    .count()
+            });
+        let Some(best) = best else { break };
+        chosen.push(best);
+        for a in &best.attrs {
+            if !covered.iter().any(|c| c.eq_ignore_ascii_case(a)) {
+                covered.push(a);
+            }
+        }
+        if needed.iter().all(|n| covered.iter().any(|c| c.eq_ignore_ascii_case(n))) {
+            break;
+        }
+    }
+    if !needed.iter().all(|n| covered.iter().any(|c| c.eq_ignore_ascii_case(n))) {
+        return Err(CoreError::Schema(format!(
+            "no source combination covers attributes of `{relation}`"
+        )));
+    }
+
+    let mut inner = SelectStatement::new();
+    for (si, src) in chosen.iter().enumerate() {
+        let src_alias = format!("s{}", si + 1);
+        let sub = SelectStatement {
+            distinct: src.distinct,
+            items: src
+                .attrs
+                .iter()
+                .map(|a| SelectItem::Column {
+                    col: ColumnRef::new(src.original.clone(), a.clone()),
+                    alias: None,
+                })
+                .collect(),
+            from: vec![TableExpr::Relation {
+                name: src.original.clone(),
+                alias: src.original.clone(),
+            }],
+            predicates: vec![],
+            group_by: vec![],
+            ..Default::default()
+        };
+        inner.from.push(TableExpr::Derived { query: Box::new(sub), alias: src_alias.clone() });
+        if si > 0 {
+            for k in key {
+                inner.predicates.push(Predicate::JoinEq(
+                    ColumnRef::new("s1", k.clone()),
+                    ColumnRef::new(src_alias.clone(), k.clone()),
+                ));
+            }
+        }
+    }
+    // Project the needed attributes, each from the first source holding it.
+    inner.distinct = dedup;
+    for a in &projected {
+        let (si, _) = chosen
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.attrs.iter().any(|x| x.eq_ignore_ascii_case(a)))
+            .expect("covered above");
+        inner.items.push(SelectItem::Column {
+            col: ColumnRef::new(format!("s{}", si + 1), a.clone()),
+            alias: None,
+        });
+    }
+    Ok(TableExpr::Derived { query: Box::new(inner), alias: alias.to_string() })
+}
+
+/// Paper-style aliases: the relation's initial, numbered only when a
+/// letter is shared (Course -> C; Enrol, Enrol -> E1, E2).
+fn assign_aliases(pattern: &QueryPattern) -> Vec<String> {
+    let initial = |s: &str| -> char {
+        s.chars().find(|c| c.is_ascii_alphabetic()).unwrap_or('X').to_ascii_uppercase()
+    };
+    let mut counts: HashMap<char, usize> = HashMap::new();
+    for n in &pattern.nodes {
+        *counts.entry(initial(&n.relation)).or_default() += 1;
+    }
+    let mut seen: HashMap<char, usize> = HashMap::new();
+    pattern
+        .nodes
+        .iter()
+        .map(|n| {
+            let c = initial(&n.relation);
+            let k = seen.entry(c).or_default();
+            *k += 1;
+            if counts[&c] == 1 {
+                c.to_string()
+            } else {
+                format!("{c}{k}")
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::disambiguate;
+    use crate::matching::{Matcher, TermRole};
+    use crate::pattern::generate_patterns;
+    use crate::query::{KeywordQuery, Operator, Term};
+    use crate::rank::rank_patterns;
+    use aqks_datasets::university;
+    use aqks_sqlgen::{execute, AggFunc};
+
+    fn pipeline(q: &str) -> Vec<(QueryPattern, SelectStatement)> {
+        let db = university::normalized();
+        let graph = OrmGraph::build(&db.schema()).unwrap();
+        let matcher = Matcher::normalized(&db);
+        let query = KeywordQuery::parse(q).unwrap();
+        let matches: Vec<_> = query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Term::Basic(text) => {
+                    let role = if query.is_operand(i) {
+                        match query.terms[i - 1] {
+                            Term::Op(Operator::Agg(AggFunc::Count))
+                            | Term::Op(Operator::GroupBy) => TermRole::CountGroupByOperand,
+                            _ => TermRole::AggOperand,
+                        }
+                    } else {
+                        TermRole::Free
+                    };
+                    matcher.matches(&db, text, role)
+                }
+                Term::Op(_) => Vec::new(),
+            })
+            .collect();
+        let ps = generate_patterns(&query, &matches, &graph, &db.schema()).unwrap();
+        let ps = rank_patterns(disambiguate(ps, &db.schema()));
+        ps.into_iter()
+            .map(|p| {
+                let sql =
+                    translate(&p, &graph, &db.schema(), None, &TranslateOptions::default())
+                        .unwrap();
+                (p, sql)
+            })
+            .collect()
+    }
+
+    /// Q1 = {Green SUM Credit}: the top-ranked translation groups by Sid
+    /// and returns 5.0 and 8.0 — not SQAK's merged 13.
+    #[test]
+    fn q1_distinguishes_greens() {
+        let db = university::normalized();
+        let (p, sql) = pipeline("Green SUM Credit").remove(0);
+        assert!(
+            sql.group_by.iter().any(|c| c.column.eq_ignore_ascii_case("Sid")),
+            "top pattern groups by Sid: {} | {}",
+            p.describe(),
+            sql
+        );
+        let mut r = execute(&sql, &db).unwrap().sorted();
+        let sums: Vec<String> =
+            r.rows.drain(..).map(|row| row.last().unwrap().to_string()).collect();
+        assert_eq!(sums, vec!["5.0", "8.0"]);
+    }
+
+    /// Q2 = {Java SUM Price}: the Teach node is projected DISTINCT on
+    /// (Code, Bid), so the answer is 25, not SQAK's 35.
+    #[test]
+    fn q2_deduplicates_teach() {
+        let db = university::normalized();
+        let results = pipeline("Java SUM Price");
+        let (_, sql) = results
+            .iter()
+            .find(|(p, _)| p.nodes.iter().any(|n| n.relation == "Teach"))
+            .expect("textbook interpretation");
+        let r = execute(sql, &db).unwrap();
+        let total = r.column("sumPrice").unwrap()[0].clone();
+        assert_eq!(total, aqks_relational::Value::Int(25), "{sql}\n{r}");
+    }
+
+    /// Without dedup (ablation) Q2 returns SQAK's incorrect 35.
+    #[test]
+    fn q2_ablation_reproduces_sqak_error() {
+        let db = university::normalized();
+        let graph = OrmGraph::build(&db.schema()).unwrap();
+        let results = pipeline("Java SUM Price");
+        let (p, _) = results
+            .into_iter()
+            .find(|(p, _)| p.nodes.iter().any(|n| n.relation == "Teach"))
+            .unwrap();
+        let opts =
+            TranslateOptions { dedup_relationships: false, group_by_object_id: true };
+        let sql = translate(&p, &graph, &db.schema(), None, &opts).unwrap();
+        let r = execute(&sql, &db).unwrap();
+        assert_eq!(r.column("sumPrice").unwrap()[0], &aqks_relational::Value::Int(35));
+    }
+
+    /// Example 5's SQL listing, structurally.
+    #[test]
+    fn example5_sql_shape() {
+        let results = pipeline("Green George COUNT Code");
+        let (p, sql) = results
+            .iter()
+            .find(|(p, _)| {
+                p.nodes.iter().filter(|n| n.relation == "Student").count() == 2
+                    && p.nodes.iter().any(|n| {
+                        n.annotations
+                            .iter()
+                            .any(|a| matches!(a, NodeAnnotation::Distinguish { .. }))
+                    })
+            })
+            .expect("per-Green pattern");
+        let text = sql.to_string();
+        assert!(text.contains("COUNT(") && text.contains("Code"), "{text}");
+        assert!(text.contains("contains 'Green'") && text.contains("contains 'George'"), "{text}");
+        assert!(text.contains("GROUP BY") && text.contains(".Sid"), "{text}");
+        assert_eq!(sql.from.len(), 5, "{} | {text}", p.describe());
+
+        // Executes to 1 row per Green: s2 -> 1 shared course, s3 -> 2.
+        let db = university::normalized();
+        let r = execute(sql, &db).unwrap().sorted();
+        assert_eq!(r.len(), 2, "{r}");
+        assert_eq!(r.rows[0].last().unwrap(), &aqks_relational::Value::Int(1));
+        assert_eq!(r.rows[1].last().unwrap(), &aqks_relational::Value::Int(2));
+    }
+
+    /// Example 6: {COUNT Lecturer GROUPBY Course} produces the DISTINCT
+    /// Teach projection and counts 2 lecturers for Java, 1 elsewhere.
+    #[test]
+    fn example6_sql() {
+        let db = university::normalized();
+        let (_, sql) = pipeline("COUNT Lecturer GROUPBY Course").remove(0);
+        let text = sql.to_string();
+        assert!(text.contains("SELECT DISTINCT"), "dedup projection present: {text}");
+        let r = execute(&sql, &db).unwrap().sorted();
+        assert_eq!(r.len(), 3);
+        let counts: Vec<&aqks_relational::Value> = r.column("numLid").unwrap();
+        assert_eq!(
+            counts,
+            vec![
+                &aqks_relational::Value::Int(2),
+                &aqks_relational::Value::Int(1),
+                &aqks_relational::Value::Int(1)
+            ]
+        );
+    }
+
+    /// Example 7: nested AVG over COUNT returns 4/3.
+    #[test]
+    fn example7_nested_avg() {
+        let db = university::normalized();
+        let (_, sql) = pipeline("AVG COUNT Lecturer GROUPBY Course").remove(0);
+        let r = execute(&sql, &db).unwrap();
+        let avg = r.scalar().unwrap();
+        assert_eq!(avg, &aqks_relational::Value::Float(4.0 / 3.0), "{sql}\n{r}");
+    }
+
+    /// Aliases follow the paper's letter(+number) convention.
+    #[test]
+    fn alias_convention() {
+        let results = pipeline("Green George COUNT Code");
+        let (p, sql) = &results
+            .iter()
+            .find(|(p, _)| p.nodes.iter().filter(|n| n.relation == "Student").count() == 2)
+            .unwrap();
+        let aliases: Vec<&str> = sql.from.iter().map(|f| f.alias()).collect();
+        assert!(aliases.contains(&"C"), "{aliases:?} {}", p.describe());
+        assert!(aliases.contains(&"S1") && aliases.contains(&"S2"), "{aliases:?}");
+        assert!(aliases.contains(&"E1") && aliases.contains(&"E2"), "{aliases:?}");
+    }
+}

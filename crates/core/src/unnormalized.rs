@@ -1,0 +1,591 @@
+//! Query rewriting for unnormalized databases (Section 4.1).
+//!
+//! The translation of Section 4 turns every pattern node into a
+//! projection subquery over the original unnormalized relations; the
+//! resulting statement joins many derived tables, which is slow and hard
+//! to read. Three heuristic rules rewrite it:
+//!
+//! * **Rule 1** — drop projected attributes no outer clause uses (the
+//!   derived relation's key attributes are protected: removing them from
+//!   a `SELECT DISTINCT` projection would change its multiplicity);
+//! * **Rule 2** — push `contains` selections into the subqueries that
+//!   project the conditioned attribute, filtering before the join;
+//! * **Rule 3** — replace a join of subqueries over the *same* original
+//!   relation with the relation itself when their combined attributes
+//!   cover a candidate key (then the join is exactly a superkey
+//!   projection of the original — Example 10 collapses
+//!   `C' ⋈ E1' ⋈ S1'` back to `Enrolment`).
+//!
+//! Each rule is individually switchable for the ablation benchmarks.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use aqks_relational::DatabaseSchema;
+use aqks_sqlgen::{ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
+
+/// Which rewrite rules to apply.
+#[derive(Debug, Clone)]
+pub struct RewriteOptions {
+    /// Rule 1: prune unused projected attributes.
+    pub prune_projections: bool,
+    /// Rule 2: push selections into subqueries.
+    pub push_selections: bool,
+    /// Rule 3: collapse same-origin subquery joins to the original relation.
+    pub collapse_joins: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions { prune_projections: true, push_selections: true, collapse_joins: true }
+    }
+}
+
+/// Applies the enabled rewrite rules. `derived_keys` maps FROM aliases to
+/// the derived relation's key attributes (from
+/// [`crate::translate::Translation`]); `original` is the unnormalized
+/// database schema `D`.
+pub fn rewrite(
+    stmt: &SelectStatement,
+    derived_keys: &HashMap<String, Vec<String>>,
+    original: &DatabaseSchema,
+    opts: &RewriteOptions,
+) -> SelectStatement {
+    let mut out = stmt.clone();
+    // A nested-aggregate wrapper rewrites its core statement.
+    if out.from.len() == 1 && out.predicates.is_empty() {
+        if let TableExpr::Derived { query, alias } = &out.from[0] {
+            if alias == "R" && query.from.iter().any(|f| matches!(f, TableExpr::Derived { .. })) {
+                let inner = rewrite(query, derived_keys, original, opts);
+                out.from = vec![TableExpr::Derived { query: Box::new(inner), alias: "R".into() }];
+                return out;
+            }
+        }
+    }
+
+    if opts.prune_projections {
+        rule1_prune(&mut out, derived_keys);
+    }
+    if opts.collapse_joins {
+        rule3_collapse(&mut out, original);
+    }
+    if opts.push_selections {
+        rule2_push(&mut out);
+    }
+    out
+}
+
+/// A FROM item that is a plain projection of a single base relation.
+fn simple_projection(item: &TableExpr) -> Option<(&SelectStatement, &str)> {
+    let TableExpr::Derived { query, alias } = item else { return None };
+    if query.group_by.is_empty()
+        && !query.has_aggregate()
+        && query.predicates.is_empty()
+        && query.from.len() == 1
+        && query.items.iter().all(|i| matches!(i, SelectItem::Column { .. }))
+    {
+        if let TableExpr::Relation { .. } = &query.from[0] {
+            return Some((query, alias));
+        }
+    }
+    None
+}
+
+fn origin_of(item: &TableExpr) -> Option<String> {
+    let (q, _) = simple_projection(item)?;
+    match &q.from[0] {
+        TableExpr::Relation { name, .. } => Some(name.clone()),
+        TableExpr::Derived { .. } => None,
+    }
+}
+
+/// Columns of `alias` referenced anywhere in the outer statement.
+fn used_columns(stmt: &SelectStatement, alias: &str) -> HashSet<String> {
+    let mut used = HashSet::new();
+    let mut note = |c: &ColumnRef| {
+        if c.qualifier.eq_ignore_ascii_case(alias) {
+            used.insert(c.column.to_lowercase());
+        }
+    };
+    for item in &stmt.items {
+        match item {
+            SelectItem::Column { col, .. } => note(col),
+            SelectItem::Aggregate { arg, .. } => note(arg),
+        }
+    }
+    for p in &stmt.predicates {
+        match p {
+            Predicate::JoinEq(a, b) => {
+                note(a);
+                note(b);
+            }
+            Predicate::Contains(c, _) | Predicate::Eq(c, _) => note(c),
+        }
+    }
+    for c in &stmt.group_by {
+        note(c);
+    }
+    used
+}
+
+/// Rule 1: prune unused projected attributes (keys protected).
+fn rule1_prune(stmt: &mut SelectStatement, derived_keys: &HashMap<String, Vec<String>>) {
+    let aliases: Vec<String> = stmt.from.iter().map(|f| f.alias().to_string()).collect();
+    for (fi, alias) in aliases.iter().enumerate() {
+        if simple_projection(&stmt.from[fi]).is_none() {
+            continue;
+        }
+        let mut keep: HashSet<String> = used_columns(stmt, alias);
+        if let Some(keys) = derived_keys.get(alias) {
+            keep.extend(keys.iter().map(|k| k.to_lowercase()));
+        }
+        if let TableExpr::Derived { query, .. } = &mut stmt.from[fi] {
+            let retained: Vec<SelectItem> = query
+                .items
+                .iter()
+                .filter(|i| keep.contains(&i.output_name().to_lowercase()))
+                .cloned()
+                .collect();
+            if !retained.is_empty() {
+                query.items = retained;
+            }
+        }
+    }
+}
+
+/// Rule 2: push `contains` selections into projecting subqueries.
+fn rule2_push(stmt: &mut SelectStatement) {
+    let mut remaining: Vec<Predicate> = Vec::with_capacity(stmt.predicates.len());
+    let preds = std::mem::take(&mut stmt.predicates);
+    for p in preds {
+        let Predicate::Contains(col, text) = &p else {
+            remaining.push(p);
+            continue;
+        };
+        let mut pushed = false;
+        for item in &mut stmt.from {
+            let alias_matches = item.alias().eq_ignore_ascii_case(&col.qualifier);
+            if !alias_matches {
+                continue;
+            }
+            if let TableExpr::Derived { query, .. } = item {
+                let projects = query
+                    .items
+                    .iter()
+                    .any(|i| i.output_name().eq_ignore_ascii_case(&col.column));
+                let inner_qualifier = match query.from.first() {
+                    Some(TableExpr::Relation { alias, .. }) => Some(alias.clone()),
+                    _ => None,
+                };
+                if projects && query.predicates.is_empty() && query.from.len() == 1 {
+                    if let Some(q) = inner_qualifier {
+                        query.predicates.push(Predicate::Contains(
+                            ColumnRef::new(q, col.column.clone()),
+                            text.clone(),
+                        ));
+                        pushed = true;
+                    }
+                }
+            }
+            break;
+        }
+        if !pushed {
+            remaining.push(p);
+        }
+    }
+    stmt.predicates = remaining;
+}
+
+/// Rule 3: collapse joined same-origin subqueries to the original
+/// relation when their combined attributes contain a candidate key.
+fn rule3_collapse(stmt: &mut SelectStatement, original: &DatabaseSchema) {
+    loop {
+        let Some((members, origin)) = find_collapsible_group(stmt, original) else { return };
+        apply_collapse(stmt, &members, &origin);
+    }
+}
+
+/// Finds one collapsible group: FROM indices of ≥2 simple projections of
+/// the same original relation, directly join-connected, with pairwise
+/// *distinct* projections (two copies of the same projection are a self
+/// join — Example 10 keeps `E2' ⋈ S2'` separate from `C' ⋈ E1' ⋈ S1'`),
+/// whose combined attributes contain a candidate key of that relation.
+fn find_collapsible_group(
+    stmt: &SelectStatement,
+    original: &DatabaseSchema,
+) -> Option<(Vec<usize>, String)> {
+    // Candidate FROM indices grouped by origin relation.
+    let mut by_origin: HashMap<String, Vec<usize>> = HashMap::new();
+    for (fi, item) in stmt.from.iter().enumerate() {
+        if let Some(origin) = origin_of(item) {
+            by_origin.entry(origin.to_lowercase()).or_default().push(fi);
+        }
+    }
+    let mut origins: Vec<(String, Vec<usize>)> = by_origin.into_iter().collect();
+    origins.sort();
+
+    for (origin, indices) in origins {
+        if indices.len() < 2 {
+            continue;
+        }
+        let rel = original.relation(&origin)?;
+        let keys = rel.fd_set().candidate_keys();
+
+        let alias_idx: HashMap<String, usize> = indices
+            .iter()
+            .map(|&fi| (stmt.from[fi].alias().to_lowercase(), fi))
+            .collect();
+        // Direct same-attribute joins between candidate members.
+        let mut linked: Vec<(usize, usize)> = Vec::new();
+        for p in &stmt.predicates {
+            if let Predicate::JoinEq(a, b) = p {
+                if !a.column.eq_ignore_ascii_case(&b.column) {
+                    continue;
+                }
+                if let (Some(&x), Some(&y)) = (
+                    alias_idx.get(&a.qualifier.to_lowercase()),
+                    alias_idx.get(&b.qualifier.to_lowercase()),
+                ) {
+                    linked.push((x, y));
+                }
+            }
+        }
+        let signature = |fi: usize| -> BTreeSet<String> {
+            simple_projection(&stmt.from[fi])
+                .map(|(q, _)| q.items.iter().map(|i| i.output_name().to_lowercase()).collect())
+                .unwrap_or_default()
+        };
+
+        // Greedy group growth: seed each group in FROM order, then grow to
+        // a fixpoint with members that are directly linked to the group
+        // and whose projection is not yet represented in it (two copies of
+        // one projection would be a self join).
+        let is_linked = |g: &[usize], fi: usize| {
+            g.iter().any(|&m| linked.contains(&(m, fi)) || linked.contains(&(fi, m)))
+        };
+        // Lossless-join growth condition: joining the member on its shared
+        // attributes must not create spurious tuples, i.e. the shared
+        // attributes determine one side (binary lossless-decomposition
+        // test under the original relation's FDs, applied left-deep). Two
+        // projections linked only through a common *dependent* attribute
+        // (a -> c, b -> c joined on c) must NOT collapse to R.
+        let fds = rel.fd_set();
+        let lossless = |group_union: &BTreeSet<String>, fi: usize| -> bool {
+            let member = signature(fi);
+            let shared: BTreeSet<String> =
+                group_union.intersection(&member).cloned().collect();
+            if shared.is_empty() {
+                return false;
+            }
+            // fd_set attrs use canonical casing; signatures are lowercase.
+            let canon: BTreeSet<String> = shared
+                .iter()
+                .filter_map(|a| rel.canonical_attr(a).map(str::to_string))
+                .collect();
+            let closure: BTreeSet<String> =
+                fds.closure(canon).iter().map(|a| a.to_lowercase()).collect();
+            member.is_subset(&closure) || group_union.is_subset(&closure)
+        };
+        let mut assigned = vec![false; stmt.from.len()];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for &seed in &indices {
+            if assigned[seed] {
+                continue;
+            }
+            assigned[seed] = true;
+            let mut group = vec![seed];
+            let mut group_union = signature(seed);
+            loop {
+                let next = indices.iter().copied().find(|&fi| {
+                    !assigned[fi]
+                        && is_linked(&group, fi)
+                        && group.iter().all(|&m| signature(m) != signature(fi))
+                        && lossless(&group_union, fi)
+                });
+                match next {
+                    Some(fi) => {
+                        assigned[fi] = true;
+                        group_union.extend(signature(fi));
+                        group.push(fi);
+                    }
+                    None => break,
+                }
+            }
+            groups.push(group);
+        }
+
+        for members in groups {
+            if members.len() < 2 {
+                continue;
+            }
+            let mut union: BTreeSet<String> = BTreeSet::new();
+            for &fi in &members {
+                union.extend(signature(fi));
+            }
+            let covers_key =
+                keys.iter().any(|k| k.iter().all(|a| union.contains(&a.to_lowercase())));
+            if covers_key {
+                return Some((members, rel.name.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Replaces `members` (FROM indices) with one instance of `origin`,
+/// rewriting references and dropping now-trivial join predicates.
+fn apply_collapse(stmt: &mut SelectStatement, members: &[usize], origin: &str) {
+    let keep = members[0];
+    let new_alias = stmt.from[keep].alias().to_string();
+    let member_aliases: HashSet<String> =
+        members.iter().map(|&fi| stmt.from[fi].alias().to_lowercase()).collect();
+
+    stmt.from[keep] = TableExpr::Relation { name: origin.to_string(), alias: new_alias.clone() };
+    let mut to_remove: Vec<usize> = members[1..].to_vec();
+    to_remove.sort_unstable_by(|a, b| b.cmp(a));
+    for fi in to_remove {
+        stmt.from.remove(fi);
+    }
+
+    let fix = |c: &mut ColumnRef| {
+        if member_aliases.contains(&c.qualifier.to_lowercase()) {
+            c.qualifier = new_alias.clone();
+        }
+    };
+    for item in &mut stmt.items {
+        match item {
+            SelectItem::Column { col, .. } => fix(col),
+            SelectItem::Aggregate { arg, .. } => fix(arg),
+        }
+    }
+    for c in &mut stmt.group_by {
+        fix(c);
+    }
+    let mut new_preds = Vec::with_capacity(stmt.predicates.len());
+    for mut p in std::mem::take(&mut stmt.predicates) {
+        match &mut p {
+            Predicate::JoinEq(a, b) => {
+                fix(a);
+                fix(b);
+                let trivial = a.qualifier.eq_ignore_ascii_case(&b.qualifier)
+                    && a.column.eq_ignore_ascii_case(&b.column);
+                if !trivial {
+                    new_preds.push(p);
+                }
+            }
+            Predicate::Contains(c, _) | Predicate::Eq(c, _) => {
+                fix(c);
+                new_preds.push(p);
+            }
+        }
+    }
+    stmt.predicates = new_preds;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::disambiguate;
+    use crate::matching::{Matcher, TermRole};
+    use crate::pattern::generate_patterns;
+    use crate::query::{KeywordQuery, Operator, Term};
+    use crate::rank::rank_patterns;
+    use crate::translate::{translate_ex, TranslateOptions, Translation};
+    use aqks_datasets::university;
+    use aqks_orm::OrmGraph;
+    use aqks_relational::{NormalizedView, Value};
+    use aqks_sqlgen::{execute, AggFunc};
+
+    /// Full unnormalized pipeline on Figure 8's Enrolment database.
+    fn fig8_translation(q: &str) -> (Translation, aqks_relational::Database, DatabaseSchema) {
+        let db = university::enrolment_fig8();
+        let view = NormalizedView::build(&db.schema());
+        let namespace = view.schema();
+        let graph = OrmGraph::build(&namespace).unwrap();
+        let matcher = Matcher::unnormalized(&db, view.clone());
+        let query = KeywordQuery::parse(q).unwrap();
+        let matches: Vec<_> = query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Term::Basic(text) => {
+                    let role = if query.is_operand(i) {
+                        match query.terms[i - 1] {
+                            Term::Op(Operator::Agg(AggFunc::Count))
+                            | Term::Op(Operator::GroupBy) => TermRole::CountGroupByOperand,
+                            _ => TermRole::AggOperand,
+                        }
+                    } else {
+                        TermRole::Free
+                    };
+                    matcher.matches(&db, text, role)
+                }
+                Term::Op(_) => Vec::new(),
+            })
+            .collect();
+        let ps = generate_patterns(&query, &matches, &graph, &namespace).unwrap();
+        let ps = rank_patterns(disambiguate(ps, &namespace));
+        let t = translate_ex(
+            &ps[0],
+            &graph,
+            &namespace,
+            Some(&view),
+            &TranslateOptions::default(),
+        )
+        .unwrap();
+        let orig = db.schema();
+        (t, db, orig)
+    }
+
+    /// Example 9: the unrewritten statement has 5 subqueries over
+    /// Enrolment; it computes the correct per-Green counts.
+    #[test]
+    fn example9_translation() {
+        let (t, db, _) = fig8_translation("Green George COUNT Code");
+        let sub = t
+            .stmt
+            .from
+            .iter()
+            .filter(|f| matches!(f, TableExpr::Derived { .. }))
+            .count();
+        assert_eq!(sub, 5, "{}", t.stmt);
+        let r = execute(&t.stmt, &db).unwrap().sorted();
+        assert_eq!(r.len(), 2, "one row per Green\n{}\n{r}", t.stmt);
+        assert_eq!(r.rows[0].last().unwrap(), &Value::Int(1));
+        assert_eq!(r.rows[1].last().unwrap(), &Value::Int(2));
+    }
+
+    /// Example 10: rewriting collapses to two Enrolment instances and the
+    /// answers are unchanged.
+    #[test]
+    fn example10_rewrite() {
+        let (t, db, orig) = fig8_translation("Green George COUNT Code");
+        let before = execute(&t.stmt, &db).unwrap().sorted();
+        let rewritten = rewrite(&t.stmt, &t.derived_keys, &orig, &RewriteOptions::default());
+        let after = execute(&rewritten, &db).unwrap().sorted();
+        assert_eq!(before.rows, after.rows, "rewrite preserves answers\n{rewritten}");
+        assert_eq!(
+            rewritten.from.len(),
+            2,
+            "collapsed to Enrolment R1, R2: {rewritten}"
+        );
+        assert!(rewritten
+            .from
+            .iter()
+            .all(|f| matches!(f, TableExpr::Relation { name, .. } if name == "Enrolment")));
+    }
+
+    /// Rules 1 and 2 alone: projections pruned, selections pushed.
+    #[test]
+    fn rules_1_and_2_independent() {
+        let (t, db, orig) = fig8_translation("Green George COUNT Code");
+        let opts =
+            RewriteOptions { prune_projections: true, push_selections: true, collapse_joins: false };
+        let rewritten = rewrite(&t.stmt, &t.derived_keys, &orig, &opts);
+        // Still 5 subqueries.
+        assert_eq!(rewritten.from.len(), 5);
+        // Conditions moved inside.
+        assert!(rewritten
+            .predicates
+            .iter()
+            .all(|p| !matches!(p, Predicate::Contains(..))), "{rewritten}");
+        // Unused Age/Grade pruned from the student subqueries.
+        let text = rewritten.to_string();
+        assert!(!text.to_lowercase().contains("age"), "{text}");
+        // Semantics preserved.
+        let before = execute(&t.stmt, &db).unwrap().sorted();
+        let after = execute(&rewritten, &db).unwrap().sorted();
+        assert_eq!(before.rows, after.rows);
+    }
+
+    /// Rule 3 must not collapse a *lossy* join: two projections linked
+    /// only through a common dependent attribute (x -> z, y -> z joined
+    /// on z) are not a superkey projection of the original even though
+    /// their attribute union covers its key.
+    #[test]
+    fn rule3_refuses_lossy_joins() {
+        use aqks_relational::{AttrType, RelationSchema};
+        use aqks_sqlgen::{AggFunc, ColumnRef, SelectItem, TableExpr};
+
+        let mut r = RelationSchema::new("R");
+        r.add_attr("x", AttrType::Int)
+            .add_attr("y", AttrType::Int)
+            .add_attr("z", AttrType::Int);
+        r.set_primary_key(["x", "y"]);
+        r.add_fd(["x"], ["z"]);
+        r.add_fd(["y"], ["z"]);
+        let original = aqks_relational::DatabaseSchema { relations: vec![r] };
+
+        let proj = |attrs: &[&str]| SelectStatement {
+            distinct: true,
+            items: attrs
+                .iter()
+                .map(|a| SelectItem::Column {
+                    col: ColumnRef::new("R", a.to_string()),
+                    alias: None,
+                })
+                .collect(),
+            from: vec![TableExpr::Relation { name: "R".into(), alias: "R".into() }],
+            ..Default::default()
+        };
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: ColumnRef::new("A", "x"),
+                distinct: false,
+                alias: "n".into(),
+            }],
+            from: vec![
+                TableExpr::Derived { query: Box::new(proj(&["x", "z"])), alias: "A".into() },
+                TableExpr::Derived { query: Box::new(proj(&["y", "z"])), alias: "B".into() },
+            ],
+            predicates: vec![Predicate::JoinEq(
+                ColumnRef::new("A", "z"),
+                ColumnRef::new("B", "z"),
+            )],
+            ..Default::default()
+        };
+        let opts = RewriteOptions {
+            prune_projections: false,
+            push_selections: false,
+            collapse_joins: true,
+        };
+        let rewritten = rewrite(&stmt, &HashMap::new(), &original, &opts);
+        assert_eq!(
+            rewritten.from.len(),
+            2,
+            "lossy join must stay un-collapsed: {rewritten}"
+        );
+        assert!(rewritten
+            .from
+            .iter()
+            .all(|f| matches!(f, TableExpr::Derived { .. })));
+    }
+
+    /// Rule 1 never prunes the derived key out of a DISTINCT projection.
+    #[test]
+    fn rule1_protects_keys() {
+        let (t, _, orig) = fig8_translation("Green George COUNT Code");
+        let opts = RewriteOptions {
+            prune_projections: true,
+            push_selections: false,
+            collapse_joins: false,
+        };
+        let rewritten = rewrite(&t.stmt, &t.derived_keys, &orig, &opts);
+        for f in &rewritten.from {
+            if let TableExpr::Derived { query, alias } = f {
+                if let Some(keys) = t.derived_keys.get(alias.as_str()) {
+                    for k in keys {
+                        assert!(
+                            query
+                                .items
+                                .iter()
+                                .any(|i| i.output_name().eq_ignore_ascii_case(k)),
+                            "key {k} kept in {alias}: {query}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,716 @@
+//! Synthetic ACM Digital Library generator for the schema of Table 2.
+//!
+//! The paper's ACMDL dump is proprietary; the generator plants the
+//! ambiguity structure its queries A1–A8 probe:
+//!
+//! * **61 editors named Smith**, sixty editing one proceeding and one
+//!   editing two — so A3 yields 61 per-editor answers summing to 62,
+//!   while SQAK merges them into the single answer 62 (Table 6);
+//! * **36 authors named Gill** whose papers' global latest date is
+//!   planted at **2011-06-13** (A4);
+//! * **36 SIGMOD proceedings** (A2);
+//! * six **"database tuning"** papers with author counts
+//!   [2, 2, 2, 6, 2, 2] over four distinct titles, so SQAK's
+//!   title-grouped answers are [2, 4, 6, 4] (A5);
+//! * **4 IEEE publishers**, each with its own proceedings and papers (A6);
+//! * **John/Mary co-author pairs** with planted co-paper counts starting
+//!   [1, 32, 8, …] (A7);
+//! * two editors each editing one SIGIR and one CIKM proceeding (A8).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use aqks_relational::{AttrType, Database, Date, RelationSchema, Value};
+
+use crate::words;
+
+/// The planted latest date of any Gill-authored paper (A4).
+pub const GILL_LATEST_DATE: Date = Date { year: 2011, month: 6, day: 13 };
+
+/// Per-paper author counts of the planted "database tuning" papers (A5).
+pub const TUNING_AUTHOR_COUNTS: [usize; 6] = [2, 2, 2, 6, 2, 2];
+
+/// Titles of the planted "database tuning" papers — four distinct titles
+/// over six papers, giving SQAK's merged [2, 4, 6, 4].
+pub const TUNING_TITLES: [&str; 6] = [
+    "database tuning",
+    "advanced database tuning",
+    "advanced database tuning",
+    "database tuning principles",
+    "practical database tuning",
+    "practical database tuning",
+];
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct AcmdlConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Editors named Smith (paper: 61).
+    pub smith_editors: usize,
+    /// Authors named Gill (paper: 36).
+    pub gill_authors: usize,
+    /// SIGMOD proceedings (paper: 36).
+    pub sigmod_proceedings: usize,
+    /// IEEE publishers (paper: 4); each gets two proceedings.
+    pub ieee_publishers: usize,
+    /// Authors with first name John.
+    pub john_authors: usize,
+    /// Authors with first name Mary.
+    pub mary_authors: usize,
+    /// Planted (John, Mary) co-author pairs (paper: 46).
+    pub john_mary_pairs: usize,
+    /// Mean papers per proceeding (paper: ~82).
+    pub papers_per_proceeding: usize,
+    /// Background proceedings beyond the planted ones.
+    pub background_proceedings: usize,
+    /// Background authors.
+    pub background_authors: usize,
+    /// Background editors.
+    pub background_editors: usize,
+}
+
+impl AcmdlConfig {
+    /// Small instance for tests.
+    pub fn small() -> Self {
+        AcmdlConfig {
+            seed: 42,
+            smith_editors: 9,
+            gill_authors: 6,
+            sigmod_proceedings: 6,
+            ieee_publishers: 2,
+            john_authors: 4,
+            mary_authors: 3,
+            john_mary_pairs: 6,
+            papers_per_proceeding: 8,
+            background_proceedings: 10,
+            background_authors: 120,
+            background_editors: 25,
+        }
+    }
+
+    /// Paper-scale instance matching Table 6's cardinalities.
+    pub fn paper_scale() -> Self {
+        AcmdlConfig {
+            seed: 42,
+            smith_editors: 61,
+            gill_authors: 36,
+            sigmod_proceedings: 36,
+            ieee_publishers: 4,
+            john_authors: 10,
+            mary_authors: 8,
+            john_mary_pairs: 46,
+            papers_per_proceeding: 82,
+            background_proceedings: 40,
+            background_authors: 3000,
+            background_editors: 300,
+        }
+    }
+}
+
+impl Default for AcmdlConfig {
+    fn default() -> Self {
+        AcmdlConfig::small()
+    }
+}
+
+/// Builds the empty ACMDL schema of Table 2.
+pub fn acmdl_schema() -> Vec<RelationSchema> {
+    let mut rels = Vec::new();
+
+    let mut r = RelationSchema::new("Paper");
+    r.add_attr("paperid", AttrType::Int)
+        .add_attr("procid", AttrType::Int)
+        .add_attr("date", AttrType::Date)
+        .add_attr("ptitle", AttrType::Text);
+    r.set_primary_key(["paperid"]);
+    r.add_foreign_key(["procid"], "Proceeding", ["procid"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Author");
+    r.add_attr("authorid", AttrType::Int)
+        .add_attr("fname", AttrType::Text)
+        .add_attr("lname", AttrType::Text);
+    r.set_primary_key(["authorid"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Editor");
+    r.add_attr("editorid", AttrType::Int)
+        .add_attr("fname", AttrType::Text)
+        .add_attr("lname", AttrType::Text);
+    r.set_primary_key(["editorid"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Proceeding");
+    r.add_attr("procid", AttrType::Int)
+        .add_attr("acronym", AttrType::Text)
+        .add_attr("title", AttrType::Text)
+        .add_attr("date", AttrType::Date)
+        .add_attr("pages", AttrType::Int)
+        .add_attr("publisherid", AttrType::Int);
+    r.set_primary_key(["procid"]);
+    r.add_foreign_key(["publisherid"], "Publisher", ["publisherid"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Publisher");
+    r.add_attr("publisherid", AttrType::Int)
+        .add_attr("code", AttrType::Text)
+        .add_attr("name", AttrType::Text);
+    r.set_primary_key(["publisherid"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Write");
+    r.add_attr("paperid", AttrType::Int).add_attr("authorid", AttrType::Int);
+    r.set_primary_key(["paperid", "authorid"]);
+    r.add_foreign_key(["paperid"], "Paper", ["paperid"]);
+    r.add_foreign_key(["authorid"], "Author", ["authorid"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Edit");
+    r.add_attr("editorid", AttrType::Int).add_attr("procid", AttrType::Int);
+    r.set_primary_key(["editorid", "procid"]);
+    r.add_foreign_key(["editorid"], "Editor", ["editorid"]);
+    r.add_foreign_key(["procid"], "Proceeding", ["procid"]);
+    rels.push(r);
+
+    rels
+}
+
+/// Generates a database per the config.
+pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
+    assert!(cfg.sigmod_proceedings >= 6, "tuning papers live in the first 6 SIGMOD proceedings");
+    assert!(cfg.john_authors * cfg.mary_authors >= cfg.john_mary_pairs);
+    assert!(cfg.background_authors >= 40, "tuning papers need background co-authors");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new("acmdl");
+    for rel in acmdl_schema() {
+        db.add_relation(rel).unwrap();
+    }
+
+    // --- Publisher ---------------------------------------------------------
+    // ids: 1..=ieee are the IEEE group; the rest are background.
+    let ieee_names =
+        ["IEEE", "IEEE Computer Society", "IEEE Press", "IEEE Communications Society"];
+    let mut publisherid = 0i64;
+    for i in 0..cfg.ieee_publishers {
+        publisherid += 1;
+        let name = if i < ieee_names.len() {
+            ieee_names[i].to_string()
+        } else {
+            format!("IEEE Division {i}")
+        };
+        db.insert(
+            "Publisher",
+            vec![Value::Int(publisherid), Value::str(format!("P{publisherid}")), Value::str(name)],
+        )
+        .unwrap();
+    }
+    for name in words::PUBLISHERS {
+        publisherid += 1;
+        db.insert(
+            "Publisher",
+            vec![Value::Int(publisherid), Value::str(format!("P{publisherid}")), Value::str(*name)],
+        )
+        .unwrap();
+    }
+    let acm_publisher = cfg.ieee_publishers as i64 + 1; // "ACM"
+    let n_publishers = publisherid;
+
+    // --- Proceeding ----------------------------------------------------------
+    let mut procid = 0i64;
+    let title = |rng: &mut StdRng, year: i32| {
+        format!(
+            "{} {} symposium {year}",
+            words::TITLE_WORDS[rng.gen_range(0..words::TITLE_WORDS.len())],
+            words::TITLE_WORDS[rng.gen_range(0..words::TITLE_WORDS.len())],
+        )
+    };
+    let mut add_proc = |db: &mut Database,
+                        rng: &mut StdRng,
+                        acronym: &str,
+                        year: i32,
+                        publisher: i64|
+     -> i64 {
+        procid += 1;
+        let t = title(rng, year);
+        db.insert(
+            "Proceeding",
+            vec![
+                Value::Int(procid),
+                Value::str(acronym),
+                Value::str(t),
+                Value::Date(Date::new(year, rng.gen_range(1..=12) as u8, rng.gen_range(1..=28) as u8)),
+                Value::Int(rng.gen_range(200..=900)),
+                Value::Int(publisher),
+            ],
+        )
+        .unwrap();
+        procid
+    };
+
+    let mut sigmod_procs = Vec::new();
+    for i in 0..cfg.sigmod_proceedings {
+        sigmod_procs.push(add_proc(&mut db, &mut rng, "SIGMOD", 1975 + i as i32, acm_publisher));
+    }
+    let sigir_procs =
+        [add_proc(&mut db, &mut rng, "SIGIR", 2005, acm_publisher), add_proc(&mut db, &mut rng, "SIGIR", 2006, acm_publisher)];
+    let cikm_procs =
+        [add_proc(&mut db, &mut rng, "CIKM", 2011, acm_publisher), add_proc(&mut db, &mut rng, "CIKM", 2012, acm_publisher)];
+    let mut ieee_procs = Vec::new();
+    for p in 1..=cfg.ieee_publishers as i64 {
+        for k in 0..2 {
+            let acr = words::ACRONYMS[(p as usize + k) % words::ACRONYMS.len()];
+            ieee_procs.push(add_proc(&mut db, &mut rng, acr, 1998 + p as i32 + k as i32, p));
+        }
+    }
+    for i in 0..cfg.background_proceedings {
+        let acr = words::ACRONYMS[i % words::ACRONYMS.len()];
+        let publisher = rng.gen_range(cfg.ieee_publishers as i64 + 1..=n_publishers);
+        add_proc(&mut db, &mut rng, acr, 1990 + (i as i32 % 20), publisher);
+    }
+    let n_procs = procid;
+
+    // --- Author ---------------------------------------------------------------
+    let mut authorid = 0i64;
+    let mut gills = Vec::new();
+    for i in 0..cfg.gill_authors {
+        authorid += 1;
+        gills.push(authorid);
+        db.insert(
+            "Author",
+            vec![
+                Value::Int(authorid),
+                Value::str(words::FIRST_NAMES[i % words::FIRST_NAMES.len()]),
+                Value::str("Gill"),
+            ],
+        )
+        .unwrap();
+    }
+    let mut johns = Vec::new();
+    for i in 0..cfg.john_authors {
+        authorid += 1;
+        johns.push(authorid);
+        db.insert(
+            "Author",
+            vec![
+                Value::Int(authorid),
+                Value::str("John"),
+                Value::str(words::LAST_NAMES[i % words::LAST_NAMES.len()]),
+            ],
+        )
+        .unwrap();
+    }
+    let mut marys = Vec::new();
+    for i in 0..cfg.mary_authors {
+        authorid += 1;
+        marys.push(authorid);
+        db.insert(
+            "Author",
+            vec![
+                Value::Int(authorid),
+                Value::str("Mary"),
+                Value::str(words::LAST_NAMES[(i + 7) % words::LAST_NAMES.len()]),
+            ],
+        )
+        .unwrap();
+    }
+    let background_author_start = authorid + 1;
+    for i in 0..cfg.background_authors {
+        authorid += 1;
+        db.insert(
+            "Author",
+            vec![
+                Value::Int(authorid),
+                Value::str(words::FIRST_NAMES[(i * 3 + 1) % words::FIRST_NAMES.len()]),
+                Value::str(words::LAST_NAMES[(i * 5 + 2) % words::LAST_NAMES.len()]),
+            ],
+        )
+        .unwrap();
+    }
+    let n_authors = authorid;
+
+    // --- Editor -----------------------------------------------------------------
+    let mut editorid = 0i64;
+    let mut smiths = Vec::new();
+    for i in 0..cfg.smith_editors {
+        editorid += 1;
+        smiths.push(editorid);
+        db.insert(
+            "Editor",
+            vec![
+                Value::Int(editorid),
+                Value::str(words::FIRST_NAMES[(i + 5) % words::FIRST_NAMES.len()]),
+                Value::str("Smith"),
+            ],
+        )
+        .unwrap();
+    }
+    let background_editor_start = editorid + 1;
+    for i in 0..cfg.background_editors {
+        editorid += 1;
+        db.insert(
+            "Editor",
+            vec![
+                Value::Int(editorid),
+                Value::str(words::FIRST_NAMES[(i * 7 + 2) % words::FIRST_NAMES.len()]),
+                Value::str(words::LAST_NAMES[(i * 11 + 4) % words::LAST_NAMES.len()]),
+            ],
+        )
+        .unwrap();
+    }
+
+    // --- Paper + Write -------------------------------------------------------------
+    let mut paperid = 0i64;
+    let mut writes: HashSet<(i64, i64)> = HashSet::new();
+    let proc_dates: Vec<Date> = db
+        .table("Proceeding")
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| match &r[3] {
+            Value::Date(d) => *d,
+            _ => unreachable!(),
+        })
+        .collect();
+
+    let mut add_paper = |db: &mut Database,
+                         _rng: &mut StdRng,
+                         proc_: i64,
+                         ptitle: String,
+                         date: Option<Date>|
+     -> i64 {
+        paperid += 1;
+        let d = date.unwrap_or(proc_dates[(proc_ - 1) as usize]);
+        db.insert(
+            "Paper",
+            vec![Value::Int(paperid), Value::Int(proc_), Value::Date(d), Value::str(ptitle)],
+        )
+        .unwrap();
+        paperid
+    };
+    let add_write = |db: &mut Database, writes: &mut HashSet<(i64, i64)>, p: i64, a: i64| {
+        if writes.insert((p, a)) {
+            db.insert("Write", vec![Value::Int(p), Value::Int(a)]).unwrap();
+        }
+    };
+
+    // Background papers per proceeding.
+    for proc_ in 1..=n_procs {
+        let n = cfg.papers_per_proceeding + rng.gen_range(0..=4);
+        for _ in 0..n {
+            let t = format!(
+                "{} {} {}",
+                words::TITLE_WORDS[rng.gen_range(0..words::TITLE_WORDS.len())],
+                words::TITLE_WORDS[rng.gen_range(0..words::TITLE_WORDS.len())],
+                words::TITLE_WORDS[rng.gen_range(0..words::TITLE_WORDS.len())],
+            );
+            let p = add_paper(&mut db, &mut rng, proc_, t, None);
+            let n_auth = rng.gen_range(1..=4);
+            for _ in 0..n_auth {
+                let a = rng.gen_range(background_author_start..=n_authors);
+                add_write(&mut db, &mut writes, p, a);
+            }
+        }
+    }
+
+    // Planted "database tuning" papers (A5) in the first six SIGMOD
+    // proceedings, with disjoint background author sets.
+    let mut tuning_author_cursor = background_author_start;
+    for (i, (&count, title)) in TUNING_AUTHOR_COUNTS.iter().zip(TUNING_TITLES).enumerate() {
+        let p = add_paper(&mut db, &mut rng, sigmod_procs[i], title.to_string(), None);
+        for _ in 0..count {
+            add_write(&mut db, &mut writes, p, tuning_author_cursor);
+            tuning_author_cursor += 1;
+        }
+    }
+
+    // Gill papers (A4): every Gill writes 1-3 papers in pre-2011
+    // proceedings; Gill #1 additionally writes the planted 2011-06-13
+    // paper (in the CIKM 2011 proceeding), the global Gill maximum.
+    let pre2011: Vec<i64> = (1..=n_procs)
+        .filter(|&p| proc_dates[(p - 1) as usize].year < 2011)
+        .collect();
+    for (i, &gill) in gills.iter().enumerate() {
+        let n = 1 + (i % 3);
+        for k in 0..n {
+            let proc_ = pre2011[(i * 13 + k * 7) % pre2011.len()];
+            let t = format!(
+                "{} {} retrospectives",
+                words::TITLE_WORDS[(i + k) % words::TITLE_WORDS.len()],
+                words::TITLE_WORDS[(i * 3 + k) % words::TITLE_WORDS.len()],
+            );
+            let p = add_paper(&mut db, &mut rng, proc_, t, None);
+            add_write(&mut db, &mut writes, p, gill);
+        }
+    }
+    let special = add_paper(
+        &mut db,
+        &mut rng,
+        cikm_procs[0],
+        "landmark retrospectives".to_string(),
+        Some(GILL_LATEST_DATE),
+    );
+    add_write(&mut db, &mut writes, special, gills[0]);
+
+    // John/Mary co-papers (A7): pair k gets a planted number of shared
+    // papers; the first three counts mirror Table 6's "1, 32, 8, …".
+    let mut pair_idx = 0usize;
+    'outer: for &j in &johns {
+        for &m in &marys {
+            if pair_idx >= cfg.john_mary_pairs {
+                break 'outer;
+            }
+            let count = match pair_idx {
+                0 => 1,
+                1 => 32,
+                2 => 8,
+                _ => rng.gen_range(1..=6),
+            };
+            for _ in 0..count {
+                let proc_ = rng.gen_range(1..=n_procs);
+                let t = format!(
+                    "joint {} {}",
+                    words::TITLE_WORDS[rng.gen_range(0..words::TITLE_WORDS.len())],
+                    words::TITLE_WORDS[rng.gen_range(0..words::TITLE_WORDS.len())],
+                );
+                let p = add_paper(&mut db, &mut rng, proc_, t, None);
+                add_write(&mut db, &mut writes, p, j);
+                add_write(&mut db, &mut writes, p, m);
+            }
+            pair_idx += 1;
+        }
+    }
+
+    // --- Edit ------------------------------------------------------------------
+    let mut edits: HashSet<(i64, i64)> = HashSet::new();
+    let add_edit = |db: &mut Database, edits: &mut HashSet<(i64, i64)>, e: i64, p: i64| {
+        if edits.insert((e, p)) {
+            db.insert("Edit", vec![Value::Int(e), Value::Int(p)]).unwrap();
+        }
+    };
+
+    // Smiths (A3): Smith #1 edits two proceedings, the rest edit one —
+    // per-editor counts [2, 1, 1, …] summing to smiths + 1.
+    for (i, &smith) in smiths.iter().enumerate() {
+        let p1 = ((i * 3) % n_procs as usize) as i64 + 1;
+        add_edit(&mut db, &mut edits, smith, p1);
+        if i == 0 {
+            let p2 = if p1 == n_procs { 1 } else { p1 + 1 };
+            add_edit(&mut db, &mut edits, smith, p2);
+        }
+    }
+
+    // SIGIR/CIKM shared editors (A8): two background editors each edit
+    // one SIGIR and one CIKM proceeding, on disjoint pairs.
+    let e1 = background_editor_start;
+    let e2 = background_editor_start + 1;
+    add_edit(&mut db, &mut edits, e1, sigir_procs[0]);
+    add_edit(&mut db, &mut edits, e1, cikm_procs[0]);
+    add_edit(&mut db, &mut edits, e2, sigir_procs[1]);
+    add_edit(&mut db, &mut edits, e2, cikm_procs[1]);
+
+    // SIGIR/CIKM proceedings get one extra editor each from disjoint
+    // pools, so no third editor accidentally edits both acronyms.
+    add_edit(&mut db, &mut edits, background_editor_start + 2, sigir_procs[0]);
+    add_edit(&mut db, &mut edits, background_editor_start + 3, sigir_procs[1]);
+    add_edit(&mut db, &mut edits, background_editor_start + 4, cikm_procs[0]);
+    add_edit(&mut db, &mut edits, background_editor_start + 5, cikm_procs[1]);
+
+    // Background editorship: every other proceeding gets 1-2 further
+    // editors, drawn strictly after the planted A8 pools.
+    for p in 1..=n_procs {
+        if sigir_procs.contains(&p) || cikm_procs.contains(&p) {
+            continue;
+        }
+        let n = rng.gen_range(1..=2);
+        for _ in 0..n {
+            let e = rng.gen_range(background_editor_start + 6..=editorid);
+            add_edit(&mut db, &mut edits, e, p);
+        }
+    }
+
+    db.validate().expect("generated ACMDL database is consistent");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        generate_acmdl(&AcmdlConfig::small())
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_acmdl(&AcmdlConfig::small());
+        let b = generate_acmdl(&AcmdlConfig::small());
+        assert_eq!(a.table("Write").unwrap().rows(), b.table("Write").unwrap().rows());
+    }
+
+    #[test]
+    fn planted_smith_structure() {
+        let cfg = AcmdlConfig::small();
+        let db = db();
+        let editors = db.table("Editor").unwrap();
+        let smith_ids: HashSet<i64> = editors
+            .rows()
+            .iter()
+            .filter(|r| r[2] == Value::str("Smith"))
+            .map(|r| match &r[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(smith_ids.len(), cfg.smith_editors);
+        let edits = db.table("Edit").unwrap();
+        let smith_edits = edits
+            .rows()
+            .iter()
+            .filter(|r| match &r[0] {
+                Value::Int(i) => smith_ids.contains(i),
+                _ => false,
+            })
+            .count();
+        assert_eq!(smith_edits, cfg.smith_editors + 1, "one Smith edits two proceedings");
+    }
+
+    #[test]
+    fn planted_gill_latest_date() {
+        let db = db();
+        let authors = db.table("Author").unwrap();
+        let gill_ids: HashSet<i64> = authors
+            .rows()
+            .iter()
+            .filter(|r| r[2] == Value::str("Gill"))
+            .map(|r| match &r[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        let writes = db.table("Write").unwrap();
+        let papers = db.table("Paper").unwrap();
+        let mut max_date: Option<Date> = None;
+        for w in writes.rows() {
+            let (p, a) = match (&w[0], &w[1]) {
+                (Value::Int(p), Value::Int(a)) => (*p, *a),
+                _ => unreachable!(),
+            };
+            if !gill_ids.contains(&a) {
+                continue;
+            }
+            let d = match &papers.rows()[(p - 1) as usize][2] {
+                Value::Date(d) => *d,
+                _ => unreachable!(),
+            };
+            max_date = Some(max_date.map_or(d, |m| m.max(d)));
+        }
+        assert_eq!(max_date, Some(GILL_LATEST_DATE));
+    }
+
+    #[test]
+    fn planted_tuning_papers() {
+        let db = db();
+        let papers = db.table("Paper").unwrap();
+        let tuning: Vec<i64> = papers
+            .rows()
+            .iter()
+            .filter(|r| r[3].contains_ci("database tuning"))
+            .map(|r| match &r[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tuning.len(), 6);
+        let writes = db.table("Write").unwrap();
+        let mut counts: Vec<usize> = tuning
+            .iter()
+            .map(|p| writes.rows().iter().filter(|w| w[0] == Value::Int(*p)).count())
+            .collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![2, 2, 2, 2, 2, 6]);
+    }
+
+    #[test]
+    fn planted_sigir_cikm_editors() {
+        let db = db();
+        let procs = db.table("Proceeding").unwrap();
+        let by_acr = |acr: &str| -> HashSet<i64> {
+            procs
+                .rows()
+                .iter()
+                .filter(|r| r[1] == Value::str(acr))
+                .map(|r| match &r[0] {
+                    Value::Int(i) => *i,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        let sigir = by_acr("SIGIR");
+        let cikm = by_acr("CIKM");
+        assert_eq!((sigir.len(), cikm.len()), (2, 2));
+
+        let edits = db.table("Edit").unwrap();
+        let editors_of = |p: &HashSet<i64>| -> HashSet<i64> {
+            edits
+                .rows()
+                .iter()
+                .filter(|r| match &r[1] {
+                    Value::Int(i) => p.contains(i),
+                    _ => false,
+                })
+                .map(|r| match &r[0] {
+                    Value::Int(i) => *i,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        let both: HashSet<i64> =
+            editors_of(&sigir).intersection(&editors_of(&cikm)).copied().collect();
+        assert_eq!(both.len(), 2, "exactly two editors edit both a SIGIR and a CIKM");
+    }
+
+    #[test]
+    fn john_mary_pairs_have_planted_counts() {
+        let db = db();
+        // Count co-papers of the first (John, Mary) pair: planted 1; the
+        // second pair: planted 32.
+        let authors = db.table("Author").unwrap();
+        let first_of = |fname: &str| -> Vec<i64> {
+            authors
+                .rows()
+                .iter()
+                .filter(|r| r[1] == Value::str(fname))
+                .map(|r| match &r[0] {
+                    Value::Int(i) => *i,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        let johns = first_of("John");
+        let marys = first_of("Mary");
+        let writes = db.table("Write").unwrap();
+        let papers_of = |a: i64| -> HashSet<i64> {
+            writes
+                .rows()
+                .iter()
+                .filter(|w| w[1] == Value::Int(a))
+                .map(|w| match &w[0] {
+                    Value::Int(i) => *i,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        let co = |j: i64, m: i64| papers_of(j).intersection(&papers_of(m)).count();
+        assert_eq!(co(johns[0], marys[0]), 1);
+        assert_eq!(co(johns[0], marys[1]), 32);
+        assert_eq!(co(johns[0], marys[2]), 8);
+    }
+
+    #[test]
+    fn referential_integrity() {
+        db().validate().unwrap();
+    }
+}

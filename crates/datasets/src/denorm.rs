@@ -1,0 +1,340 @@
+//! Denormalizers producing Table 7's unnormalized schemas.
+//!
+//! * [`denormalize_tpch`] — TPCH′: `Lineitem ⋈ Part ⋈ Supplier ⋈ Order`
+//!   collapses into one wide `Ordering` relation (with the supplier's
+//!   nation/region keys inlined), `Customer` additionally inlines its
+//!   nation's `regionkey`, and `Nation` loses `regionkey`.
+//! * [`denormalize_acmdl`] — ACMDL′: `Paper ⋈ Write ⋈ Author` becomes
+//!   `PaperAuthor`; `Editor ⋈ Edit ⋈ Proceeding` becomes
+//!   `EditorProceeding`; `Publisher` survives unchanged.
+//!
+//! Each unnormalized relation declares the functional dependencies that
+//! expose its redundancy, plus the entity-name hints Algorithm 1 uses to
+//! name the relations of the normalized view (`Part`, `Supplier`, …) the
+//! way the paper names `Student'`/`Enrol'`/`Course'`.
+
+use std::collections::HashMap;
+
+use aqks_relational::{AttrType, Database, RelationSchema, Row, Value};
+
+/// Index the rows of `relation` by the values of `key` attributes.
+fn index_by<'a>(db: &'a Database, relation: &str, key: &[&str]) -> HashMap<Vec<Value>, &'a Row> {
+    let t = db.table(relation).unwrap_or_else(|| panic!("relation {relation}"));
+    let idx: Vec<usize> = key.iter().map(|k| t.schema.attr_index(k).expect("key attr")).collect();
+    t.rows()
+        .iter()
+        .map(|r| (idx.iter().map(|&i| r[i].clone()).collect(), r))
+        .collect()
+}
+
+fn get<'a>(db: &'a Database, relation: &str) -> &'a aqks_relational::Table {
+    db.table(relation).unwrap_or_else(|| panic!("relation {relation}"))
+}
+
+fn attr(t: &aqks_relational::Table, row: &Row, name: &str) -> Value {
+    row[t.schema.attr_index(name).expect("attr")].clone()
+}
+
+/// Builds the TPCH′ database of Table 7 from a normalized TPC-H database.
+pub fn denormalize_tpch(tpch: &Database) -> Database {
+    let mut db = Database::new("tpch-prime");
+
+    // --- Schemas -----------------------------------------------------------
+    let mut r = RelationSchema::new("Ordering");
+    for (name, ty) in [
+        ("partkey", AttrType::Int),
+        ("suppkey", AttrType::Int),
+        ("orderkey", AttrType::Int),
+        ("pname", AttrType::Text),
+        ("type", AttrType::Text),
+        ("size", AttrType::Int),
+        ("retailprice", AttrType::Float),
+        ("sname", AttrType::Text),
+        ("nationkey", AttrType::Int),
+        ("regionkey", AttrType::Int),
+        ("acctbal", AttrType::Float),
+        ("custkey", AttrType::Int),
+        ("amount", AttrType::Float),
+        ("date", AttrType::Date),
+        ("priority", AttrType::Text),
+        ("quantity", AttrType::Int),
+    ] {
+        r.add_attr(name, ty);
+    }
+    r.set_primary_key(["partkey", "suppkey", "orderkey"]);
+    r.add_foreign_key(["nationkey"], "Nation", ["nationkey"]);
+    r.add_foreign_key(["regionkey"], "Region", ["regionkey"]);
+    r.add_foreign_key(["custkey"], "Customer", ["custkey"]);
+    r.add_fd(["partkey"], ["pname", "type", "size", "retailprice"]);
+    r.add_fd(["suppkey"], ["sname", "nationkey", "acctbal"]);
+    r.add_fd(["nationkey"], ["regionkey"]);
+    r.add_fd(["orderkey"], ["custkey", "amount", "date", "priority"]);
+    r.name_entity(["partkey"], "Part");
+    r.name_entity(["suppkey"], "Supplier");
+    r.name_entity(["nationkey"], "Nation");
+    r.name_entity(["orderkey"], "Order");
+    r.name_entity(["partkey", "suppkey", "orderkey"], "Lineitem");
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Customer");
+    r.add_attr("custkey", AttrType::Int)
+        .add_attr("cname", AttrType::Text)
+        .add_attr("nationkey", AttrType::Int)
+        .add_attr("regionkey", AttrType::Int)
+        .add_attr("mktsegment", AttrType::Text);
+    r.set_primary_key(["custkey"]);
+    r.add_foreign_key(["nationkey"], "Nation", ["nationkey"]);
+    r.add_foreign_key(["regionkey"], "Region", ["regionkey"]);
+    r.add_fd(["nationkey"], ["regionkey"]);
+    r.name_entity(["custkey"], "Customer");
+    r.name_entity(["nationkey"], "Nation");
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Nation");
+    r.add_attr("nationkey", AttrType::Int).add_attr("nname", AttrType::Text);
+    r.set_primary_key(["nationkey"]);
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Region");
+    r.add_attr("regionkey", AttrType::Int).add_attr("rname", AttrType::Text);
+    r.set_primary_key(["regionkey"]);
+    db.add_relation(r).unwrap();
+
+    // --- Data ---------------------------------------------------------------
+    let parts = index_by(tpch, "Part", &["partkey"]);
+    let supps = index_by(tpch, "Supplier", &["suppkey"]);
+    let orders = index_by(tpch, "Order", &["orderkey"]);
+    let nations = index_by(tpch, "Nation", &["nationkey"]);
+    let (pt, st, ot, nt, ct) = (
+        get(tpch, "Part"),
+        get(tpch, "Supplier"),
+        get(tpch, "Order"),
+        get(tpch, "Nation"),
+        get(tpch, "Customer"),
+    );
+
+    for li in get(tpch, "Lineitem").rows() {
+        let part = parts[&vec![li[0].clone()]];
+        let supp = supps[&vec![li[1].clone()]];
+        let order = orders[&vec![li[2].clone()]];
+        let nation = nations[&vec![attr(st, supp, "nationkey")]];
+        db.insert(
+            "Ordering",
+            vec![
+                li[0].clone(),
+                li[1].clone(),
+                li[2].clone(),
+                attr(pt, part, "pname"),
+                attr(pt, part, "type"),
+                attr(pt, part, "size"),
+                attr(pt, part, "retailprice"),
+                attr(st, supp, "sname"),
+                attr(st, supp, "nationkey"),
+                attr(nt, nation, "regionkey"),
+                attr(st, supp, "acctbal"),
+                attr(ot, order, "custkey"),
+                attr(ot, order, "amount"),
+                attr(ot, order, "date"),
+                attr(ot, order, "priority"),
+                li[3].clone(),
+            ],
+        )
+        .unwrap();
+    }
+
+    for c in ct.rows() {
+        let nation = nations[&vec![attr(ct, c, "nationkey")]];
+        db.insert(
+            "Customer",
+            vec![
+                attr(ct, c, "custkey"),
+                attr(ct, c, "cname"),
+                attr(ct, c, "nationkey"),
+                attr(nt, nation, "regionkey"),
+                attr(ct, c, "mktsegment"),
+            ],
+        )
+        .unwrap();
+    }
+    for n in nt.rows() {
+        db.insert("Nation", vec![attr(nt, n, "nationkey"), attr(nt, n, "nname")]).unwrap();
+    }
+    for r in get(tpch, "Region").rows() {
+        db.insert("Region", r.clone()).unwrap();
+    }
+
+    db.validate().expect("TPCH' is consistent");
+    db
+}
+
+/// Builds the ACMDL′ database of Table 7 from a normalized ACMDL database.
+pub fn denormalize_acmdl(acmdl: &Database) -> Database {
+    let mut db = Database::new("acmdl-prime");
+
+    let mut r = RelationSchema::new("PaperAuthor");
+    r.add_attr("paperid", AttrType::Int)
+        .add_attr("authorid", AttrType::Int)
+        .add_attr("procid", AttrType::Int)
+        .add_attr("date", AttrType::Date)
+        .add_attr("title", AttrType::Text)
+        .add_attr("fname", AttrType::Text)
+        .add_attr("lname", AttrType::Text);
+    r.set_primary_key(["paperid", "authorid"]);
+    r.add_fd(["paperid"], ["procid", "date", "title"]);
+    r.add_fd(["authorid"], ["fname", "lname"]);
+    r.name_entity(["paperid"], "Paper");
+    r.name_entity(["authorid"], "Author");
+    r.name_entity(["paperid", "authorid"], "Write");
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("EditorProceeding");
+    r.add_attr("editorid", AttrType::Int)
+        .add_attr("procid", AttrType::Int)
+        .add_attr("fname", AttrType::Text)
+        .add_attr("lname", AttrType::Text)
+        .add_attr("acronym", AttrType::Text)
+        .add_attr("title", AttrType::Text)
+        .add_attr("date", AttrType::Date)
+        .add_attr("pages", AttrType::Int)
+        .add_attr("publisherid", AttrType::Int);
+    r.set_primary_key(["editorid", "procid"]);
+    r.add_foreign_key(["publisherid"], "Publisher", ["publisherid"]);
+    r.add_fd(["editorid"], ["fname", "lname"]);
+    r.add_fd(["procid"], ["acronym", "title", "date", "pages", "publisherid"]);
+    r.name_entity(["editorid"], "Editor");
+    r.name_entity(["procid"], "Proceeding");
+    r.name_entity(["editorid", "procid"], "Edit");
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Publisher");
+    r.add_attr("publisherid", AttrType::Int)
+        .add_attr("code", AttrType::Text)
+        .add_attr("name", AttrType::Text);
+    r.set_primary_key(["publisherid"]);
+    db.add_relation(r).unwrap();
+
+    // --- Data ----------------------------------------------------------------
+    let papers = index_by(acmdl, "Paper", &["paperid"]);
+    let authors = index_by(acmdl, "Author", &["authorid"]);
+    let editors = index_by(acmdl, "Editor", &["editorid"]);
+    let procs = index_by(acmdl, "Proceeding", &["procid"]);
+    let (pt, at, et, prt) = (
+        get(acmdl, "Paper"),
+        get(acmdl, "Author"),
+        get(acmdl, "Editor"),
+        get(acmdl, "Proceeding"),
+    );
+
+    for w in get(acmdl, "Write").rows() {
+        let paper = papers[&vec![w[0].clone()]];
+        let author = authors[&vec![w[1].clone()]];
+        db.insert(
+            "PaperAuthor",
+            vec![
+                w[0].clone(),
+                w[1].clone(),
+                attr(pt, paper, "procid"),
+                attr(pt, paper, "date"),
+                attr(pt, paper, "ptitle"),
+                attr(at, author, "fname"),
+                attr(at, author, "lname"),
+            ],
+        )
+        .unwrap();
+    }
+    for e in get(acmdl, "Edit").rows() {
+        let editor = editors[&vec![e[0].clone()]];
+        let proc_ = procs[&vec![e[1].clone()]];
+        db.insert(
+            "EditorProceeding",
+            vec![
+                e[0].clone(),
+                e[1].clone(),
+                attr(et, editor, "fname"),
+                attr(et, editor, "lname"),
+                attr(prt, proc_, "acronym"),
+                attr(prt, proc_, "title"),
+                attr(prt, proc_, "date"),
+                attr(prt, proc_, "pages"),
+                attr(prt, proc_, "publisherid"),
+            ],
+        )
+        .unwrap();
+    }
+    for p in get(acmdl, "Publisher").rows() {
+        db.insert("Publisher", p.clone()).unwrap();
+    }
+
+    db.validate().expect("ACMDL' is consistent");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{acmdl, tpch};
+    use aqks_relational::NormalizedView;
+
+    #[test]
+    fn tpch_prime_matches_lineitem_count() {
+        let base = tpch::generate_tpch(&tpch::TpchConfig::small());
+        let prime = denormalize_tpch(&base);
+        assert_eq!(
+            prime.table("Ordering").unwrap().len(),
+            base.table("Lineitem").unwrap().len()
+        );
+        assert!(!NormalizedView::is_normalized(&prime.schema()));
+    }
+
+    #[test]
+    fn tpch_prime_normalized_view_recovers_original_shape() {
+        let base = tpch::generate_tpch(&tpch::TpchConfig::small());
+        let prime = denormalize_tpch(&base);
+        let view = NormalizedView::build(&prime.schema());
+        // Part, Supplier, Nation, Order, Lineitem, Customer, Region.
+        let names: Vec<&str> = view.relations.iter().map(|r| r.schema.name.as_str()).collect();
+        for expected in ["Part", "Supplier", "Nation", "Order", "Lineitem", "Customer", "Region"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        assert_eq!(view.relations.len(), 7, "{names:?}");
+
+        // The merged Nation carries nname and regionkey from three sources.
+        let nation = view.relation("Nation").unwrap();
+        assert!(nation.schema.attr_index("nname").is_some());
+        assert!(nation.schema.attr_index("regionkey").is_some());
+        assert!(nation.sources.len() >= 3, "{:?}", nation.sources);
+    }
+
+    #[test]
+    fn acmdl_prime_normalized_view_recovers_original_shape() {
+        let base = acmdl::generate_acmdl(&acmdl::AcmdlConfig::small());
+        let prime = denormalize_acmdl(&base);
+        let view = NormalizedView::build(&prime.schema());
+        let names: Vec<&str> = view.relations.iter().map(|r| r.schema.name.as_str()).collect();
+        for expected in ["Paper", "Author", "Write", "Editor", "Proceeding", "Edit", "Publisher"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        assert_eq!(view.relations.len(), 7, "{names:?}");
+
+        // Write' keeps the original key, so its projection needs no DISTINCT.
+        let write = view.relation("Write").unwrap();
+        assert!(!write.sources[0].distinct);
+        // Paper' is a lossy projection: DISTINCT required.
+        let paper = view.relation("Paper").unwrap();
+        assert!(paper.sources[0].distinct);
+    }
+
+    #[test]
+    fn acmdl_prime_row_counts() {
+        let base = acmdl::generate_acmdl(&acmdl::AcmdlConfig::small());
+        let prime = denormalize_acmdl(&base);
+        assert_eq!(
+            prime.table("PaperAuthor").unwrap().len(),
+            base.table("Write").unwrap().len()
+        );
+        assert_eq!(
+            prime.table("EditorProceeding").unwrap().len(),
+            base.table("Edit").unwrap().len()
+        );
+    }
+}

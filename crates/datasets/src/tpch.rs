@@ -1,0 +1,523 @@
+//! Synthetic TPC-H generator for the simplified schema of Table 2.
+//!
+//! The paper's experiments do not depend on dbgen's value distributions;
+//! they depend on *cardinality structure*. The generator plants exactly
+//! the structure queries T1–T8 probe:
+//!
+//! * 8 parts whose name contains **"royal olive"**, appearing in
+//!   [23, 22, 29, 27, 33, 35, 33, 27] distinct orders respectively — so
+//!   the semantic engine returns those eight counts for T3 while SQAK
+//!   returns their sum, 229, exactly as in Table 5;
+//! * 13 **"yellow tomato"** parts with planted supplier account
+//!   balances whose global maximum is 9844.00 (T4);
+//! * one **"Indian black chocolate"** part supplied by exactly 4
+//!   suppliers across 22 lineitems in distinct orders (T5: ours 4,
+//!   SQAK 22);
+//! * base lineitems in which each (part, supplier) pair recurs in 1–3
+//!   distinct orders, so T6's per-supplier part counts are inflated for
+//!   SQAK but not for the semantic engine;
+//! * 3 **"pink rose"** / **"white rose"** part pairs sharing exactly one
+//!   supplier each (T8: three answers of 1);
+//! * 5 market segments (T7), 25 nations, 5 regions (T2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use aqks_relational::{AttrType, Database, Date, RelationSchema, Value};
+
+use crate::words;
+
+/// The planted per-part order counts for the "royal olive" parts (T3).
+pub const ROYAL_OLIVE_ORDER_COUNTS: [usize; 8] = [23, 22, 29, 27, 33, 35, 33, 27];
+
+/// The planted maximum supplier account balance among "yellow tomato"
+/// suppliers (T4's SQAK answer).
+pub const YELLOW_TOMATO_MAX_ACCTBAL: f64 = 9844.00;
+
+/// Number of suppliers of the "Indian black chocolate" part (T5, ours).
+pub const CHOCOLATE_SUPPLIERS: usize = 4;
+
+/// Number of chocolate lineitems (T5, SQAK's inflated count).
+pub const CHOCOLATE_LINEITEMS: usize = 22;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// RNG seed; everything is deterministic given the seed.
+    pub seed: u64,
+    /// Total number of parts (≥ 40: the first 28 are planted).
+    pub parts: usize,
+    /// Total number of suppliers (≥ 40).
+    pub suppliers: usize,
+    /// Total number of customers.
+    pub customers: usize,
+    /// Total number of orders (≥ 300: planted lineitems draw on them).
+    pub orders: usize,
+    /// How many distinct parts each supplier stocks in the base workload.
+    pub parts_per_supplier: usize,
+    /// Maximum distinct orders a base (part, supplier) pair recurs in.
+    pub max_orders_per_pair: usize,
+}
+
+impl TpchConfig {
+    /// Small instance for unit/integration tests (sub-second end to end).
+    pub fn small() -> Self {
+        TpchConfig {
+            seed: 42,
+            parts: 120,
+            suppliers: 40,
+            customers: 60,
+            orders: 400,
+            parts_per_supplier: 12,
+            max_orders_per_pair: 3,
+        }
+    }
+
+    /// Paper-scale instance: 1000 suppliers each stocking ~80 parts, so
+    /// Table 5's T6 row shape (1000 answers, SQAK heavily inflated)
+    /// reproduces.
+    pub fn paper_scale() -> Self {
+        TpchConfig {
+            seed: 42,
+            parts: 2000,
+            suppliers: 1000,
+            customers: 3000,
+            orders: 30_000,
+            parts_per_supplier: 80,
+            max_orders_per_pair: 3,
+        }
+    }
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig::small()
+    }
+}
+
+/// Builds the empty TPC-H schema of Table 2.
+pub fn tpch_schema() -> Vec<RelationSchema> {
+    let mut rels = Vec::new();
+
+    let mut r = RelationSchema::new("Part");
+    r.add_attr("partkey", AttrType::Int)
+        .add_attr("pname", AttrType::Text)
+        .add_attr("type", AttrType::Text)
+        .add_attr("size", AttrType::Int)
+        .add_attr("retailprice", AttrType::Float);
+    r.set_primary_key(["partkey"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Supplier");
+    r.add_attr("suppkey", AttrType::Int)
+        .add_attr("sname", AttrType::Text)
+        .add_attr("nationkey", AttrType::Int)
+        .add_attr("acctbal", AttrType::Float);
+    r.set_primary_key(["suppkey"]);
+    r.add_foreign_key(["nationkey"], "Nation", ["nationkey"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Lineitem");
+    r.add_attr("partkey", AttrType::Int)
+        .add_attr("suppkey", AttrType::Int)
+        .add_attr("orderkey", AttrType::Int)
+        .add_attr("quantity", AttrType::Int);
+    r.set_primary_key(["partkey", "suppkey", "orderkey"]);
+    r.add_foreign_key(["partkey"], "Part", ["partkey"]);
+    r.add_foreign_key(["suppkey"], "Supplier", ["suppkey"]);
+    r.add_foreign_key(["orderkey"], "Order", ["orderkey"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Order");
+    r.add_attr("orderkey", AttrType::Int)
+        .add_attr("custkey", AttrType::Int)
+        .add_attr("amount", AttrType::Float)
+        .add_attr("date", AttrType::Date)
+        .add_attr("priority", AttrType::Text);
+    r.set_primary_key(["orderkey"]);
+    r.add_foreign_key(["custkey"], "Customer", ["custkey"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Customer");
+    r.add_attr("custkey", AttrType::Int)
+        .add_attr("cname", AttrType::Text)
+        .add_attr("nationkey", AttrType::Int)
+        .add_attr("mktsegment", AttrType::Text);
+    r.set_primary_key(["custkey"]);
+    r.add_foreign_key(["nationkey"], "Nation", ["nationkey"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Nation");
+    r.add_attr("nationkey", AttrType::Int)
+        .add_attr("nname", AttrType::Text)
+        .add_attr("regionkey", AttrType::Int);
+    r.set_primary_key(["nationkey"]);
+    r.add_foreign_key(["regionkey"], "Region", ["regionkey"]);
+    rels.push(r);
+
+    let mut r = RelationSchema::new("Region");
+    r.add_attr("regionkey", AttrType::Int).add_attr("rname", AttrType::Text);
+    r.set_primary_key(["regionkey"]);
+    rels.push(r);
+
+    rels
+}
+
+fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let cents = rng.gen_range((lo * 100.0) as i64..(hi * 100.0) as i64);
+    cents as f64 / 100.0
+}
+
+fn date(rng: &mut StdRng) -> Date {
+    Date::new(rng.gen_range(1992..=1998), rng.gen_range(1..=12) as u8, rng.gen_range(1..=28) as u8)
+}
+
+/// Generates a database per the config. Panics if the config is too small
+/// to hold the planted structure.
+pub fn generate_tpch(cfg: &TpchConfig) -> Database {
+    assert!(cfg.parts >= 40, "need at least 40 parts (28 are planted)");
+    assert!(cfg.suppliers >= 40, "need at least 40 suppliers for the planted wiring");
+    assert!(cfg.orders >= 300, "need at least 300 orders for planted lineitems");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new("tpch");
+    for rel in tpch_schema() {
+        db.add_relation(rel).unwrap();
+    }
+
+    // --- Region & Nation --------------------------------------------------
+    for (i, name) in words::REGIONS.iter().enumerate() {
+        db.insert("Region", vec![Value::Int(i as i64), Value::str(*name)]).unwrap();
+    }
+    for (i, name) in words::NATIONS.iter().enumerate() {
+        db.insert(
+            "Nation",
+            vec![Value::Int(i as i64), Value::str(*name), Value::Int((i % 5) as i64)],
+        )
+        .unwrap();
+    }
+
+    // --- Part -------------------------------------------------------------
+    // partkey 1..=8: royal olive; 9..=21: yellow tomato; 22: chocolate;
+    // 23..=25 pink rose; 26..=28 white rose; the rest are background noise.
+    // The planted parts carry *identical* names — the paper's central
+    // ambiguity: objects sharing an attribute value that SQAK merges and
+    // the semantic engine distinguishes by object identifier.
+    let mut part_names: Vec<String> = Vec::with_capacity(cfg.parts);
+    for _ in 0..8 {
+        part_names.push("royal olive".to_string());
+    }
+    for _ in 0..13 {
+        part_names.push("yellow tomato".to_string());
+    }
+    part_names.push("Indian black chocolate".to_string());
+    for _ in 0..3 {
+        part_names.push("pink rose".to_string());
+    }
+    for _ in 0..3 {
+        part_names.push("white rose".to_string());
+    }
+    while part_names.len() < cfg.parts {
+        let name = format!(
+            "{} {} {}",
+            words::ADJECTIVES[rng.gen_range(0..words::ADJECTIVES.len())],
+            words::COLORS[rng.gen_range(0..words::COLORS.len())],
+            words::NOUNS[rng.gen_range(0..words::NOUNS.len())],
+        );
+        part_names.push(name);
+    }
+    for (i, name) in part_names.iter().enumerate() {
+        let partkey = (i + 1) as i64;
+        db.insert(
+            "Part",
+            vec![
+                Value::Int(partkey),
+                Value::str(name.clone()),
+                Value::str(words::PART_TYPES[rng.gen_range(0..words::PART_TYPES.len())]),
+                Value::Int(rng.gen_range(1..=50)),
+                Value::Float(money(&mut rng, 900.0, 2000.0)),
+            ],
+        )
+        .unwrap();
+    }
+
+    // --- Supplier -----------------------------------------------------------
+    // Suppliers 31..=34 supply the yellow tomatoes; supplier 31 carries the
+    // planted maximum balance 9844.00, everyone else stays below it.
+    for i in 1..=cfg.suppliers {
+        let acctbal = if i == 31 {
+            YELLOW_TOMATO_MAX_ACCTBAL
+        } else {
+            money(&mut rng, 100.0, 9500.0)
+        };
+        // dbgen-style names: every sname literally contains "Supplier",
+        // which is how SQAK's value matching still reaches supplier data
+        // on the denormalized TPCH' schema (Table 8).
+        let name = format!("Supplier#{i:09}");
+        db.insert(
+            "Supplier",
+            vec![
+                Value::Int(i as i64),
+                Value::str(name),
+                Value::Int(rng.gen_range(0..25)),
+                Value::Float(acctbal),
+            ],
+        )
+        .unwrap();
+    }
+
+    // --- Customer & Order ---------------------------------------------------
+    for i in 1..=cfg.customers {
+        let name = format!("Customer#{i:09}");
+        db.insert(
+            "Customer",
+            vec![
+                Value::Int(i as i64),
+                Value::str(name),
+                Value::Int(rng.gen_range(0..25)),
+                Value::str(words::MKT_SEGMENTS[rng.gen_range(0..words::MKT_SEGMENTS.len())]),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=cfg.orders {
+        db.insert(
+            "Order",
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(1..=cfg.customers) as i64),
+                Value::Float(money(&mut rng, 1000.0, 300_000.0)),
+                Value::Date(date(&mut rng)),
+                Value::str(words::PRIORITIES[rng.gen_range(0..words::PRIORITIES.len())]),
+            ],
+        )
+        .unwrap();
+    }
+
+    // --- Lineitem ------------------------------------------------------------
+    let mut used: HashSet<(i64, i64, i64)> = HashSet::new();
+    let add_lineitem = |db: &mut Database,
+                            used: &mut HashSet<(i64, i64, i64)>,
+                            rng: &mut StdRng,
+                            part: i64,
+                            supp: i64,
+                            order: i64|
+     -> bool {
+        if !used.insert((part, supp, order)) {
+            return false;
+        }
+        db.insert(
+            "Lineitem",
+            vec![
+                Value::Int(part),
+                Value::Int(supp),
+                Value::Int(order),
+                Value::Int(rng.gen_range(1..=50)),
+            ],
+        )
+        .unwrap();
+        true
+    };
+
+    // Distinct-order pools: a simple deterministic shuffle over orders.
+    let mut order_pool: Vec<i64> = (1..=cfg.orders as i64).collect();
+    // Fisher-Yates with the seeded RNG.
+    for i in (1..order_pool.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order_pool.swap(i, j);
+    }
+    let mut pool_cursor = 0usize;
+    let next_orders = |n: usize, pool_cursor: &mut usize| -> Vec<i64> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(order_pool[*pool_cursor % order_pool.len()]);
+            *pool_cursor += 1;
+        }
+        out
+    };
+
+    // Royal olive parts (1..=8): each in its planted number of distinct
+    // orders, one lineitem per order, suppliers rotating over 5..=20.
+    for (idx, &count) in ROYAL_OLIVE_ORDER_COUNTS.iter().enumerate() {
+        let part = (idx + 1) as i64;
+        for (k, order) in next_orders(count, &mut pool_cursor).into_iter().enumerate() {
+            let supp = (5 + (k % 16)) as i64;
+            add_lineitem(&mut db, &mut used, &mut rng, part, supp, order);
+        }
+    }
+
+    // Yellow tomato parts (9..=21): suppliers drawn from 31..=34; part 9
+    // includes supplier 31 (the 9844.00 balance) so the global max is
+    // planted.
+    for part in 9..=21i64 {
+        let n_supp = 2 + (part as usize % 3);
+        for (k, order) in next_orders(n_supp, &mut pool_cursor).into_iter().enumerate() {
+            let supp = (31 + ((part as usize + k) % 4)) as i64;
+            add_lineitem(&mut db, &mut used, &mut rng, part, supp, order);
+        }
+    }
+
+    // Indian black chocolate (22): 4 suppliers, 22 lineitems in distinct
+    // orders — SQAK counts 22 suppliers, the semantic engine 4.
+    {
+        let supps: [i64; CHOCOLATE_SUPPLIERS] = [1, 2, 3, 4];
+        for (k, order) in
+            next_orders(CHOCOLATE_LINEITEMS, &mut pool_cursor).into_iter().enumerate()
+        {
+            add_lineitem(&mut db, &mut used, &mut rng, 22, supps[k % supps.len()], order);
+        }
+    }
+
+    // Pink/white rose pairs: pair i shares exactly supplier 10+i; each
+    // part also has a private supplier so the shared one is not the only
+    // supplier of either part.
+    for i in 0..3i64 {
+        let pink = 23 + i;
+        let white = 26 + i;
+        let shared = 10 + i;
+        let orders = next_orders(4, &mut pool_cursor);
+        add_lineitem(&mut db, &mut used, &mut rng, pink, shared, orders[0]);
+        add_lineitem(&mut db, &mut used, &mut rng, white, shared, orders[1]);
+        add_lineitem(&mut db, &mut used, &mut rng, pink, 20 + i, orders[2]);
+        add_lineitem(&mut db, &mut used, &mut rng, white, 25 + i, orders[3]);
+    }
+
+    // Base workload: each supplier stocks `parts_per_supplier` background
+    // parts; each (part, supplier) pair recurs in 1..=max_orders_per_pair
+    // distinct orders (this recurrence is what SQAK's T6 trips over).
+    for supp in 1..=cfg.suppliers as i64 {
+        for _ in 0..cfg.parts_per_supplier {
+            let part = rng.gen_range(29..=cfg.parts) as i64;
+            let repeats = rng.gen_range(1..=cfg.max_orders_per_pair);
+            for order in next_orders(repeats, &mut pool_cursor) {
+                add_lineitem(&mut db, &mut used, &mut rng, part, supp, order);
+            }
+        }
+    }
+
+    db.validate().expect("generated TPC-H database is consistent");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        generate_tpch(&TpchConfig::small())
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate_tpch(&TpchConfig::small());
+        let b = generate_tpch(&TpchConfig::small());
+        assert_eq!(a.total_rows(), b.total_rows());
+        assert_eq!(
+            a.table("Lineitem").unwrap().rows(),
+            b.table("Lineitem").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn different_seed_changes_data() {
+        let a = generate_tpch(&TpchConfig::small());
+        let mut cfg = TpchConfig::small();
+        cfg.seed = 7;
+        let b = generate_tpch(&cfg);
+        assert_ne!(a.table("Order").unwrap().rows(), b.table("Order").unwrap().rows());
+    }
+
+    #[test]
+    fn planted_royal_olive_structure() {
+        let db = db();
+        let parts = db.table("Part").unwrap();
+        let olive: Vec<i64> = parts
+            .rows()
+            .iter()
+            .filter(|r| r[1].contains_ci("royal olive"))
+            .map(|r| match &r[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(olive.len(), 8);
+
+        // Count distinct orders per part from Lineitem.
+        let li = db.table("Lineitem").unwrap();
+        for (idx, part) in olive.iter().enumerate() {
+            let mut orders: Vec<i64> = li
+                .rows()
+                .iter()
+                .filter(|r| r[0] == Value::Int(*part))
+                .map(|r| match &r[2] {
+                    Value::Int(i) => *i,
+                    _ => unreachable!(),
+                })
+                .collect();
+            orders.sort_unstable();
+            orders.dedup();
+            assert_eq!(orders.len(), ROYAL_OLIVE_ORDER_COUNTS[idx], "part {part}");
+        }
+    }
+
+    #[test]
+    fn planted_chocolate_structure() {
+        let db = db();
+        let li = db.table("Lineitem").unwrap();
+        let rows: Vec<_> = li.rows().iter().filter(|r| r[0] == Value::Int(22)).collect();
+        assert_eq!(rows.len(), CHOCOLATE_LINEITEMS);
+        let mut supps: Vec<&Value> = rows.iter().map(|r| &r[1]).collect();
+        supps.sort();
+        supps.dedup();
+        assert_eq!(supps.len(), CHOCOLATE_SUPPLIERS);
+    }
+
+    #[test]
+    fn planted_rose_pairs_share_one_supplier() {
+        let db = db();
+        let li = db.table("Lineitem").unwrap();
+        let supps_of = |part: i64| -> HashSet<i64> {
+            li.rows()
+                .iter()
+                .filter(|r| r[0] == Value::Int(part))
+                .map(|r| match &r[1] {
+                    Value::Int(i) => *i,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        for i in 0..3i64 {
+            let common: HashSet<i64> =
+                supps_of(23 + i).intersection(&supps_of(26 + i)).copied().collect();
+            assert_eq!(common.len(), 1, "pair {i}");
+        }
+        let cross: HashSet<i64> = supps_of(23).intersection(&supps_of(27)).copied().collect();
+        assert!(cross.is_empty(), "no cross-pair common supplier");
+    }
+
+    #[test]
+    fn tomato_max_acctbal_planted() {
+        let db = db();
+        let suppliers = db.table("Supplier").unwrap();
+        let max = suppliers
+            .rows()
+            .iter()
+            .filter_map(|r| r[3].as_f64())
+            .fold(f64::MIN, f64::max);
+        assert_eq!(max, YELLOW_TOMATO_MAX_ACCTBAL);
+    }
+
+    #[test]
+    fn referential_integrity_holds() {
+        db().validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 40 parts")]
+    fn too_small_config_panics() {
+        let mut cfg = TpchConfig::small();
+        cfg.parts = 10;
+        generate_tpch(&cfg);
+    }
+}

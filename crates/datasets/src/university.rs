@@ -1,0 +1,264 @@
+//! The paper's running example databases.
+//!
+//! * [`normalized`] — Figure 1, tuple for tuple.
+//! * [`unnormalized_fig2`] — Figure 2: `Lecturer` gains a redundant
+//!   `Fid` foreign key (with the FD `Did -> Fid` declared), `Department`
+//!   loses its `Fid`.
+//! * [`enrolment_fig8`] — Figure 8: the single unnormalized `Enrolment`
+//!   relation obtained by joining Student ⋈ Enrol ⋈ Course.
+
+use aqks_relational::{AttrType, Database, RelationSchema, Value};
+
+fn v(s: &str) -> Value {
+    Value::str(s)
+}
+
+/// Figure 1: the normalized university database.
+pub fn normalized() -> Database {
+    let mut db = Database::new("university");
+
+    let mut r = RelationSchema::new("Student");
+    r.add_attr("Sid", AttrType::Text)
+        .add_attr("Sname", AttrType::Text)
+        .add_attr("Age", AttrType::Int);
+    r.set_primary_key(["Sid"]);
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Course");
+    r.add_attr("Code", AttrType::Text)
+        .add_attr("Title", AttrType::Text)
+        .add_attr("Credit", AttrType::Float);
+    r.set_primary_key(["Code"]);
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Enrol");
+    r.add_attr("Sid", AttrType::Text)
+        .add_attr("Code", AttrType::Text)
+        .add_attr("Grade", AttrType::Text);
+    r.set_primary_key(["Sid", "Code"]);
+    r.add_foreign_key(["Sid"], "Student", ["Sid"]);
+    r.add_foreign_key(["Code"], "Course", ["Code"]);
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Lecturer");
+    r.add_attr("Lid", AttrType::Text)
+        .add_attr("Lname", AttrType::Text)
+        .add_attr("Did", AttrType::Text);
+    r.set_primary_key(["Lid"]);
+    r.add_foreign_key(["Did"], "Department", ["Did"]);
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Teach");
+    r.add_attr("Code", AttrType::Text)
+        .add_attr("Lid", AttrType::Text)
+        .add_attr("Bid", AttrType::Text);
+    r.set_primary_key(["Code", "Lid", "Bid"]);
+    r.add_foreign_key(["Code"], "Course", ["Code"]);
+    r.add_foreign_key(["Lid"], "Lecturer", ["Lid"]);
+    r.add_foreign_key(["Bid"], "Textbook", ["Bid"]);
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Textbook");
+    r.add_attr("Bid", AttrType::Text)
+        .add_attr("Tname", AttrType::Text)
+        .add_attr("Price", AttrType::Int);
+    r.set_primary_key(["Bid"]);
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Department");
+    r.add_attr("Did", AttrType::Text)
+        .add_attr("Dname", AttrType::Text)
+        .add_attr("Fid", AttrType::Text);
+    r.set_primary_key(["Did"]);
+    r.add_foreign_key(["Fid"], "Faculty", ["Fid"]);
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Faculty");
+    r.add_attr("Fid", AttrType::Text).add_attr("Fname", AttrType::Text);
+    r.set_primary_key(["Fid"]);
+    db.add_relation(r).unwrap();
+
+    for (sid, name, age) in [("s1", "George", 22), ("s2", "Green", 24), ("s3", "Green", 21)] {
+        db.insert("Student", vec![v(sid), v(name), Value::Int(age)]).unwrap();
+    }
+    for (c, t, cr) in [("c1", "Java", 5.0), ("c2", "Database", 4.0), ("c3", "Multimedia", 3.0)] {
+        db.insert("Course", vec![v(c), v(t), Value::Float(cr)]).unwrap();
+    }
+    for (s, c, g) in [
+        ("s1", "c1", "A"),
+        ("s1", "c2", "B"),
+        ("s1", "c3", "B"),
+        ("s2", "c1", "A"),
+        ("s3", "c1", "A"),
+        ("s3", "c3", "B"),
+    ] {
+        db.insert("Enrol", vec![v(s), v(c), v(g)]).unwrap();
+    }
+    for (l, n, d) in [("l1", "Steven", "d1"), ("l2", "George", "d1")] {
+        db.insert("Lecturer", vec![v(l), v(n), v(d)]).unwrap();
+    }
+    for (c, l, b) in [
+        ("c1", "l1", "b1"),
+        ("c1", "l1", "b2"),
+        ("c1", "l2", "b1"),
+        ("c2", "l1", "b2"),
+        ("c2", "l1", "b3"),
+        ("c3", "l2", "b4"),
+    ] {
+        db.insert("Teach", vec![v(c), v(l), v(b)]).unwrap();
+    }
+    for (b, t, p) in [
+        ("b1", "Programming Language", 10),
+        ("b2", "Discrete Mathematics", 15),
+        ("b3", "Database Management", 12),
+        ("b4", "Multimedia Technologies", 20),
+    ] {
+        db.insert("Textbook", vec![v(b), v(t), Value::Int(p)]).unwrap();
+    }
+    db.insert("Department", vec![v("d1"), v("CS"), v("f1")]).unwrap();
+    db.insert("Faculty", vec![v("f1"), v("Engineering")]).unwrap();
+
+    db.validate().expect("figure 1 database is consistent");
+    db
+}
+
+/// Figure 1 extended with a *component relation*: `StudentHobby(Sid,
+/// Hobby)` stores a multivalued attribute of `Student`. The ORM schema
+/// graph folds it into the Student node (Section 2.1), and conditions on
+/// `Hobby` join the component to its parent during translation.
+pub fn with_hobbies() -> Database {
+    let mut db = normalized();
+
+    let mut r = RelationSchema::new("StudentHobby");
+    r.add_attr("Sid", AttrType::Text).add_attr("Hobby", AttrType::Text);
+    r.set_primary_key(["Sid", "Hobby"]);
+    r.add_foreign_key(["Sid"], "Student", ["Sid"]);
+    db.add_relation(r).unwrap();
+
+    for (sid, hobby) in [("s1", "chess"), ("s1", "tennis"), ("s2", "chess"), ("s3", "painting")] {
+        db.insert("StudentHobby", vec![v(sid), v(hobby)]).unwrap();
+    }
+    db.validate().expect("hobby extension is consistent");
+    db
+}
+
+/// Figure 2: the denormalized university database. `Lecturer` carries a
+/// redundant `Fid` (FD `Did -> Fid` declared, violating 3NF) and
+/// `Department` drops its `Fid`.
+pub fn unnormalized_fig2() -> Database {
+    let mut db = Database::new("university-fig2");
+
+    let mut r = RelationSchema::new("Lecturer");
+    r.add_attr("Lid", AttrType::Text)
+        .add_attr("Lname", AttrType::Text)
+        .add_attr("Did", AttrType::Text)
+        .add_attr("Fid", AttrType::Text);
+    r.set_primary_key(["Lid"]);
+    r.add_foreign_key(["Did"], "Department", ["Did"]);
+    r.add_foreign_key(["Fid"], "Faculty", ["Fid"]);
+    r.add_fd(["Did"], ["Fid"]);
+    r.name_entity(["Lid"], "Lecturer");
+    r.name_entity(["Did"], "Department");
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Department");
+    r.add_attr("Did", AttrType::Text).add_attr("Dname", AttrType::Text);
+    r.set_primary_key(["Did"]);
+    db.add_relation(r).unwrap();
+
+    let mut r = RelationSchema::new("Faculty");
+    r.add_attr("Fid", AttrType::Text).add_attr("Fname", AttrType::Text);
+    r.set_primary_key(["Fid"]);
+    db.add_relation(r).unwrap();
+
+    for (l, n, d, f) in [("l1", "Steven", "d1", "f1"), ("l2", "George", "d1", "f1")] {
+        db.insert("Lecturer", vec![v(l), v(n), v(d), v(f)]).unwrap();
+    }
+    db.insert("Department", vec![v("d1"), v("CS")]).unwrap();
+    db.insert("Faculty", vec![v("f1"), v("Engineering")]).unwrap();
+
+    db.validate().expect("figure 2 database is consistent");
+    db
+}
+
+/// Figure 8: the single unnormalized `Enrolment` relation
+/// (Student ⋈ Enrol ⋈ Course), with its FDs declared.
+pub fn enrolment_fig8() -> Database {
+    let mut db = Database::new("university-fig8");
+
+    let mut r = RelationSchema::new("Enrolment");
+    r.add_attr("Sid", AttrType::Text)
+        .add_attr("Sname", AttrType::Text)
+        .add_attr("Age", AttrType::Int)
+        .add_attr("Code", AttrType::Text)
+        .add_attr("Title", AttrType::Text)
+        .add_attr("Credit", AttrType::Float)
+        .add_attr("Grade", AttrType::Text);
+    r.set_primary_key(["Sid", "Code"]);
+    r.add_fd(["Sid"], ["Sname", "Age"]);
+    r.add_fd(["Code"], ["Title", "Credit"]);
+    r.name_entity(["Sid"], "Student");
+    r.name_entity(["Code"], "Course");
+    r.name_entity(["Sid", "Code"], "Enrol");
+    db.add_relation(r).unwrap();
+
+    for (sid, sname, age, code, title, credit, grade) in [
+        ("s1", "George", 22, "c1", "Java", 5.0, "A"),
+        ("s1", "George", 22, "c2", "Database", 4.0, "B"),
+        ("s1", "George", 22, "c3", "Multimedia", 3.0, "B"),
+        ("s2", "Green", 24, "c1", "Java", 5.0, "A"),
+        ("s3", "Green", 21, "c1", "Java", 5.0, "A"),
+        ("s3", "Green", 21, "c3", "Multimedia", 3.0, "B"),
+    ] {
+        db.insert(
+            "Enrolment",
+            vec![
+                v(sid),
+                v(sname),
+                Value::Int(age),
+                v(code),
+                v(title),
+                Value::Float(credit),
+                v(grade),
+            ],
+        )
+        .unwrap();
+    }
+
+    db.validate().expect("figure 8 database is consistent");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_row_counts() {
+        let db = normalized();
+        assert_eq!(db.table("Student").unwrap().len(), 3);
+        assert_eq!(db.table("Course").unwrap().len(), 3);
+        assert_eq!(db.table("Enrol").unwrap().len(), 6);
+        assert_eq!(db.table("Teach").unwrap().len(), 6);
+        assert_eq!(db.table("Textbook").unwrap().len(), 4);
+        assert_eq!(db.table("Lecturer").unwrap().len(), 2);
+        assert_eq!(db.table("Department").unwrap().len(), 1);
+        assert_eq!(db.table("Faculty").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fig2_lecturer_declares_transitive_fd() {
+        let db = unnormalized_fig2();
+        let lect = db.table("Lecturer").unwrap();
+        assert_eq!(lect.schema.extra_fds.len(), 1);
+        assert!(!lect.schema.fd_set().is_3nf());
+    }
+
+    #[test]
+    fn fig8_enrolment_matches_paper() {
+        let db = enrolment_fig8();
+        let e = db.table("Enrolment").unwrap();
+        assert_eq!(e.len(), 6);
+        assert!(!e.schema.fd_set().is_2nf());
+    }
+}

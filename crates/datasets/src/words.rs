@@ -1,0 +1,115 @@
+//! Word lists for the synthetic generators. Chosen so that planted query
+//! phrases ("royal olive", "Indian black chocolate", …) cannot occur by
+//! accident and no generated value collides with a relation or attribute
+//! name of either schema.
+
+/// Part-name adjectives (TPC-H flavoured, minus the planted colors).
+pub const ADJECTIVES: &[&str] = &[
+    "small", "large", "medium", "economy", "standard", "promo", "premium", "budget", "deluxe",
+    "compact",
+];
+
+/// Part-name colors. Deliberately excludes "royal", "yellow", "pink",
+/// "white", "black": those appear only in planted part names.
+pub const COLORS: &[&str] = &[
+    "almond", "azure", "beige", "blush", "chartreuse", "cornflower", "cyan", "forest", "indigo",
+    "lavender", "magenta", "maroon", "navy", "plum", "salmon", "sienna", "teal", "turquoise",
+];
+
+/// Part-name nouns (excludes "olive", "tomato", "chocolate", "rose").
+pub const NOUNS: &[&str] = &[
+    "almanac", "anchor", "basin", "beacon", "bobbin", "bracket", "canister", "crate", "dowel",
+    "flask", "gasket", "girder", "lantern", "mallet", "pulley", "spindle", "sprocket", "trowel",
+];
+
+/// TPC-H part types.
+pub const PART_TYPES: &[&str] = &[
+    "ECONOMY ANODIZED STEEL",
+    "ECONOMY BRUSHED COPPER",
+    "LARGE BURNISHED BRASS",
+    "MEDIUM PLATED NICKEL",
+    "PROMO POLISHED TIN",
+    "SMALL ANODIZED COPPER",
+    "STANDARD BURNISHED STEEL",
+];
+
+/// The five TPC-H market segments.
+pub const MKT_SEGMENTS: &[&str] =
+    &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Order priorities.
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// The 25 TPC-H nations.
+pub const NATIONS: &[&str] = &[
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+
+/// The 5 TPC-H regions (nation `i` belongs to region `i % 5`).
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Author/editor first names. "John" and "Mary" are planted separately.
+pub const FIRST_NAMES: &[&str] = &[
+    "Alice", "Bruno", "Carla", "Daniel", "Elena", "Felix", "Grace", "Hugo", "Irene", "Jorge",
+    "Katrin", "Liam", "Nadia", "Oscar", "Priya", "Quentin", "Rosa", "Stefan", "Tara", "Viktor",
+];
+
+/// Author/editor last names. "Smith" and "Gill" are planted separately.
+pub const LAST_NAMES: &[&str] = &[
+    "Abbott", "Baxter", "Cortez", "Duval", "Eriksen", "Fontaine", "Garcia", "Hopper", "Iwata",
+    "Jensen", "Keller", "Lindgren", "Moreau", "Novak", "Okafor", "Petrov", "Quimby", "Rossi",
+    "Sandoval", "Tanaka", "Ueda", "Vargas", "Weber", "Xu", "Yamamoto", "Zhou",
+];
+
+/// Words for synthetic paper titles (no "database"/"tuning": the A5
+/// phrase is planted).
+pub const TITLE_WORDS: &[&str] = &[
+    "adaptive", "algorithms", "analysis", "caching", "concurrent", "distributed", "efficient",
+    "graphs", "incremental", "indexing", "learning", "mining", "networks", "parallel",
+    "processing", "queries", "ranking", "scalable", "semantics", "streams", "transactions",
+    "workloads",
+];
+
+/// Proceeding acronyms beyond the planted SIGMOD/SIGIR/CIKM.
+pub const ACRONYMS: &[&str] = &["VLDB", "ICDE", "EDBT", "KDD", "WWW", "WSDM", "PODS"];
+
+/// Publisher names beyond the planted IEEE group.
+pub const PUBLISHERS: &[&str] = &[
+    "ACM",
+    "Springer",
+    "Elsevier",
+    "Morgan Kaufmann",
+    "Now Publishers",
+    "Open Proceedings",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_phrases_absent_from_wordlists() {
+        for planted in ["royal", "olive", "yellow", "tomato", "chocolate", "pink", "rose", "white"]
+        {
+            assert!(!COLORS.contains(&planted), "{planted}");
+            assert!(!NOUNS.contains(&planted), "{planted}");
+            assert!(!ADJECTIVES.contains(&planted), "{planted}");
+        }
+        assert!(!LAST_NAMES.contains(&"Smith"));
+        assert!(!LAST_NAMES.contains(&"Gill"));
+        assert!(!FIRST_NAMES.contains(&"John"));
+        assert!(!FIRST_NAMES.contains(&"Mary"));
+        assert!(!TITLE_WORDS.contains(&"database"));
+        assert!(!TITLE_WORDS.contains(&"tuning"));
+    }
+
+    #[test]
+    fn fixed_cardinalities() {
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        assert_eq!(MKT_SEGMENTS.len(), 5);
+    }
+}

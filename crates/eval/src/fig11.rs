@@ -1,0 +1,89 @@
+//! Figure 11: time to *generate* SQL statements (not execute them), per
+//! query, ours vs SQAK.
+//!
+//! The paper reports milliseconds on a 3.4 GHz JVM; absolute numbers
+//! differ here, but the shape — both engines within the same order of
+//! magnitude, the semantic engine consistently a bit slower because it
+//! enumerates interpretations, disambiguates, and detects duplicates —
+//! is the claim under test. Criterion benches in `aqks-bench` measure the
+//! same work with full statistical rigour; this module produces the
+//! quick paper-style series for EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use aqks_core::Engine;
+use aqks_relational::Database;
+use aqks_sqak::Sqak;
+
+use crate::workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};
+
+/// One timing row of Figure 11.
+#[derive(Debug, Clone)]
+pub struct TimingRow {
+    /// Query id.
+    pub id: &'static str,
+    /// Median SQL-generation time of the semantic engine, microseconds.
+    pub ours_us: f64,
+    /// Median SQL-generation time of SQAK, microseconds.
+    pub sqak_us: f64,
+}
+
+fn median_us<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn time_queries(db: Database, queries: Vec<EvalQuery>, reps: usize) -> Vec<TimingRow> {
+    let engine = Engine::new(db.clone()).expect("engine builds");
+    let sqak = Sqak::new(db);
+    queries
+        .into_iter()
+        .map(|q| {
+            // Warm up once (index/builds are in the constructors; this
+            // warms caches and the allocator).
+            let _ = engine.generate(q.text, 1);
+            let _ = sqak.generate(q.text);
+            let ours_us = median_us(
+                || {
+                    let _ = std::hint::black_box(engine.generate(q.text, 1));
+                },
+                reps,
+            );
+            let sqak_us = median_us(
+                || {
+                    let _ = std::hint::black_box(sqak.generate(q.text));
+                },
+                reps,
+            );
+            TimingRow { id: q.id, ours_us, sqak_us }
+        })
+        .collect()
+}
+
+/// Runs both Figure 11 series: (a) TPCH T1–T8, (b) ACMDL A1–A8.
+pub fn run_fig11(scale: Scale, reps: usize) -> (Vec<TimingRow>, Vec<TimingRow>) {
+    let tpch = time_queries(crate::workload::tpch_database(scale), tpch_queries(), reps);
+    let acmdl = time_queries(crate::workload::acmdl_database(scale), acmdl_queries(), reps);
+    (tpch, acmdl)
+}
+
+/// Renders one series as markdown.
+pub fn render_markdown(title: &str, rows: &[TimingRow]) -> String {
+    let mut s = format!("## {title}\n\n");
+    s.push_str("| # | Proposed Approach (µs) | SQAK (µs) | ratio |\n");
+    s.push_str("|---|------------------------|-----------|-------|\n");
+    for r in rows {
+        let ratio = if r.sqak_us > 0.0 { r.ours_us / r.sqak_us } else { f64::NAN };
+        s.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.2}x |\n",
+            r.id, r.ours_us, r.sqak_us, ratio
+        ));
+    }
+    s
+}

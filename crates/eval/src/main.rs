@@ -1,0 +1,94 @@
+//! `repro` — regenerates every evaluation table and figure of the paper.
+//!
+//! ```text
+//! repro table5|table6|table8|table9|fig11|all [--paper-scale] [--reps N]
+//! ```
+
+use aqks_eval::{fig11, tables, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper-scale") {
+        Scale::Paper
+    } else {
+        Scale::Small
+    };
+    let mut reps = 21usize;
+    let mut what = "all".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper-scale" => {}
+            "--reps" => {
+                i += 1;
+                reps = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(21);
+            }
+            other if !other.starts_with("--") => what = other.to_string(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scale_name = match scale {
+        Scale::Small => "small",
+        Scale::Paper => "paper-scale",
+    };
+    eprintln!("# dataset scale: {scale_name}");
+
+    let run_target = |name: &str| match name {
+        "table5" => println!(
+            "{}",
+            tables::render_markdown(
+                "Table 5: answers on normalized TPC-H (T1-T8)",
+                &tables::run_table5(scale)
+            )
+        ),
+        "table6" => println!(
+            "{}",
+            tables::render_markdown(
+                "Table 6: answers on normalized ACMDL (A1-A8)",
+                &tables::run_table6(scale)
+            )
+        ),
+        "table8" => println!(
+            "{}",
+            tables::render_markdown(
+                "Table 8: answers on unnormalized TPCH' (T1-T8)",
+                &tables::run_table8(scale)
+            )
+        ),
+        "table9" => println!(
+            "{}",
+            tables::render_markdown(
+                "Table 9: answers on unnormalized ACMDL' (A1-A8)",
+                &tables::run_table9(scale)
+            )
+        ),
+        "fig11" => {
+            let (tpch, acmdl) = fig11::run_fig11(scale, reps);
+            println!(
+                "{}",
+                fig11::render_markdown("Figure 11(a): SQL generation time, TPCH", &tpch)
+            );
+            println!(
+                "{}",
+                fig11::render_markdown("Figure 11(b): SQL generation time, ACMDL", &acmdl)
+            );
+        }
+        other => {
+            eprintln!("unknown target `{other}`; use table5|table6|table8|table9|fig11|all");
+            std::process::exit(2);
+        }
+    };
+
+    if what == "all" {
+        for t in ["table5", "table6", "table8", "table9", "fig11"] {
+            run_target(t);
+        }
+    } else {
+        run_target(&what);
+    }
+}

@@ -1,0 +1,185 @@
+//! Reproduction of the answer-comparison tables (5, 6, 8, 9).
+//!
+//! For each workload query both engines run end to end; the row records
+//! how many answers each returned and the answer values themselves, in
+//! the paper's "N answers: v1, v2, …" style. SQAK's restrictions surface
+//! as "N.A." with the reason, exactly as in the paper's tables.
+
+use aqks_core::Engine;
+use aqks_relational::Database;
+use aqks_sqak::{Sqak, SqakError};
+use aqks_sqlgen::ResultTable;
+
+use crate::workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};
+
+/// One engine's outcome on one query.
+#[derive(Debug, Clone)]
+pub enum EngineOutcome {
+    /// The query produced answers.
+    Answers {
+        /// Number of result rows.
+        count: usize,
+        /// Rendered answer values (aggregate columns), ordered.
+        values: Vec<String>,
+        /// The generated SQL.
+        sql: String,
+    },
+    /// The engine cannot process the query (SQAK's "N.A.").
+    Unsupported(String),
+    /// Unexpected failure.
+    Error(String),
+}
+
+impl EngineOutcome {
+    /// `count` for `Answers`, None otherwise.
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            EngineOutcome::Answers { count, .. } => Some(*count),
+            _ => None,
+        }
+    }
+
+    /// Answer values, if any.
+    pub fn values(&self) -> &[String] {
+        match self {
+            EngineOutcome::Answers { values, .. } => values,
+            _ => &[],
+        }
+    }
+
+    /// Short cell text for the rendered table.
+    pub fn cell(&self) -> String {
+        match self {
+            EngineOutcome::Answers { count, values, .. } => {
+                let sample: Vec<&str> =
+                    values.iter().take(6).map(String::as_str).collect();
+                let ellipsis = if values.len() > 6 { ", ..." } else { "" };
+                format!("{count} answer(s): {}{ellipsis}", sample.join(", "))
+            }
+            EngineOutcome::Unsupported(m) => format!("N.A. ({m})"),
+            EngineOutcome::Error(m) => format!("ERROR ({m})"),
+        }
+    }
+}
+
+/// One row of a comparison table.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Query id (T1…A8).
+    pub id: &'static str,
+    /// The paper's description.
+    pub description: &'static str,
+    /// The semantic engine's outcome.
+    pub ours: EngineOutcome,
+    /// SQAK's outcome.
+    pub sqak: EngineOutcome,
+}
+
+/// Renders the answer values of a result: the aggregate columns (all
+/// non-grouping columns), row by row, deterministically ordered.
+fn answer_values(result: &ResultTable, group_cols: usize) -> Vec<String> {
+    let mut vals: Vec<String> = result
+        .rows
+        .iter()
+        .map(|row| {
+            let aggs: Vec<String> =
+                row.iter().skip(group_cols).map(|v| v.to_string()).collect();
+            if aggs.len() == 1 {
+                aggs.into_iter().next().unwrap()
+            } else {
+                format!("<{}>", aggs.join(", "))
+            }
+        })
+        .collect();
+    // Numeric-aware ordering so "9" sorts before "10".
+    vals.sort_by(|a, b| match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => a.cmp(b),
+    });
+    vals
+}
+
+fn run_ours(engine: &Engine, q: &EvalQuery) -> EngineOutcome {
+    match engine.answer(q.text, 1) {
+        Ok(answers) if !answers.is_empty() => {
+            let a = &answers[0];
+            let group_cols = a.sql.group_by.len().min(a.result.columns.len());
+            EngineOutcome::Answers {
+                count: a.result.len(),
+                values: answer_values(&a.result, group_cols),
+                sql: a.sql_text.clone(),
+            }
+        }
+        Ok(_) => EngineOutcome::Error("no interpretation".into()),
+        Err(e) => EngineOutcome::Error(e.to_string()),
+    }
+}
+
+fn run_sqak(sqak: &Sqak, q: &EvalQuery) -> EngineOutcome {
+    match sqak.generate(q.text) {
+        Ok(g) => match sqak.answer(q.text) {
+            Ok(result) => {
+                let group_cols = g.sql.group_by.len().min(result.columns.len());
+                EngineOutcome::Answers {
+                    count: result.len(),
+                    values: answer_values(&result, group_cols),
+                    sql: g.sql_text,
+                }
+            }
+            Err(e) => EngineOutcome::Error(e.to_string()),
+        },
+        Err(SqakError::Unsupported(m)) => EngineOutcome::Unsupported(m),
+        Err(e) => EngineOutcome::Error(e.to_string()),
+    }
+}
+
+fn run_comparison(db: Database, queries: Vec<EvalQuery>) -> Vec<ComparisonRow> {
+    let engine = Engine::new(db.clone()).expect("engine builds");
+    let sqak = Sqak::new(db);
+    queries
+        .into_iter()
+        .map(|q| ComparisonRow {
+            id: q.id,
+            description: q.description,
+            ours: run_ours(&engine, &q),
+            sqak: run_sqak(&sqak, &q),
+        })
+        .collect()
+}
+
+/// Table 5: normalized TPC-H, T1–T8.
+pub fn run_table5(scale: Scale) -> Vec<ComparisonRow> {
+    run_comparison(crate::workload::tpch_database(scale), tpch_queries())
+}
+
+/// Table 6: normalized ACMDL, A1–A8.
+pub fn run_table6(scale: Scale) -> Vec<ComparisonRow> {
+    run_comparison(crate::workload::acmdl_database(scale), acmdl_queries())
+}
+
+/// Table 8: unnormalized TPCH', T1–T8.
+pub fn run_table8(scale: Scale) -> Vec<ComparisonRow> {
+    run_comparison(crate::workload::tpch_prime_database(scale), tpch_queries())
+}
+
+/// Table 9: unnormalized ACMDL', A1–A8.
+pub fn run_table9(scale: Scale) -> Vec<ComparisonRow> {
+    run_comparison(crate::workload::acmdl_prime_database(scale), acmdl_queries())
+}
+
+/// Renders rows as a markdown table in the paper's layout.
+pub fn render_markdown(title: &str, rows: &[ComparisonRow]) -> String {
+    let mut s = format!("## {title}\n\n");
+    s.push_str("| # | SQAK | Our Proposed Approach | Description |\n");
+    s.push_str("|---|------|----------------------|-------------|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            r.id,
+            r.sqak.cell(),
+            r.ours.cell(),
+            r.description
+        ));
+    }
+    s
+}

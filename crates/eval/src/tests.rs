@@ -1,0 +1,44 @@
+//! Smoke tests for the harness itself (the substantive shape assertions
+//! live in the workspace-level `tests/table_shapes.rs`).
+
+use crate::tables::{render_markdown, run_table5};
+use crate::workload::Scale;
+use crate::{fig11, run_fig11};
+
+#[test]
+fn table5_renders_all_rows() {
+    let rows = run_table5(Scale::Small);
+    assert_eq!(rows.len(), 8);
+    let md = render_markdown("Table 5", &rows);
+    for id in ["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"] {
+        assert!(md.contains(&format!("| {id} |")), "{md}");
+    }
+    assert!(md.contains("N.A."), "T7/T8 unsupported rows render: {md}");
+}
+
+#[test]
+fn fig11_produces_positive_timings() {
+    let (tpch, acmdl) = run_fig11(Scale::Small, 3);
+    assert_eq!((tpch.len(), acmdl.len()), (8, 8));
+    for r in tpch.iter().chain(&acmdl) {
+        assert!(r.ours_us > 0.0, "{}", r.id);
+        assert!(r.sqak_us >= 0.0, "{}", r.id);
+    }
+    let md = fig11::render_markdown("Fig 11", &tpch);
+    assert!(md.contains("| T1 |"), "{md}");
+}
+
+#[test]
+fn outcome_cell_truncates_long_answer_lists() {
+    use crate::tables::EngineOutcome;
+    let o = EngineOutcome::Answers {
+        count: 10,
+        values: (0..10).map(|i| i.to_string()).collect(),
+        sql: String::new(),
+    };
+    let cell = o.cell();
+    assert!(cell.starts_with("10 answer(s):"), "{cell}");
+    assert!(cell.ends_with(", ..."), "{cell}");
+    let u = EngineOutcome::Unsupported("self join".into());
+    assert_eq!(u.cell(), "N.A. (self join)");
+}

@@ -1,0 +1,174 @@
+//! Relation classification into the four ORA kinds of reference \[16\].
+//!
+//! The decision uses only the declared primary key and foreign keys:
+//!
+//! | kind | rule |
+//! |------|------|
+//! | **Relationship** | the primary key is fully covered by the attributes of ≥ 2 foreign keys (an m:n — possibly n-ary — relationship, e.g. `Enrol`, `Teach`) |
+//! | **Component** | a single foreign key whose attributes are contained in the primary key (a multivalued attribute of the referenced object/relationship, or a vertical partition) |
+//! | **Mixed** | the relation has its own identifier *and* at least one foreign key — it stores objects together with many-to-one relationships (e.g. `Lecturer`, `Department`) |
+//! | **Object** | its own identifier, no foreign keys (e.g. `Student`, `Course`) |
+
+use aqks_relational::RelationSchema;
+
+/// The ORA kind of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationKind {
+    /// Stores objects only.
+    Object,
+    /// Stores an m:n (possibly n-ary) relationship.
+    Relationship,
+    /// Stores objects plus embedded many-to-one relationships.
+    Mixed,
+    /// Stores a multivalued attribute of `parent` (an object or
+    /// relationship relation).
+    Component {
+        /// The relation this component belongs to.
+        parent: String,
+    },
+}
+
+/// Classifies one relation. See the module table for the rules.
+pub fn classify_relation(rel: &RelationSchema) -> RelationKind {
+    let pk_lower: Vec<String> = rel.primary_key.iter().map(|a| a.to_lowercase()).collect();
+
+    // Foreign keys whose attributes all sit inside the primary key.
+    let fks_in_pk: Vec<&aqks_relational::ForeignKey> = rel
+        .foreign_keys
+        .iter()
+        .filter(|fk| fk.attrs.iter().all(|a| pk_lower.contains(&a.to_lowercase())))
+        .collect();
+
+    // Is the whole primary key covered by FK attributes?
+    let covered = !pk_lower.is_empty()
+        && pk_lower.iter().all(|k| {
+            fks_in_pk.iter().any(|fk| fk.attrs.iter().any(|a| a.to_lowercase() == *k))
+        });
+
+    if covered && fks_in_pk.len() >= 2 {
+        return RelationKind::Relationship;
+    }
+    if rel.foreign_keys.len() == 1 && fks_in_pk.len() == 1 {
+        return RelationKind::Component { parent: fks_in_pk[0].ref_relation.clone() };
+    }
+    if rel.foreign_keys.is_empty() {
+        RelationKind::Object
+    } else {
+        RelationKind::Mixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqks_relational::AttrType;
+
+    fn rel(name: &str) -> RelationSchema {
+        RelationSchema::new(name)
+    }
+
+    /// Figure 1's relations classify exactly as the paper states:
+    /// Student/Course/Faculty/Textbook objects, Enrol/Teach relationships,
+    /// Lecturer/Department mixed.
+    #[test]
+    fn figure1_classification() {
+        let mut student = rel("Student");
+        student.add_attr("Sid", AttrType::Text).add_attr("Sname", AttrType::Text);
+        student.set_primary_key(["Sid"]);
+        assert_eq!(classify_relation(&student), RelationKind::Object);
+
+        let mut enrol = rel("Enrol");
+        enrol
+            .add_attr("Sid", AttrType::Text)
+            .add_attr("Code", AttrType::Text)
+            .add_attr("Grade", AttrType::Text);
+        enrol.set_primary_key(["Sid", "Code"]);
+        enrol.add_foreign_key(["Sid"], "Student", ["Sid"]);
+        enrol.add_foreign_key(["Code"], "Course", ["Code"]);
+        assert_eq!(classify_relation(&enrol), RelationKind::Relationship);
+
+        let mut teach = rel("Teach");
+        teach
+            .add_attr("Code", AttrType::Text)
+            .add_attr("Lid", AttrType::Text)
+            .add_attr("Bid", AttrType::Text);
+        teach.set_primary_key(["Code", "Lid", "Bid"]);
+        teach.add_foreign_key(["Code"], "Course", ["Code"]);
+        teach.add_foreign_key(["Lid"], "Lecturer", ["Lid"]);
+        teach.add_foreign_key(["Bid"], "Textbook", ["Bid"]);
+        assert_eq!(classify_relation(&teach), RelationKind::Relationship);
+
+        let mut lecturer = rel("Lecturer");
+        lecturer
+            .add_attr("Lid", AttrType::Text)
+            .add_attr("Lname", AttrType::Text)
+            .add_attr("Did", AttrType::Text);
+        lecturer.set_primary_key(["Lid"]);
+        lecturer.add_foreign_key(["Did"], "Department", ["Did"]);
+        assert_eq!(classify_relation(&lecturer), RelationKind::Mixed);
+    }
+
+    /// A multivalued attribute table is a component of its parent.
+    #[test]
+    fn component_of_object() {
+        let mut hobby = rel("StudentHobby");
+        hobby.add_attr("Sid", AttrType::Text).add_attr("Hobby", AttrType::Text);
+        hobby.set_primary_key(["Sid", "Hobby"]);
+        hobby.add_foreign_key(["Sid"], "Student", ["Sid"]);
+        assert_eq!(
+            classify_relation(&hobby),
+            RelationKind::Component { parent: "Student".into() }
+        );
+    }
+
+    /// A component of a relationship (multivalued attribute of Teach).
+    #[test]
+    fn component_of_relationship() {
+        let mut note = rel("TeachNote");
+        note.add_attr("Code", AttrType::Text)
+            .add_attr("Lid", AttrType::Text)
+            .add_attr("Bid", AttrType::Text)
+            .add_attr("Note", AttrType::Text);
+        note.set_primary_key(["Code", "Lid", "Bid", "Note"]);
+        note.add_foreign_key(["Code", "Lid", "Bid"], "Teach", ["Code", "Lid", "Bid"]);
+        assert_eq!(classify_relation(&note), RelationKind::Component { parent: "Teach".into() });
+    }
+
+    /// Two foreign keys into the same relation still make a relationship
+    /// (recursive relationships such as course prerequisites).
+    #[test]
+    fn recursive_relationship() {
+        let mut pre = rel("Prerequisite");
+        pre.add_attr("Code", AttrType::Text).add_attr("PreCode", AttrType::Text);
+        pre.set_primary_key(["Code", "PreCode"]);
+        pre.add_foreign_key(["Code"], "Course", ["Code"]);
+        pre.add_foreign_key(["PreCode"], "Course", ["Code"]);
+        assert_eq!(classify_relation(&pre), RelationKind::Relationship);
+    }
+
+    /// A mixed relation with several FKs outside the key stays mixed
+    /// (the denormalized Lecturer of Figure 2).
+    #[test]
+    fn denormalized_lecturer_is_mixed() {
+        let mut lecturer = rel("Lecturer");
+        lecturer
+            .add_attr("Lid", AttrType::Text)
+            .add_attr("Lname", AttrType::Text)
+            .add_attr("Did", AttrType::Text)
+            .add_attr("Fid", AttrType::Text);
+        lecturer.set_primary_key(["Lid"]);
+        lecturer.add_foreign_key(["Did"], "Department", ["Did"]);
+        lecturer.add_foreign_key(["Fid"], "Faculty", ["Fid"]);
+        assert_eq!(classify_relation(&lecturer), RelationKind::Mixed);
+    }
+
+    /// A vertical partition (PK equals the single FK) is a component.
+    #[test]
+    fn vertical_partition_is_component() {
+        let mut ext = rel("StudentExtra");
+        ext.add_attr("Sid", AttrType::Text).add_attr("Photo", AttrType::Text);
+        ext.set_primary_key(["Sid"]);
+        ext.add_foreign_key(["Sid"], "Student", ["Sid"]);
+        assert_eq!(classify_relation(&ext), RelationKind::Component { parent: "Student".into() });
+    }
+}

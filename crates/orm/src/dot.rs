@@ -1,0 +1,82 @@
+//! Graphviz (DOT) export of the ORM schema graph, for documentation and
+//! debugging. Object nodes render as ellipses, relationship nodes as
+//! diamonds, mixed nodes as double ellipses — mirroring the legend of
+//! Figure 3.
+
+use crate::graph::{NodeKind, OrmGraph};
+
+/// Escapes a DOT string literal.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl OrmGraph {
+    /// Renders the graph as a Graphviz `graph` (undirected) document.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph orm {\n  node [fontname=\"Helvetica\"];\n");
+        for n in self.nodes() {
+            let shape = match n.kind {
+                NodeKind::Object => "ellipse",
+                NodeKind::Relationship => "diamond",
+                NodeKind::Mixed => "doublecircle",
+            };
+            let label = if n.components.is_empty() {
+                n.relation.clone()
+            } else {
+                format!("{}\\n[{}]", n.relation, n.components.join(", "))
+            };
+            out.push_str(&format!(
+                "  n{} [label=\"{}\", shape={}];\n",
+                n.id,
+                esc(&label),
+                shape
+            ));
+        }
+        for e in self.edges() {
+            out.push_str(&format!(
+                "  n{} -- n{} [label=\"{}\"];\n",
+                e.a,
+                e.b,
+                esc(&e.a_attrs.join(","))
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqks_relational::{AttrType, DatabaseSchema, RelationSchema};
+
+    #[test]
+    fn dot_contains_nodes_edges_and_shapes() {
+        let mut student = RelationSchema::new("Student");
+        student.add_attr("Sid", AttrType::Text);
+        student.set_primary_key(["Sid"]);
+        let mut course = RelationSchema::new("Course");
+        course.add_attr("Code", AttrType::Text);
+        course.set_primary_key(["Code"]);
+        let mut enrol = RelationSchema::new("Enrol");
+        enrol.add_attr("Sid", AttrType::Text).add_attr("Code", AttrType::Text);
+        enrol.set_primary_key(["Sid", "Code"]);
+        enrol.add_foreign_key(["Sid"], "Student", ["Sid"]);
+        enrol.add_foreign_key(["Code"], "Course", ["Code"]);
+        let g = OrmGraph::build(&DatabaseSchema {
+            relations: vec![student, course, enrol],
+        })
+        .unwrap();
+
+        let dot = g.to_dot();
+        assert!(dot.starts_with("graph orm {"));
+        assert!(dot.contains("label=\"Student\", shape=ellipse"), "{dot}");
+        assert!(dot.contains("label=\"Enrol\", shape=diamond"), "{dot}");
+        assert_eq!(dot.matches(" -- ").count(), 2, "{dot}");
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        assert_eq!(esc(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # aqks-orm
+//!
+//! The ORM (Object-Relationship-Mixed) schema graph of Section 2.1 —
+//! the paper's central data structure for capturing ORA
+//! (Object-Relationship-Attribute) semantics:
+//!
+//! * [`classify`] assigns every relation one of four kinds — *object*,
+//!   *relationship*, *mixed*, or *component* — from its primary key and
+//!   foreign keys alone (the rules of reference \[16\]);
+//! * [`graph`] folds component relations into their parent node and links
+//!   nodes along foreign-key references, yielding the undirected graph of
+//!   Figure 3 (and, for normalized views, Figure 9).
+//!
+//! The keyword engine consults this graph to (a) connect query-pattern
+//! nodes, (b) decide which objects participate in a relationship so that
+//! duplicate participants can be projected away (Example 4/6), and (c)
+//! locate the identifier attribute that aggregates and GROUPBY bind to.
+
+pub mod classify;
+pub mod dot;
+pub mod graph;
+
+pub use classify::{classify_relation, RelationKind};
+pub use graph::{NodeId, NodeKind, OrmEdge, OrmGraph, OrmNode};

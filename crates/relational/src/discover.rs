@@ -1,0 +1,269 @@
+//! Functional-dependency discovery from data.
+//!
+//! Section 4 assumes the FDs of an unnormalized relation are known
+//! ("This can be done by examining the functional dependencies that hold
+//! on the relations"). A deployable system has to *find* them: this
+//! module implements a TANE-style levelwise search with stripped
+//! partitions — for every candidate determinant `X` (up to
+//! [`DiscoveryOptions::max_lhs`] attributes) it checks `X -> a` by
+//! comparing partition ranks, reports only *minimal* non-trivial
+//! dependencies, and skips determinants that are already superkeys
+//! (their FDs never violate 3NF and would flood the output).
+//!
+//! The engine uses this when asked to handle an unnormalized database
+//! whose schema declares no FDs (see
+//! `aqks_core::EngineOptions::discover_fds`).
+
+use std::collections::HashMap;
+
+use crate::fd::Fd;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Bounds for the levelwise search.
+#[derive(Debug, Clone)]
+pub struct DiscoveryOptions {
+    /// Maximum determinant size (levels searched). 2 covers every schema
+    /// in the paper; 3+ gets expensive on wide relations.
+    pub max_lhs: usize,
+}
+
+impl Default for DiscoveryOptions {
+    fn default() -> Self {
+        DiscoveryOptions { max_lhs: 2 }
+    }
+}
+
+/// Group-id labelling of rows under a projection: two rows share a label
+/// iff they agree on the projected attributes. `groups` counts distinct
+/// labels; `X -> a` holds iff refining by `a` adds no groups.
+fn partition(table: &Table, attrs: &[usize]) -> (Vec<u32>, usize) {
+    let mut labels = Vec::with_capacity(table.len());
+    let mut ids: HashMap<Vec<&Value>, u32> = HashMap::new();
+    for row in table.rows() {
+        let key: Vec<&Value> = attrs.iter().map(|&i| &row[i]).collect();
+        let next = ids.len() as u32;
+        let id = *ids.entry(key).or_insert(next);
+        labels.push(id);
+    }
+    let n = ids.len();
+    (labels, n)
+}
+
+/// Does refining the `lhs` partition by attribute `a` keep group counts
+/// equal (i.e. `lhs` determines `a`)?
+fn holds(table: &Table, lhs_labels: &[u32], lhs_groups: usize, a: usize) -> bool {
+    let mut ids: HashMap<(u32, &Value), u32> = HashMap::new();
+    for (row, &l) in table.rows().iter().zip(lhs_labels) {
+        let next = ids.len() as u32;
+        ids.entry((l, &row[a])).or_insert(next);
+        if ids.len() > lhs_groups {
+            return false;
+        }
+    }
+    ids.len() == lhs_groups
+}
+
+/// Discovers the minimal non-trivial FDs of a table whose determinants
+/// are not superkeys, deterministically ordered.
+pub fn discover_fds(table: &Table, opts: &DiscoveryOptions) -> Vec<Fd> {
+    let n_attrs = table.schema.attrs.len();
+    let n_rows = table.len();
+    if n_rows == 0 || n_attrs < 2 {
+        return Vec::new();
+    }
+    let name = |i: usize| table.schema.attrs[i].name.clone();
+
+    // found[a] = list of minimal determinant index-sets for attribute a.
+    let mut found: Vec<Vec<Vec<usize>>> = vec![Vec::new(); n_attrs];
+    let mut out: Vec<Fd> = Vec::new();
+
+    let mut level: Vec<Vec<usize>> = (0..n_attrs).map(|i| vec![i]).collect();
+    for _ in 0..opts.max_lhs {
+        let mut next_level: Vec<Vec<usize>> = Vec::new();
+        for lhs in &level {
+            let (labels, groups) = partition(table, lhs);
+            if groups == n_rows {
+                // Superkey: every attribute trivially "determined" by row
+                // identity — not a redundancy witness; do not extend.
+                continue;
+            }
+            let mut determined_all = Vec::new();
+            #[allow(clippy::needless_range_loop)]
+            for a in 0..n_attrs {
+                if lhs.contains(&a) {
+                    continue;
+                }
+                // Minimality: a subset of lhs already determines a.
+                let minimal = !found[a]
+                    .iter()
+                    .any(|prev| prev.iter().all(|x| lhs.contains(x)));
+                if !minimal {
+                    continue;
+                }
+                if holds(table, &labels, groups, a) {
+                    found[a].push(lhs.clone());
+                    determined_all.push(a);
+                }
+            }
+            if !determined_all.is_empty() {
+                out.push(Fd::new(
+                    lhs.iter().map(|&i| name(i)),
+                    determined_all.iter().map(|&a| name(a)),
+                ));
+            }
+            // Extend the level (canonical ascending order).
+            let last = *lhs.last().expect("non-empty");
+            for nxt in last + 1..n_attrs {
+                let mut bigger = lhs.clone();
+                bigger.push(nxt);
+                next_level.push(bigger);
+            }
+        }
+        level = next_level;
+        if level.is_empty() {
+            break;
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, RelationSchema};
+
+    /// The Figure 8 Enrolment data must yield exactly the paper's FDs.
+    fn enrolment() -> Table {
+        let mut s = RelationSchema::new("Enrolment");
+        s.add_attr("Sid", AttrType::Text)
+            .add_attr("Sname", AttrType::Text)
+            .add_attr("Age", AttrType::Int)
+            .add_attr("Code", AttrType::Text)
+            .add_attr("Title", AttrType::Text)
+            .add_attr("Credit", AttrType::Float)
+            .add_attr("Grade", AttrType::Text);
+        let mut t = Table::new(s);
+        for (sid, sn, age, c, ti, cr, g) in [
+            ("s1", "George", 22, "c1", "Java", 5.0, "A"),
+            ("s1", "George", 22, "c2", "Database", 4.0, "B"),
+            ("s1", "George", 22, "c3", "Multimedia", 3.0, "B"),
+            ("s2", "Green", 24, "c1", "Java", 5.0, "A"),
+            ("s3", "Green", 21, "c1", "Java", 5.0, "A"),
+            ("s3", "Green", 21, "c3", "Multimedia", 3.0, "B"),
+        ] {
+            t.insert(vec![
+                Value::str(sid),
+                Value::str(sn),
+                Value::Int(age),
+                Value::str(c),
+                Value::str(ti),
+                Value::Float(cr),
+                Value::str(g),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn discovers_enrolment_fds() {
+        let fds = discover_fds(&enrolment(), &DiscoveryOptions::default());
+        let has = |lhs: &[&str], rhs: &str| {
+            fds.iter().any(|fd| {
+                fd.lhs.len() == lhs.len()
+                    && lhs.iter().all(|a| fd.lhs.contains(*a))
+                    && fd.rhs.contains(rhs)
+            })
+        };
+        assert!(has(&["Sid"], "Sname"), "{fds:?}");
+        assert!(has(&["Sid"], "Age"), "{fds:?}");
+        assert!(has(&["Code"], "Title"), "{fds:?}");
+        assert!(has(&["Code"], "Credit"), "{fds:?}");
+        // Instance-level accident: on Figure 8's six rows every student
+        // of a course happens to share the grade, so Code -> Grade holds
+        // and is (correctly) reported. Discovery is about the instance,
+        // not the designer's intent.
+        assert!(has(&["Code"], "Grade"), "{fds:?}");
+    }
+
+    #[test]
+    fn minimality_no_superset_determinants() {
+        let fds = discover_fds(&enrolment(), &DiscoveryOptions::default());
+        // Sname is determined by {Sid}; {Sid, Code} -> Sname must not be
+        // reported.
+        assert!(
+            !fds.iter().any(|fd| fd.lhs.len() > 1 && fd.rhs.contains("Sname")),
+            "{fds:?}"
+        );
+    }
+
+    /// On this sample, (Title, Age) happens to determine Sid — data-level
+    /// discovery reports dependencies the schema designer never intended.
+    /// They are still *valid* on the instance; the consumer must treat
+    /// them as candidates.
+    #[test]
+    fn spurious_dependencies_are_possible() {
+        let fds = discover_fds(&enrolment(), &DiscoveryOptions::default());
+        assert!(fds.len() >= 4, "{fds:?}");
+    }
+
+    #[test]
+    fn empty_and_tiny_tables() {
+        let mut s = RelationSchema::new("T");
+        s.add_attr("a", AttrType::Int);
+        let t = Table::new(s);
+        assert!(discover_fds(&t, &DiscoveryOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn key_like_column_is_not_reported_as_determinant_of_everything() {
+        // A two-column table where `a` is unique: a is a superkey, so no
+        // FDs are reported at all.
+        let mut s = RelationSchema::new("U");
+        s.add_attr("a", AttrType::Int).add_attr("b", AttrType::Int);
+        let mut t = Table::new(s);
+        for i in 0..6 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 2)]).unwrap();
+        }
+        let fds = discover_fds(&t, &DiscoveryOptions::default());
+        assert!(fds.iter().all(|fd| !fd.lhs.contains("a")), "{fds:?}");
+    }
+
+    #[test]
+    fn level2_dependency_found() {
+        // c = f(a, b) with neither a nor b alone determining c, and
+        // duplicated (a, b) pairs so (a, b) is not a superkey.
+        let mut s = RelationSchema::new("V");
+        s.add_attr("a", AttrType::Int)
+            .add_attr("b", AttrType::Int)
+            .add_attr("c", AttrType::Int)
+            .add_attr("d", AttrType::Int);
+        let mut t = Table::new(s);
+        let mut d = 0;
+        for a in 0..3 {
+            for b in 0..3 {
+                for _ in 0..2 {
+                    t.insert(vec![
+                        Value::Int(a),
+                        Value::Int(b),
+                        Value::Int(a * 3 + b),
+                        Value::Int({
+                            d += 1;
+                            d
+                        }),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+        let fds = discover_fds(&t, &DiscoveryOptions::default());
+        assert!(
+            fds.iter().any(|fd| fd.lhs.contains("a")
+                && fd.lhs.contains("b")
+                && fd.rhs.contains("c")),
+            "{fds:?}"
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared across the relational substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by schema manipulation, data loading, and normalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A relation with this name already exists in the database.
+    DuplicateRelation(String),
+    /// The named relation does not exist.
+    UnknownRelation(String),
+    /// The named attribute does not exist in the given relation.
+    UnknownAttribute {
+        /// Relation searched.
+        relation: String,
+        /// Attribute that was not found.
+        attribute: String,
+    },
+    /// A tuple had the wrong number of values for its relation.
+    ArityMismatch {
+        /// Target relation.
+        relation: String,
+        /// Declared attribute count.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A value's type did not match the attribute's declared type.
+    TypeMismatch {
+        /// Target relation.
+        relation: String,
+        /// Offending attribute.
+        attribute: String,
+        /// Declared type name.
+        expected: String,
+        /// Supplied value's type name.
+        got: String,
+    },
+    /// Inserting a tuple would duplicate an existing primary-key value.
+    DuplicateKey {
+        /// Target relation.
+        relation: String,
+        /// Rendered key value.
+        key: String,
+    },
+    /// A foreign-key value has no matching referenced tuple.
+    ForeignKeyViolation {
+        /// Referencing relation.
+        relation: String,
+        /// Rendered foreign-key description.
+        fk: String,
+    },
+    /// A schema was declared inconsistently (bad PK/FK attribute, etc.).
+    InvalidSchema(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateRelation(r) => write!(f, "relation `{r}` already exists"),
+            Error::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            Error::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute `{attribute}` in relation `{relation}`")
+            }
+            Error::ArityMismatch { relation, expected, got } => {
+                write!(f, "relation `{relation}` expects {expected} values, got {got}")
+            }
+            Error::TypeMismatch { relation, attribute, expected, got } => write!(
+                f,
+                "type mismatch for `{relation}.{attribute}`: expected {expected}, got {got}"
+            ),
+            Error::DuplicateKey { relation, key } => {
+                write!(f, "duplicate primary key {key} in relation `{relation}`")
+            }
+            Error::ForeignKeyViolation { relation, fk } => {
+                write!(f, "foreign key violation in `{relation}`: {fk}")
+            }
+            Error::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

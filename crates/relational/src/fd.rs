@@ -1,0 +1,457 @@
+//! Functional-dependency theory.
+//!
+//! Section 4 of the paper decides whether a relation is in 3NF by
+//! "examining the functional dependencies that hold on the relations", and
+//! Algorithm 1 (NormalizeDB) decomposes non-3NF relations into 3NF. This
+//! module supplies the classical machinery that requires: attribute
+//! closures, candidate-key enumeration, prime attributes, 2NF/3NF tests,
+//! minimal covers, and Bernstein-style 3NF synthesis.
+//!
+//! Attribute sets are `BTreeSet<String>` so all derived artifacts are
+//! deterministic (important for reproducible SQL generation).
+
+use std::collections::BTreeSet;
+
+/// An attribute set.
+pub type Attrs = BTreeSet<String>;
+
+/// A functional dependency `lhs -> rhs`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Fd {
+    /// Determinant attributes.
+    pub lhs: Attrs,
+    /// Determined attributes.
+    pub rhs: Attrs,
+}
+
+impl Fd {
+    /// Creates an FD from any iterables of attribute names.
+    pub fn new<I, J, S, T>(lhs: I, rhs: J) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        J: IntoIterator<Item = T>,
+        S: Into<String>,
+        T: Into<String>,
+    {
+        Fd {
+            lhs: lhs.into_iter().map(Into::into).collect(),
+            rhs: rhs.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Fd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let l: Vec<&str> = self.lhs.iter().map(String::as_str).collect();
+        let r: Vec<&str> = self.rhs.iter().map(String::as_str).collect();
+        write!(f, "{} -> {}", l.join(","), r.join(","))
+    }
+}
+
+/// A set of FDs over a fixed attribute universe.
+#[derive(Debug, Clone, Default)]
+pub struct FdSet {
+    /// The attribute universe (all attributes of the relation).
+    pub attrs: Attrs,
+    /// The declared dependencies.
+    pub fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// Creates an FD set over the given attribute universe.
+    pub fn new<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        FdSet { attrs: attrs.into_iter().map(Into::into).collect(), fds: Vec::new() }
+    }
+
+    /// Adds a dependency.
+    pub fn add(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    /// Computes the attribute closure `X+` under this FD set.
+    pub fn closure(&self, start: Attrs) -> Attrs {
+        let mut closure = start;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for fd in &self.fds {
+                if fd.lhs.is_subset(&closure) && !fd.rhs.is_subset(&closure) {
+                    closure.extend(fd.rhs.iter().cloned());
+                    changed = true;
+                }
+            }
+        }
+        closure
+    }
+
+    /// True if `lhs -> rhs` is implied by this FD set (Armstrong closure).
+    pub fn implies(&self, lhs: &Attrs, rhs: &Attrs) -> bool {
+        rhs.is_subset(&self.closure(lhs.clone()))
+    }
+
+    /// True if `key` determines every attribute (is a superkey).
+    pub fn is_superkey(&self, key: &Attrs) -> bool {
+        self.attrs.is_subset(&self.closure(key.clone()))
+    }
+
+    /// All candidate (minimal) keys, deterministically ordered.
+    ///
+    /// Uses the standard seed-and-extend search: attributes that appear on
+    /// no RHS must be in every key; the search then grows the seed with
+    /// subsets of the remaining "useful" attributes in increasing size,
+    /// pruning supersets of found keys. Relations in this system have few
+    /// attributes (TPC-H's widest has 16), so this is fast in practice.
+    pub fn candidate_keys(&self) -> Vec<Attrs> {
+        // Attributes never on any RHS must be part of every key.
+        let in_rhs: Attrs = self.fds.iter().flat_map(|fd| fd.rhs.iter().cloned()).collect();
+        let seed: Attrs = self.attrs.difference(&in_rhs).cloned().collect();
+
+        if self.is_superkey(&seed) {
+            return vec![seed];
+        }
+
+        // Candidates to add: attributes appearing on some LHS (adding a
+        // RHS-only attribute never helps minimality).
+        let in_lhs: Attrs = self.fds.iter().flat_map(|fd| fd.lhs.iter().cloned()).collect();
+        let pool: Vec<String> = in_lhs.difference(&seed).cloned().collect();
+
+        let mut keys: Vec<Attrs> = Vec::new();
+        // Breadth-first by subset size guarantees minimality with the
+        // superset-pruning check below.
+        for size in 1..=pool.len() {
+            for combo in combinations(&pool, size) {
+                let mut cand = seed.clone();
+                cand.extend(combo.iter().cloned());
+                if keys.iter().any(|k| k.is_subset(&cand)) {
+                    continue;
+                }
+                if self.is_superkey(&cand) {
+                    keys.push(cand);
+                }
+            }
+        }
+        if keys.is_empty() {
+            // No FDs constrain the relation: the whole heading is the key.
+            keys.push(self.attrs.clone());
+        }
+        keys.sort();
+        keys
+    }
+
+    /// Attributes that belong to at least one candidate key.
+    pub fn prime_attributes(&self) -> Attrs {
+        self.candidate_keys().into_iter().flatten().collect()
+    }
+
+    /// 2NF test: no non-prime attribute is partially dependent on a
+    /// candidate key, i.e. no proper subset of a candidate key determines
+    /// a non-prime attribute outside that subset.
+    pub fn is_2nf(&self) -> bool {
+        let keys = self.candidate_keys();
+        let prime = self.prime_attributes();
+        for key in &keys {
+            if key.len() <= 1 {
+                continue;
+            }
+            let key_vec: Vec<String> = key.iter().cloned().collect();
+            for size in 1..key.len() {
+                for part in combinations(&key_vec, size) {
+                    let part: Attrs = part.into_iter().collect();
+                    let closure = self.closure(part.clone());
+                    let has_partial = closure
+                        .iter()
+                        .any(|a| !prime.contains(a) && !part.contains(a));
+                    if has_partial {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// 3NF test: for every non-trivial FD `X -> a` implied by the set
+    /// (checked over the declared FDs, which is sufficient for a violation
+    /// witness), either `X` is a superkey or `a` is prime.
+    pub fn is_3nf(&self) -> bool {
+        let prime = self.prime_attributes();
+        for fd in &self.fds {
+            if self.is_superkey(&fd.lhs) {
+                continue;
+            }
+            for a in fd.rhs.difference(&fd.lhs) {
+                if !prime.contains(a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Computes a minimal (canonical) cover: singleton RHSs, no extraneous
+    /// LHS attributes, no redundant FDs; then regroups by LHS.
+    pub fn minimal_cover(&self) -> Vec<Fd> {
+        // 1. Singleton right-hand sides, dropping trivial FDs.
+        let mut fds: Vec<Fd> = Vec::new();
+        for fd in &self.fds {
+            for a in fd.rhs.difference(&fd.lhs) {
+                fds.push(Fd::new(fd.lhs.iter().cloned(), [a.clone()]));
+            }
+        }
+        fds.sort();
+        fds.dedup();
+
+        // 2. Remove extraneous LHS attributes.
+        let implies = |fds: &[Fd], lhs: &Attrs, rhs: &Attrs| -> bool {
+            let mut tmp = FdSet::new(self.attrs.iter().cloned());
+            tmp.fds = fds.to_vec();
+            tmp.implies(lhs, rhs)
+        };
+        for i in 0..fds.len() {
+            loop {
+                let mut reduced = None;
+                for a in fds[i].lhs.iter() {
+                    if fds[i].lhs.len() <= 1 {
+                        break;
+                    }
+                    let mut smaller = fds[i].lhs.clone();
+                    smaller.remove(a);
+                    if implies(&fds, &smaller, &fds[i].rhs) {
+                        reduced = Some(smaller);
+                        break;
+                    }
+                }
+                match reduced {
+                    Some(smaller) => fds[i].lhs = smaller,
+                    None => break,
+                }
+            }
+        }
+        fds.sort();
+        fds.dedup();
+
+        // 3. Remove redundant FDs.
+        let mut i = 0;
+        while i < fds.len() {
+            let fd = fds[i].clone();
+            let rest: Vec<Fd> =
+                fds.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, f)| f.clone()).collect();
+            if implies(&rest, &fd.lhs, &fd.rhs) {
+                fds.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        // 4. Regroup FDs sharing a LHS.
+        let mut grouped: Vec<Fd> = Vec::new();
+        for fd in fds {
+            if let Some(g) = grouped.iter_mut().find(|g| g.lhs == fd.lhs) {
+                g.rhs.extend(fd.rhs);
+            } else {
+                grouped.push(fd);
+            }
+        }
+        grouped.sort();
+        grouped
+    }
+
+    /// Bernstein 3NF synthesis: one relation per minimal-cover LHS group
+    /// (heading = LHS ∪ RHS, key = LHS), plus a key relation if no synthesized
+    /// relation contains a candidate key; subsumed relations are dropped.
+    ///
+    /// Returns `(heading, key)` pairs, deterministically ordered.
+    pub fn synthesize_3nf(&self) -> Vec<(Attrs, Attrs)> {
+        let cover = self.minimal_cover();
+        let mut rels: Vec<(Attrs, Attrs)> = Vec::new();
+        for fd in &cover {
+            let mut heading = fd.lhs.clone();
+            heading.extend(fd.rhs.iter().cloned());
+            rels.push((heading, fd.lhs.clone()));
+        }
+        // Attributes in no FD still belong to the database: attach them to
+        // a key relation below by forcing the key-relation step.
+        let covered: Attrs = rels.iter().flat_map(|(h, _)| h.iter().cloned()).collect();
+        let uncovered: Attrs = self.attrs.difference(&covered).cloned().collect();
+
+        let keys = self.candidate_keys();
+        let has_key_rel = rels.iter().any(|(h, _)| keys.iter().any(|k| k.is_subset(h)));
+        if !has_key_rel || !uncovered.is_empty() {
+            let mut heading = keys.first().cloned().unwrap_or_else(|| self.attrs.clone());
+            heading.extend(uncovered.iter().cloned());
+            let key = heading.clone();
+            rels.push((heading, key));
+        }
+
+        // Drop relations whose heading is contained in another's.
+        let mut kept: Vec<(Attrs, Attrs)> = Vec::new();
+        rels.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.cmp(b)));
+        for (h, k) in rels {
+            if !kept.iter().any(|(kh, _)| h.is_subset(kh)) {
+                kept.push((h, k));
+            }
+        }
+        kept.sort();
+        kept
+    }
+}
+
+/// All `size`-element combinations of `pool`, in deterministic order.
+fn combinations<T: Clone>(pool: &[T], size: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..size).collect();
+    if size == 0 || size > pool.len() {
+        return out;
+    }
+    loop {
+        out.push(idx.iter().map(|&i| pool[i].clone()).collect());
+        // Advance the combination.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + pool.len() - size {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..size {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs<const N: usize>(names: [&str; N]) -> Attrs {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The paper's Enrolment example (Figure 8):
+    /// Sid -> Sname, Age; Code -> Title, Credit; Sid, Code -> Grade.
+    fn enrolment_fds() -> FdSet {
+        let mut f = FdSet::new(["Sid", "Code", "Sname", "Age", "Title", "Credit", "Grade"]);
+        f.add(Fd::new(["Sid"], ["Sname", "Age"]));
+        f.add(Fd::new(["Code"], ["Title", "Credit"]));
+        f.add(Fd::new(["Sid", "Code"], ["Grade"]));
+        f
+    }
+
+    #[test]
+    fn closure_basic() {
+        let f = enrolment_fds();
+        let c = f.closure(attrs(["Sid"]));
+        assert!(c.contains("Sname") && c.contains("Age"));
+        assert!(!c.contains("Grade"));
+        let c = f.closure(attrs(["Sid", "Code"]));
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn candidate_key_of_enrolment_is_sid_code() {
+        let f = enrolment_fds();
+        assert_eq!(f.candidate_keys(), vec![attrs(["Code", "Sid"])]);
+    }
+
+    #[test]
+    fn enrolment_violates_2nf_and_3nf() {
+        let f = enrolment_fds();
+        assert!(!f.is_2nf());
+        assert!(!f.is_3nf());
+    }
+
+    #[test]
+    fn normalized_student_is_3nf() {
+        let mut f = FdSet::new(["Sid", "Sname", "Age"]);
+        f.add(Fd::new(["Sid"], ["Sname", "Age"]));
+        assert!(f.is_2nf());
+        assert!(f.is_3nf());
+    }
+
+    #[test]
+    fn transitive_dependency_violates_3nf_but_not_2nf() {
+        // Customer(custkey, cname, nationkey, regionkey) with
+        // nationkey -> regionkey is in 2NF (key is a single attribute)
+        // but not 3NF.
+        let mut f = FdSet::new(["custkey", "cname", "nationkey", "regionkey"]);
+        f.add(Fd::new(["custkey"], ["cname", "nationkey", "regionkey"]));
+        f.add(Fd::new(["nationkey"], ["regionkey"]));
+        assert!(f.is_2nf());
+        assert!(!f.is_3nf());
+    }
+
+    #[test]
+    fn synthesis_recovers_student_enrol_course() {
+        let f = enrolment_fds();
+        let rels = f.synthesize_3nf();
+        let headings: Vec<Attrs> = rels.iter().map(|(h, _)| h.clone()).collect();
+        assert!(headings.contains(&attrs(["Sid", "Sname", "Age"])));
+        assert!(headings.contains(&attrs(["Code", "Title", "Credit"])));
+        assert!(headings.contains(&attrs(["Sid", "Code", "Grade"])));
+        assert_eq!(rels.len(), 3);
+    }
+
+    #[test]
+    fn synthesis_adds_key_relation_when_missing() {
+        // R(a, b, c): a -> b, b -> a. Candidate keys {a,c}, {b,c};
+        // synthesized groups {a,b} twice; a key relation must be added.
+        let mut f = FdSet::new(["a", "b", "c"]);
+        f.add(Fd::new(["a"], ["b"]));
+        f.add(Fd::new(["b"], ["a"]));
+        let rels = f.synthesize_3nf();
+        assert!(
+            rels.iter().any(|(h, _)| f
+                .candidate_keys()
+                .iter()
+                .any(|k| k.is_subset(h))),
+            "one synthesized relation must contain a candidate key: {rels:?}"
+        );
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundancy() {
+        let mut f = FdSet::new(["a", "b", "c"]);
+        f.add(Fd::new(["a"], ["b"]));
+        f.add(Fd::new(["b"], ["c"]));
+        f.add(Fd::new(["a"], ["c"])); // redundant (transitively implied)
+        let cover = f.minimal_cover();
+        assert_eq!(cover.len(), 2);
+        assert!(cover.iter().all(|fd| !(fd.lhs == attrs(["a"]) && fd.rhs.contains("c"))));
+    }
+
+    #[test]
+    fn minimal_cover_trims_extraneous_lhs() {
+        let mut f = FdSet::new(["a", "b", "c"]);
+        f.add(Fd::new(["a"], ["b"]));
+        f.add(Fd::new(["a", "b"], ["c"])); // b extraneous
+        let cover = f.minimal_cover();
+        assert!(cover.iter().any(|fd| fd.lhs == attrs(["a"]) && fd.rhs.contains("c")));
+    }
+
+    #[test]
+    fn no_fds_means_whole_heading_is_key() {
+        let f = FdSet::new(["x", "y"]);
+        assert_eq!(f.candidate_keys(), vec![attrs(["x", "y"])]);
+        assert!(f.is_3nf());
+    }
+
+    #[test]
+    fn combinations_enumerate_correctly() {
+        let pool = vec![1, 2, 3, 4];
+        assert_eq!(combinations(&pool, 2).len(), 6);
+        assert_eq!(combinations(&pool, 4).len(), 1);
+        assert_eq!(combinations(&pool, 5).len(), 0);
+        assert_eq!(combinations::<i32>(&[], 1).len(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Term-match index.
+//!
+//! The first step of both engines (Algorithm 2, line 5: `findMatch(t, D)`)
+//! locates every relation name, attribute name, and tuple value a keyword
+//! matches. This module pre-builds:
+//!
+//! * a metadata index over relation and attribute names, and
+//! * an inverted index `token -> (relation, attribute) -> row ids` over
+//!   the textual form of every stored value.
+//!
+//! Multi-word phrases (quoted query terms such as `"royal olive"`) are
+//! answered by intersecting token postings and verifying containment on
+//! the surviving rows, so phrase queries stay cheap even on larger data.
+
+use std::collections::HashMap;
+
+use crate::database::Database;
+
+/// A keyword match against metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaMatch {
+    /// The term equals a relation's name.
+    Relation {
+        /// Matched relation (canonical name).
+        relation: String,
+    },
+    /// The term equals an attribute's name.
+    Attribute {
+        /// Owning relation (canonical name).
+        relation: String,
+        /// Matched attribute (canonical name).
+        attribute: String,
+    },
+}
+
+/// A keyword match against tuple values of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueMatch {
+    /// Relation containing the matching tuples (canonical name).
+    pub relation: String,
+    /// Attribute whose values contain the term (canonical name).
+    pub attribute: String,
+    /// Number of *distinct tuples* whose value contains the term. The
+    /// disambiguation step (Section 3.1.2) forks a pattern exactly when
+    /// this is greater than one.
+    pub tuple_count: usize,
+}
+
+#[derive(Debug, Default)]
+struct Postings {
+    /// (relation idx, attribute idx) -> sorted row ids.
+    by_column: HashMap<(u32, u32), Vec<u32>>,
+}
+
+/// Pre-built index answering metadata and value matches for query terms.
+#[derive(Debug)]
+pub struct MatchIndex {
+    relations: Vec<String>,
+    attributes: Vec<Vec<String>>,
+    token_postings: HashMap<String, Postings>,
+    /// Lowercased full text per (relation, attribute, row) is *not* stored;
+    /// phrase verification re-reads the database, which the index borrows.
+    column_rows: HashMap<(u32, u32), u32>,
+}
+
+fn tokenize(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty())
+}
+
+impl MatchIndex {
+    /// Builds the index by scanning every stored tuple once.
+    pub fn build(db: &Database) -> Self {
+        let mut relations = Vec::new();
+        let mut attributes = Vec::new();
+        let mut token_postings: HashMap<String, Postings> = HashMap::new();
+        let mut column_rows = HashMap::new();
+
+        for (ri, table) in db.tables().iter().enumerate() {
+            relations.push(table.schema.name.clone());
+            attributes.push(table.schema.attr_names().map(str::to_string).collect::<Vec<_>>());
+            for (ai, _attr) in table.schema.attrs.iter().enumerate() {
+                column_rows.insert((ri as u32, ai as u32), table.len() as u32);
+            }
+            for (rowid, row) in table.rows().iter().enumerate() {
+                for (ai, v) in row.iter().enumerate() {
+                    if v.is_null() {
+                        continue;
+                    }
+                    let text = v.to_string().to_lowercase();
+                    let mut seen_tokens: Vec<&str> = Vec::new();
+                    for tok in tokenize(&text) {
+                        if seen_tokens.contains(&tok) {
+                            continue;
+                        }
+                        seen_tokens.push(tok);
+                        let p = token_postings.entry(tok.to_string()).or_default();
+                        let list = p.by_column.entry((ri as u32, ai as u32)).or_default();
+                        list.push(rowid as u32);
+                    }
+                }
+            }
+        }
+        MatchIndex { relations, attributes, token_postings, column_rows }
+    }
+
+    /// Metadata matches of a term: relation names first, then attributes.
+    pub fn match_metadata(&self, term: &str) -> Vec<MetaMatch> {
+        let mut out = Vec::new();
+        for r in &self.relations {
+            if r.eq_ignore_ascii_case(term) {
+                out.push(MetaMatch::Relation { relation: r.clone() });
+            }
+        }
+        for (ri, attrs) in self.attributes.iter().enumerate() {
+            for a in attrs {
+                if a.eq_ignore_ascii_case(term) {
+                    out.push(MetaMatch::Attribute {
+                        relation: self.relations[ri].clone(),
+                        attribute: a.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Value matches of a (possibly multi-word) term, with per-column
+    /// matching-tuple counts. `db` must be the database the index was
+    /// built from.
+    pub fn match_values(&self, db: &Database, term: &str) -> Vec<ValueMatch> {
+        self.match_value_rows(db, term)
+            .into_iter()
+            .map(|(relation, attribute, rows)| ValueMatch {
+                relation,
+                attribute,
+                tuple_count: rows.len(),
+            })
+            .collect()
+    }
+
+    /// Like [`MatchIndex::match_values`] but returning the matching row
+    /// ids per column — used by the unnormalized pipeline, which counts
+    /// *distinct objects* (projections onto a derived key) rather than
+    /// raw rows.
+    pub fn match_value_rows(&self, db: &Database, term: &str) -> Vec<(String, String, Vec<u32>)> {
+        let lower = term.to_lowercase();
+        let tokens: Vec<&str> = tokenize(&lower).collect();
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+
+        // Candidate columns: intersection of the tokens' column sets.
+        let mut postings: Vec<&Postings> = Vec::with_capacity(tokens.len());
+        for t in &tokens {
+            match self.token_postings.get(*t) {
+                Some(p) => postings.push(p),
+                None => return Vec::new(),
+            }
+        }
+        postings.sort_by_key(|p| p.by_column.len());
+        let mut out = Vec::new();
+        'col: for (&col, rows0) in &postings[0].by_column {
+            let mut candidates: Vec<u32> = rows0.clone();
+            for p in &postings[1..] {
+                let Some(rows) = p.by_column.get(&col) else { continue 'col };
+                candidates = intersect_sorted(&candidates, rows);
+                if candidates.is_empty() {
+                    continue 'col;
+                }
+            }
+            // Verify phrase containment (tokens may be non-adjacent in the
+            // value; `contains` semantics require the literal phrase).
+            let table = &db.tables()[col.0 as usize];
+            let rows: Vec<u32> = candidates
+                .into_iter()
+                .filter(|&rowid| table.rows()[rowid as usize][col.1 as usize].contains_ci(&lower))
+                .collect();
+            if !rows.is_empty() {
+                out.push((
+                    self.relations[col.0 as usize].clone(),
+                    self.attributes[col.0 as usize][col.1 as usize].clone(),
+                    rows,
+                ));
+            }
+        }
+        out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        out
+    }
+
+    /// Number of rows in the indexed column (test/debug aid).
+    pub fn column_len(&self, relation: &str, attribute: &str) -> Option<u32> {
+        let ri = self.relations.iter().position(|r| r.eq_ignore_ascii_case(relation))?;
+        let ai = self.attributes[ri].iter().position(|a| a.eq_ignore_ascii_case(attribute))?;
+        self.column_rows.get(&(ri as u32, ai as u32)).copied()
+    }
+}
+
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, RelationSchema};
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new("t");
+        let mut s = RelationSchema::new("Student");
+        s.add_attr("Sid", AttrType::Text).add_attr("Sname", AttrType::Text);
+        s.set_primary_key(["Sid"]);
+        db.add_relation(s).unwrap();
+        let mut p = RelationSchema::new("Part");
+        p.add_attr("partkey", AttrType::Int).add_attr("pname", AttrType::Text);
+        p.set_primary_key(["partkey"]);
+        db.add_relation(p).unwrap();
+        db.insert("Student", vec![Value::str("s1"), Value::str("George")]).unwrap();
+        db.insert("Student", vec![Value::str("s2"), Value::str("Green")]).unwrap();
+        db.insert("Student", vec![Value::str("s3"), Value::str("Green")]).unwrap();
+        db.insert("Part", vec![Value::Int(1), Value::str("small royal olive")]).unwrap();
+        db.insert("Part", vec![Value::Int(2), Value::str("large royal olive")]).unwrap();
+        db.insert("Part", vec![Value::Int(3), Value::str("royal green peach")]).unwrap();
+        db
+    }
+
+    #[test]
+    fn metadata_matches() {
+        let db = db();
+        let idx = MatchIndex::build(&db);
+        let m = idx.match_metadata("student");
+        assert_eq!(m, vec![MetaMatch::Relation { relation: "Student".into() }]);
+        let m = idx.match_metadata("sname");
+        assert_eq!(
+            m,
+            vec![MetaMatch::Attribute { relation: "Student".into(), attribute: "Sname".into() }]
+        );
+        assert!(idx.match_metadata("nothing").is_empty());
+    }
+
+    #[test]
+    fn value_match_counts_tuples() {
+        let db = db();
+        let idx = MatchIndex::build(&db);
+        let m = idx.match_values(&db, "Green");
+        assert_eq!(m.len(), 2, "Green appears in Student.Sname and Part.pname: {m:?}");
+        let sname = m.iter().find(|v| v.relation == "Student").unwrap();
+        assert_eq!(sname.tuple_count, 2);
+    }
+
+    #[test]
+    fn phrase_match_requires_contiguity() {
+        let db = db();
+        let idx = MatchIndex::build(&db);
+        let m = idx.match_values(&db, "royal olive");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].tuple_count, 2, "'royal green peach' has both tokens but not the phrase");
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let db = db();
+        let idx = MatchIndex::build(&db);
+        assert!(idx.match_values(&db, "zebra").is_empty());
+        assert!(idx.match_values(&db, "").is_empty());
+    }
+
+    #[test]
+    fn match_is_case_insensitive() {
+        let db = db();
+        let idx = MatchIndex::build(&db);
+        assert_eq!(idx.match_values(&db, "GEORGE").len(), 1);
+    }
+}

@@ -1,0 +1,488 @@
+//! Plain-text persistence: a schema description format and CSV data
+//! files, so users can bring their own databases to the engine (and the
+//! bundled datasets can be exported for inspection).
+//!
+//! ## Schema format
+//!
+//! One relation per block, `#` comments, blank-line separated:
+//!
+//! ```text
+//! relation Student
+//!   attr Sid text
+//!   attr Sname text
+//!   attr Age int
+//!   key Sid
+//!
+//! relation Enrol
+//!   attr Sid text
+//!   attr Code text
+//!   attr Grade text
+//!   key Sid Code
+//!   fk Sid -> Student(Sid)
+//!   fk Code -> Course(Code)
+//!   fd Sid -> Sname Age          # extra FDs for unnormalized relations
+//!   entity Sid = Student          # naming hint for 3NF synthesis
+//! ```
+//!
+//! Types: `int`, `float`, `text`, `date`.
+//!
+//! ## CSV format
+//!
+//! One file per relation, first row the attribute names, comma-separated,
+//! RFC-4180 quoting (`"` doubles inside quoted fields). Empty unquoted
+//! fields are NULL; dates are `YYYY-MM-DD`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::schema::{AttrType, DatabaseSchema, RelationSchema};
+use crate::table::Table;
+use crate::value::{Date, Value};
+
+// ---------------------------------------------------------------------
+// Schema text
+// ---------------------------------------------------------------------
+
+/// Renders a database schema in the format of the module docs.
+pub fn schema_to_text(schema: &DatabaseSchema) -> String {
+    let mut out = String::new();
+    for rel in &schema.relations {
+        let _ = writeln!(out, "relation {}", rel.name);
+        for a in &rel.attrs {
+            let _ = writeln!(out, "  attr {} {}", a.name, a.ty.name());
+        }
+        if !rel.primary_key.is_empty() {
+            let _ = writeln!(out, "  key {}", rel.primary_key.join(" "));
+        }
+        for fk in &rel.foreign_keys {
+            let _ = writeln!(
+                out,
+                "  fk {} -> {}({})",
+                fk.attrs.join(" "),
+                fk.ref_relation,
+                fk.ref_attrs.join(" ")
+            );
+        }
+        for fd in &rel.extra_fds {
+            let lhs: Vec<&str> = fd.lhs.iter().map(String::as_str).collect();
+            let rhs: Vec<&str> = fd.rhs.iter().map(String::as_str).collect();
+            let _ = writeln!(out, "  fd {} -> {}", lhs.join(" "), rhs.join(" "));
+        }
+        for (attrs, name) in &rel.entity_names {
+            let _ = writeln!(out, "  entity {} = {}", attrs.join(" "), name);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_type(s: &str) -> Result<AttrType> {
+    match s.to_ascii_lowercase().as_str() {
+        "int" => Ok(AttrType::Int),
+        "float" => Ok(AttrType::Float),
+        "text" => Ok(AttrType::Text),
+        "date" => Ok(AttrType::Date),
+        other => Err(Error::InvalidSchema(format!("unknown type `{other}`"))),
+    }
+}
+
+/// Parses the schema text format.
+pub fn schema_from_text(text: &str) -> Result<DatabaseSchema> {
+    let mut schema = DatabaseSchema::new();
+    let mut current: Option<RelationSchema> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Error::InvalidSchema(format!("line {}: {msg}", ln + 1));
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("relation") => {
+                if let Some(rel) = current.take() {
+                    schema.relations.push(rel);
+                }
+                let name = words.next().ok_or_else(|| err("relation needs a name"))?;
+                current = Some(RelationSchema::new(name));
+            }
+            Some("attr") => {
+                let rel = current.as_mut().ok_or_else(|| err("attr outside relation"))?;
+                let name = words.next().ok_or_else(|| err("attr needs a name"))?;
+                let ty = words.next().ok_or_else(|| err("attr needs a type"))?;
+                rel.add_attr(name, parse_type(ty)?);
+            }
+            Some("key") => {
+                let rel = current.as_mut().ok_or_else(|| err("key outside relation"))?;
+                rel.set_primary_key(words.map(str::to_string).collect::<Vec<_>>());
+            }
+            Some("fk") => {
+                let rel = current.as_mut().ok_or_else(|| err("fk outside relation"))?;
+                let rest: Vec<&str> = line["fk".len()..].trim().split("->").collect();
+                if rest.len() != 2 {
+                    return Err(err("fk syntax: fk a b -> Target(x y)"));
+                }
+                let attrs: Vec<String> =
+                    rest[0].split_whitespace().map(str::to_string).collect();
+                let target = rest[1].trim();
+                let open = target.find('(').ok_or_else(|| err("fk target needs (attrs)"))?;
+                let close = target.rfind(')').ok_or_else(|| err("fk target needs (attrs)"))?;
+                let ref_rel = target[..open].trim().to_string();
+                let ref_attrs: Vec<String> = target[open + 1..close]
+                    .split([',', ' '])
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                rel.add_foreign_key(attrs, ref_rel, ref_attrs);
+            }
+            Some("fd") => {
+                let rel = current.as_mut().ok_or_else(|| err("fd outside relation"))?;
+                let rest: Vec<&str> = line["fd".len()..].trim().split("->").collect();
+                if rest.len() != 2 {
+                    return Err(err("fd syntax: fd a b -> c d"));
+                }
+                rel.add_fd(
+                    rest[0].split_whitespace().map(str::to_string).collect::<Vec<_>>(),
+                    rest[1].split_whitespace().map(str::to_string).collect::<Vec<_>>(),
+                );
+            }
+            Some("entity") => {
+                let rel = current.as_mut().ok_or_else(|| err("entity outside relation"))?;
+                let rest: Vec<&str> = line["entity".len()..].trim().split('=').collect();
+                if rest.len() != 2 {
+                    return Err(err("entity syntax: entity a b = Name"));
+                }
+                rel.name_entity(
+                    rest[0].split_whitespace().map(str::to_string).collect::<Vec<_>>(),
+                    rest[1].trim(),
+                );
+            }
+            Some(other) => return Err(err(&format!("unknown directive `{other}`"))),
+            None => {}
+        }
+    }
+    if let Some(rel) = current.take() {
+        schema.relations.push(rel);
+    }
+    schema.validate()?;
+    Ok(schema)
+}
+
+// ---------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders a table as CSV (header + rows). NULL renders as an empty
+/// unquoted field.
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> =
+        table.schema.attr_names().map(csv_escape).collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in table.rows() {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                other => csv_escape(&other.to_string()),
+            })
+            .collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Splits one CSV record (RFC-4180 quoting). Returns (fields, was_quoted).
+fn split_csv_line(line: &str) -> Result<Vec<(String, bool)>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => {
+                    in_quotes = true;
+                    quoted = true;
+                }
+                ',' => {
+                    fields.push((std::mem::take(&mut cur), quoted));
+                    quoted = false;
+                }
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::InvalidSchema("unterminated CSV quote".into()));
+    }
+    fields.push((cur, quoted));
+    Ok(fields)
+}
+
+fn parse_value(text: &str, quoted: bool, ty: AttrType, relation: &str) -> Result<Value> {
+    if text.is_empty() && !quoted {
+        return Ok(Value::Null);
+    }
+    let bad = |msg: String| Error::TypeMismatch {
+        relation: relation.to_string(),
+        attribute: String::new(),
+        expected: ty.name().to_string(),
+        got: msg,
+    };
+    Ok(match ty {
+        AttrType::Int => Value::Int(text.parse().map_err(|_| bad(text.into()))?),
+        AttrType::Float => Value::Float(text.parse().map_err(|_| bad(text.into()))?),
+        AttrType::Text => Value::str(text),
+        AttrType::Date => {
+            let parts: Vec<&str> = text.split('-').collect();
+            if parts.len() != 3 {
+                return Err(bad(text.into()));
+            }
+            let y = parts[0].parse().map_err(|_| bad(text.into()))?;
+            let m = parts[1].parse().map_err(|_| bad(text.into()))?;
+            let d = parts[2].parse().map_err(|_| bad(text.into()))?;
+            if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+                return Err(bad(text.into()));
+            }
+            Value::Date(Date::new(y, m, d))
+        }
+    })
+}
+
+/// Loads CSV rows into an existing relation of the database. The header
+/// must list the relation's attributes (any order).
+pub fn load_csv(db: &mut Database, relation: &str, csv: &str) -> Result<usize> {
+    let schema = db
+        .table(relation)
+        .ok_or_else(|| Error::UnknownRelation(relation.to_string()))?
+        .schema
+        .clone();
+    let mut lines = csv.lines();
+    let header = lines.next().ok_or_else(|| Error::InvalidSchema("empty CSV".into()))?;
+    let cols: Vec<usize> = split_csv_line(header)?
+        .into_iter()
+        .map(|(name, _)| {
+            schema.attr_index(&name).ok_or_else(|| Error::UnknownAttribute {
+                relation: relation.to_string(),
+                attribute: name,
+            })
+        })
+        .collect::<Result<_>>()?;
+    if cols.len() != schema.attrs.len() {
+        return Err(Error::InvalidSchema(format!(
+            "CSV header for `{relation}` must list all {} attributes",
+            schema.attrs.len()
+        )));
+    }
+    let mut count = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(line)?;
+        if fields.len() != cols.len() {
+            return Err(Error::ArityMismatch {
+                relation: relation.to_string(),
+                expected: cols.len(),
+                got: fields.len(),
+            });
+        }
+        let mut row = vec![Value::Null; schema.attrs.len()];
+        for ((text, quoted), &idx) in fields.into_iter().zip(&cols) {
+            row[idx] = parse_value(&text, quoted, schema.attrs[idx].ty, relation)?;
+        }
+        db.insert(relation, row)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------
+// Directory import/export
+// ---------------------------------------------------------------------
+
+/// Writes `schema.txt` plus one `<Relation>.csv` per relation.
+pub fn export_dir(db: &Database, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("schema.txt"), schema_to_text(&db.schema()))?;
+    for table in db.tables() {
+        std::fs::write(dir.join(format!("{}.csv", table.schema.name)), table_to_csv(table))?;
+    }
+    Ok(())
+}
+
+/// Reads a directory written by [`export_dir`] (or hand-authored in the
+/// same format) into a new database named after the directory.
+pub fn import_dir(dir: &Path) -> Result<Database> {
+    let read = |p: std::path::PathBuf| {
+        std::fs::read_to_string(&p)
+            .map_err(|e| Error::InvalidSchema(format!("{}: {e}", p.display())))
+    };
+    let schema = schema_from_text(&read(dir.join("schema.txt"))?)?;
+    let name = dir.file_name().and_then(|s| s.to_str()).unwrap_or("imported").to_string();
+    let mut db = Database::new(name);
+    for rel in schema.relations {
+        db.add_relation(rel)?;
+    }
+    let relations: Vec<String> =
+        db.tables().iter().map(|t| t.schema.name.clone()).collect();
+    for rel in relations {
+        let path = dir.join(format!("{rel}.csv"));
+        if path.exists() {
+            load_csv(&mut db, &rel, &read(path)?)?;
+        }
+    }
+    db.validate()?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("io");
+        let mut s = RelationSchema::new("Student");
+        s.add_attr("Sid", AttrType::Text)
+            .add_attr("Sname", AttrType::Text)
+            .add_attr("Age", AttrType::Int)
+            .add_attr("Gpa", AttrType::Float)
+            .add_attr("Since", AttrType::Date);
+        s.set_primary_key(["Sid"]);
+        s.add_fd(["Sname"], ["Age"]);
+        s.name_entity(["Sid"], "Student");
+        db.add_relation(s).unwrap();
+        db.insert(
+            "Student",
+            vec![
+                Value::str("s1"),
+                Value::str("Quote \"Me\", please"),
+                Value::Int(22),
+                Value::Float(3.5),
+                Value::Date(Date::new(2020, 9, 1)),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "Student",
+            vec![Value::str("s2"), Value::Null, Value::Null, Value::Null, Value::Null],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn schema_text_roundtrip() {
+        let db = sample_db();
+        let text = schema_to_text(&db.schema());
+        let parsed = schema_from_text(&text).unwrap();
+        assert_eq!(parsed.relations.len(), 1);
+        let rel = &parsed.relations[0];
+        assert_eq!(rel.name, "Student");
+        assert_eq!(rel.primary_key, vec!["Sid"]);
+        assert_eq!(rel.extra_fds.len(), 1);
+        assert_eq!(rel.entity_name_for(["Sid"]), Some("Student"));
+        assert_eq!(rel.attrs[4].ty, AttrType::Date);
+    }
+
+    #[test]
+    fn schema_text_with_fk_and_comments() {
+        let text = "\
+# university
+relation Student
+  attr Sid text
+  key Sid
+
+relation Enrol
+  attr Sid text
+  attr Code text
+  key Sid Code
+  fk Sid -> Student(Sid)   # reference
+";
+        let schema = schema_from_text(text).unwrap();
+        assert_eq!(schema.relations.len(), 2);
+        assert_eq!(schema.relations[1].foreign_keys[0].ref_relation, "Student");
+    }
+
+    #[test]
+    fn schema_text_errors() {
+        assert!(schema_from_text("attr x int").is_err());
+        assert!(schema_from_text("relation R\n  attr x blob").is_err());
+        assert!(schema_from_text("relation R\n  attr x int\n  fk x Student").is_err());
+        assert!(schema_from_text("relation R\n  bogus").is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip_with_quotes_and_nulls() {
+        let db = sample_db();
+        let csv = table_to_csv(db.table("Student").unwrap());
+        assert!(csv.contains("\"Quote \"\"Me\"\", please\""), "{csv}");
+
+        let mut fresh = Database::new("fresh");
+        fresh.add_relation(db.table("Student").unwrap().schema.clone()).unwrap();
+        let n = load_csv(&mut fresh, "Student", &csv).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(fresh.table("Student").unwrap().rows(), db.table("Student").unwrap().rows());
+    }
+
+    #[test]
+    fn csv_quoted_empty_is_empty_string_not_null() {
+        let mut db = Database::new("t");
+        let mut r = RelationSchema::new("R");
+        r.add_attr("a", AttrType::Text).add_attr("b", AttrType::Text);
+        r.set_primary_key(["a"]);
+        db.add_relation(r).unwrap();
+        load_csv(&mut db, "R", "a,b\nx,\ny,\"\"\n").unwrap();
+        let rows = db.table("R").unwrap().rows();
+        assert_eq!(rows[0][1], Value::Null);
+        assert_eq!(rows[1][1], Value::str(""));
+    }
+
+    #[test]
+    fn csv_rejects_bad_arity_and_types() {
+        let mut db = sample_db();
+        assert!(load_csv(&mut db, "Student", "Sid\nz1\n").is_err(), "partial header");
+        assert!(load_csv(&mut db, "Student", "Sid,Sname,Age,Gpa,Since\nz1,a\n").is_err());
+        assert!(
+            load_csv(&mut db, "Student", "Sid,Sname,Age,Gpa,Since\nz1,a,notint,1.0,2020-01-01\n")
+                .is_err()
+        );
+        assert!(
+            load_csv(&mut db, "Student", "Sid,Sname,Age,Gpa,Since\nz1,a,1,1.0,2020-13-01\n")
+                .is_err(),
+            "month out of range"
+        );
+    }
+
+    #[test]
+    fn directory_roundtrip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join(format!("aqks-io-test-{}", std::process::id()));
+        export_dir(&db, &dir).unwrap();
+        let back = import_dir(&dir).unwrap();
+        assert_eq!(back.table("Student").unwrap().rows(), db.table("Student").unwrap().rows());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

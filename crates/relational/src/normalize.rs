@@ -1,0 +1,386 @@
+//! Algorithm 1 (NormalizeDB): the normalized view `D'` of an unnormalized
+//! database schema `D`, plus the `D <-> D'` mappings of Table 1.
+//!
+//! For each relation of `D` that is already in 3NF (w.r.t. its declared
+//! FDs) the view contains it unchanged. Each non-3NF relation is
+//! decomposed by 3NF synthesis; every decomposed relation is recorded as a
+//! *projection* of its original (`Student' = Π_{Sid,Sname,Age}(Enrolment)`).
+//! Finally, derived relations with the same key are merged.
+//!
+//! Foreign keys between derived relations are inferred by key containment,
+//! which relies on the (paper-wide) convention that a foreign-key
+//! attribute carries the same name as the key it references — true of the
+//! university, TPC-H, and ACMDL schemas alike.
+
+use std::collections::BTreeSet;
+
+use crate::fd::Attrs;
+use crate::schema::{DatabaseSchema, RelationSchema};
+
+/// One projection mapping `derived ⊆ Π_attrs(original)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceProjection {
+    /// Original (unnormalized) relation name.
+    pub original: String,
+    /// Projected attributes (canonical names, in derived-schema order).
+    pub attrs: Vec<String>,
+    /// Whether the projection requires duplicate elimination: false iff
+    /// the projected attributes contain a key of the original relation.
+    pub distinct: bool,
+}
+
+/// A relation of the normalized view `D'` with its mapping(s) back to `D`.
+#[derive(Debug, Clone)]
+pub struct DerivedRelation {
+    /// Schema of the derived relation (name, attrs, key, inferred FKs).
+    pub schema: RelationSchema,
+    /// Projections producing this relation. A merged relation (same key
+    /// from several originals) carries one source per original.
+    pub sources: Vec<SourceProjection>,
+    /// True when the relation is carried over unchanged (already 3NF).
+    pub identity: bool,
+}
+
+impl DerivedRelation {
+    /// The source projection covering all of `needed` (preferring
+    /// identity/first sources), if a single one exists.
+    pub fn source_covering(&self, needed: &[&str]) -> Option<&SourceProjection> {
+        self.sources.iter().find(|s| {
+            needed.iter().all(|n| s.attrs.iter().any(|a| a.eq_ignore_ascii_case(n)))
+        })
+    }
+}
+
+/// The normalized view `D'` of a database schema `D`.
+#[derive(Debug, Clone)]
+pub struct NormalizedView {
+    /// Derived relations, deterministically ordered.
+    pub relations: Vec<DerivedRelation>,
+}
+
+fn lower_set<'a, I: IntoIterator<Item = &'a String>>(attrs: I) -> BTreeSet<String> {
+    attrs.into_iter().map(|a| a.to_lowercase()).collect()
+}
+
+impl NormalizedView {
+    /// True if every relation of the schema is in 3NF under its declared
+    /// FDs — i.e. the database needs no normalized view (Algorithm 2 takes
+    /// the simple branch).
+    pub fn is_normalized(schema: &DatabaseSchema) -> bool {
+        schema.relations.iter().all(|r| r.fd_set().is_3nf())
+    }
+
+    /// Runs Algorithm 1 on the schema.
+    pub fn build(schema: &DatabaseSchema) -> Self {
+        let mut relations: Vec<DerivedRelation> = Vec::new();
+
+        for rel in &schema.relations {
+            let fds = rel.fd_set();
+            if fds.is_3nf() {
+                relations.push(DerivedRelation {
+                    schema: rel.clone(),
+                    sources: vec![SourceProjection {
+                        original: rel.name.clone(),
+                        attrs: rel.attr_names().map(str::to_string).collect(),
+                        distinct: false,
+                    }],
+                    identity: true,
+                });
+                continue;
+            }
+            for (heading, key) in fds.synthesize_3nf() {
+                relations.push(make_derived(rel, &heading, &key));
+            }
+        }
+
+        merge_same_key(&mut relations);
+        disambiguate_names(&mut relations);
+        infer_foreign_keys(&mut relations, schema);
+        relations.sort_by(|a, b| a.schema.name.cmp(&b.schema.name));
+        NormalizedView { relations }
+    }
+
+    /// Looks up a derived relation by case-insensitive name.
+    pub fn relation(&self, name: &str) -> Option<&DerivedRelation> {
+        self.relations.iter().find(|r| r.schema.is_named(name))
+    }
+
+    /// All derived relations that project from `original`.
+    pub fn derived_from(&self, original: &str) -> Vec<&DerivedRelation> {
+        self.relations
+            .iter()
+            .filter(|r| r.sources.iter().any(|s| s.original.eq_ignore_ascii_case(original)))
+            .collect()
+    }
+
+    /// The schema of the view (used to build the ORM graph of `D'`).
+    pub fn schema(&self) -> DatabaseSchema {
+        DatabaseSchema { relations: self.relations.iter().map(|r| r.schema.clone()).collect() }
+    }
+}
+
+/// Builds one synthesized relation: heading/key from the FD synthesis,
+/// attribute order and types from the original, name `Original__key`.
+fn make_derived(original: &RelationSchema, heading: &Attrs, key: &Attrs) -> DerivedRelation {
+    let mut schema = RelationSchema::new(derived_name(original, key));
+    let mut attrs_in_order = Vec::new();
+    for a in &original.attrs {
+        if heading.contains(&a.name) {
+            schema.add_attr(a.name.clone(), a.ty);
+            attrs_in_order.push(a.name.clone());
+        }
+    }
+    schema.set_primary_key(key.iter().cloned());
+
+    // DISTINCT is unnecessary iff the projection keeps a key of the
+    // original relation (then tuples are already unique).
+    let orig_key = lower_set(&original.primary_key.to_vec());
+    let kept = lower_set(&attrs_in_order.to_vec());
+    let distinct = !orig_key.is_subset(&kept) || orig_key.is_empty();
+
+    DerivedRelation {
+        schema,
+        sources: vec![SourceProjection {
+            original: original.name.clone(),
+            attrs: attrs_in_order,
+            distinct,
+        }],
+        identity: false,
+    }
+}
+
+fn derived_name(original: &RelationSchema, key: &Attrs) -> String {
+    if let Some(name) = original.entity_name_for(key.iter().map(String::as_str)) {
+        return name.to_string();
+    }
+    let key_part: Vec<&str> = key.iter().map(String::as_str).collect();
+    format!("{}__{}", original.name, key_part.join("_"))
+}
+
+/// Merges derived relations whose keys are equal (Algorithm 1, lines 9-11).
+fn merge_same_key(relations: &mut Vec<DerivedRelation>) {
+    let mut merged: Vec<DerivedRelation> = Vec::new();
+    for rel in relations.drain(..) {
+        let key = lower_set(&rel.schema.primary_key.to_vec());
+        if let Some(existing) = merged.iter_mut().find(|m| {
+            lower_set(&m.schema.primary_key.to_vec()) == key
+        }) {
+            // Extend heading with any new attributes, keep all sources.
+            for attr in &rel.schema.attrs {
+                if existing.schema.attr_index(&attr.name).is_none() {
+                    existing.schema.add_attr(attr.name.clone(), attr.ty);
+                }
+            }
+            existing.sources.extend(rel.sources);
+            existing.identity = existing.identity && rel.identity;
+        } else {
+            merged.push(rel);
+        }
+    }
+    *relations = merged;
+}
+
+/// Ensures derived-relation names are unique after merging (two distinct
+/// keys may carry the same entity-name hint by mistake).
+fn disambiguate_names(relations: &mut [DerivedRelation]) {
+    let mut seen: Vec<String> = Vec::new();
+    for rel in relations.iter_mut() {
+        let mut name = rel.schema.name.clone();
+        let mut n = 1;
+        while seen.iter().any(|s| s.eq_ignore_ascii_case(&name)) {
+            n += 1;
+            name = format!("{}_{n}", rel.schema.name);
+        }
+        rel.schema.name = name.clone();
+        seen.push(name);
+    }
+}
+
+/// Adds `A -> B` foreign keys between derived relations:
+///
+/// * **key containment** — `key(B) ⊆ attrs(A)` (the name-based
+///   convention described in the module docs); or
+/// * **FD closure** — `A` and `B` share attributes `S` and, under the FD
+///   set of an original relation both project from, `S -> key(B)`. This
+///   covers views built from *discovered* FDs, where an instance may
+///   exhibit several equivalent keys and the decomposition does not
+///   always carry `key(B)` into `A` verbatim.
+type RelMeta = (String, Vec<String>, Vec<String>, Vec<String>);
+
+fn infer_foreign_keys(relations: &mut [DerivedRelation], schema: &DatabaseSchema) {
+    let meta: Vec<RelMeta> = relations
+        .iter()
+        .map(|r| {
+            (
+                r.schema.name.clone(),
+                r.schema.primary_key.clone(),
+                r.schema.attr_names().map(str::to_string).collect(),
+                r.sources.iter().map(|s| s.original.clone()).collect(),
+            )
+        })
+        .collect();
+
+    for (ai, rel) in relations.iter_mut().enumerate() {
+        let own_key = lower_set(&rel.schema.primary_key.to_vec());
+        let own_originals = meta[ai].3.clone();
+        for (bi, (target, target_key, target_attrs, target_originals)) in meta.iter().enumerate()
+        {
+            if ai == bi || target_key.is_empty() {
+                continue;
+            }
+            let tk = lower_set(&target_key.to_vec());
+            if tk == own_key {
+                continue;
+            }
+            if target_key.iter().all(|k| rel.schema.attr_index(k).is_some()) {
+                rel.schema.add_foreign_key(
+                    target_key.to_vec(),
+                    target.clone(),
+                    target_key.to_vec(),
+                );
+                continue;
+            }
+            // FD-closure rule over a shared original.
+            let shared: Vec<String> = target_attrs
+                .iter()
+                .filter(|a| rel.schema.attr_index(a).is_some())
+                .cloned()
+                .collect();
+            if shared.is_empty() {
+                continue;
+            }
+            let determined = own_originals.iter().any(|o| {
+                if !target_originals.iter().any(|t| t.eq_ignore_ascii_case(o)) {
+                    return false;
+                }
+                let Some(orig) = schema.relation(o) else { return false };
+                let fds = orig.fd_set();
+                let closure = fds.closure(shared.iter().cloned().collect());
+                target_key.iter().all(|k| closure.contains(k))
+            });
+            if determined {
+                rel.schema.add_foreign_key(shared.clone(), target.clone(), shared);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    /// The paper's Figure 8 database: a single unnormalized relation.
+    fn enrolment_schema() -> DatabaseSchema {
+        let mut r = RelationSchema::new("Enrolment");
+        r.add_attr("Sid", AttrType::Text)
+            .add_attr("Sname", AttrType::Text)
+            .add_attr("Age", AttrType::Int)
+            .add_attr("Code", AttrType::Text)
+            .add_attr("Title", AttrType::Text)
+            .add_attr("Credit", AttrType::Float)
+            .add_attr("Grade", AttrType::Text);
+        r.set_primary_key(["Sid", "Code"]);
+        r.add_fd(["Sid"], ["Sname", "Age"]);
+        r.add_fd(["Code"], ["Title", "Credit"]);
+        DatabaseSchema { relations: vec![r] }
+    }
+
+    #[test]
+    fn enrolment_is_not_normalized() {
+        assert!(!NormalizedView::is_normalized(&enrolment_schema()));
+    }
+
+    #[test]
+    fn example8_decomposition() {
+        // Example 8: Enrolment decomposes into Student', Enrol', Course'.
+        let view = NormalizedView::build(&enrolment_schema());
+        assert_eq!(view.relations.len(), 3, "{view:#?}");
+
+        let student = view
+            .relations
+            .iter()
+            .find(|r| r.schema.primary_key == vec!["Sid".to_string()])
+            .expect("Student' present");
+        let names: Vec<&str> = student.schema.attr_names().collect();
+        assert_eq!(names, vec!["Sid", "Sname", "Age"]);
+        assert!(student.sources[0].distinct, "Student' projection needs DISTINCT");
+
+        let enrol = view
+            .relations
+            .iter()
+            .find(|r| r.schema.primary_key.len() == 2)
+            .expect("Enrol' present");
+        let names: Vec<&str> = enrol.schema.attr_names().collect();
+        assert_eq!(names, vec!["Sid", "Code", "Grade"]);
+        assert!(!enrol.sources[0].distinct, "Enrol' keeps the original key: no DISTINCT");
+
+        // Figure 9: Enrol' references Student' and Course'.
+        assert_eq!(enrol.schema.foreign_keys.len(), 2);
+    }
+
+    #[test]
+    fn already_normalized_relation_is_identity() {
+        let mut r = RelationSchema::new("Region");
+        r.add_attr("regionkey", AttrType::Int).add_attr("rname", AttrType::Text);
+        r.set_primary_key(["regionkey"]);
+        let schema = DatabaseSchema { relations: vec![r] };
+        assert!(NormalizedView::is_normalized(&schema));
+        let view = NormalizedView::build(&schema);
+        assert_eq!(view.relations.len(), 1);
+        assert!(view.relations[0].identity);
+        assert_eq!(view.relations[0].schema.name, "Region");
+    }
+
+    #[test]
+    fn same_key_relations_from_different_originals_merge() {
+        // Two unnormalized relations both embedding nationkey -> regionkey.
+        let mut a = RelationSchema::new("Supplier");
+        a.add_attr("suppkey", AttrType::Int)
+            .add_attr("sname", AttrType::Text)
+            .add_attr("nationkey", AttrType::Int)
+            .add_attr("regionkey", AttrType::Int);
+        a.set_primary_key(["suppkey"]);
+        a.add_fd(["nationkey"], ["regionkey"]);
+        let mut b = RelationSchema::new("Customer");
+        b.add_attr("custkey", AttrType::Int)
+            .add_attr("cname", AttrType::Text)
+            .add_attr("nationkey", AttrType::Int)
+            .add_attr("regionkey", AttrType::Int);
+        b.set_primary_key(["custkey"]);
+        b.add_fd(["nationkey"], ["regionkey"]);
+
+        let view = NormalizedView::build(&DatabaseSchema { relations: vec![a, b] });
+        let nation: Vec<&DerivedRelation> = view
+            .relations
+            .iter()
+            .filter(|r| r.schema.primary_key == vec!["nationkey".to_string()])
+            .collect();
+        assert_eq!(nation.len(), 1, "nationkey-keyed relations merged: {view:#?}");
+        assert_eq!(nation[0].sources.len(), 2);
+
+        // Supplier' and Customer' both reference the merged Nation'.
+        let supplier = view
+            .relations
+            .iter()
+            .find(|r| r.schema.primary_key == vec!["suppkey".to_string()])
+            .unwrap();
+        assert!(supplier
+            .schema
+            .foreign_keys
+            .iter()
+            .any(|fk| fk.ref_relation == nation[0].schema.name));
+    }
+
+    #[test]
+    fn source_covering_picks_single_projection() {
+        let view = NormalizedView::build(&enrolment_schema());
+        let student = view
+            .relations
+            .iter()
+            .find(|r| r.schema.primary_key == vec!["Sid".to_string()])
+            .unwrap();
+        assert!(student.source_covering(&["Sid", "Sname"]).is_some());
+        assert!(student.source_covering(&["Sid", "Grade"]).is_none());
+    }
+}

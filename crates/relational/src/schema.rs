@@ -1,0 +1,363 @@
+//! Relation and database schemas: attributes, primary keys, foreign keys,
+//! and declared functional dependencies.
+//!
+//! Names are stored in their canonical (declared) casing but all lookups
+//! are case-insensitive, matching how keyword queries refer to metadata
+//! ("order" matches relation `Order`, "acctbal" matches `Supplier.acctbal`).
+
+use crate::error::{Error, Result};
+use crate::fd::{Fd, FdSet};
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Calendar date.
+    Date,
+}
+
+impl AttrType {
+    /// Lowercase name used in error messages and schema dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Text => "text",
+            AttrType::Date => "date",
+        }
+    }
+}
+
+/// A named, typed attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Canonical attribute name as declared.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+/// A foreign key: `attrs` in this relation reference `ref_attrs` (usually
+/// the primary key) of `ref_relation`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing attributes in the owning relation.
+    pub attrs: Vec<String>,
+    /// Referenced relation name.
+    pub ref_relation: String,
+    /// Referenced attributes (parallel to `attrs`).
+    pub ref_attrs: Vec<String>,
+}
+
+/// Schema of a single relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationSchema {
+    /// Canonical relation name.
+    pub name: String,
+    /// Attributes in declaration order.
+    pub attrs: Vec<Attribute>,
+    /// Primary-key attribute names (canonical casing).
+    pub primary_key: Vec<String>,
+    /// Declared foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+    /// Extra functional dependencies beyond `PK -> all attributes`.
+    /// Normalized relations leave this empty; unnormalized relations
+    /// (Section 4) declare the FDs that expose their redundancy.
+    pub extra_fds: Vec<Fd>,
+    /// Semantic names for the entities hidden inside an unnormalized
+    /// relation, keyed by their identifying attribute set. Used by 3NF
+    /// synthesis to name decomposed relations the way the paper does
+    /// (`Student'`, `Enrol'`, …) so that keyword metadata matching works
+    /// against the normalized view.
+    pub entity_names: Vec<(Vec<String>, String)>,
+}
+
+impl RelationSchema {
+    /// Creates an empty schema with the given canonical name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RelationSchema {
+            name: name.into(),
+            attrs: Vec::new(),
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+            extra_fds: Vec::new(),
+            entity_names: Vec::new(),
+        }
+    }
+
+    /// Appends an attribute. Returns `self` for builder-style chaining.
+    pub fn add_attr(&mut self, name: impl Into<String>, ty: AttrType) -> &mut Self {
+        self.attrs.push(Attribute { name: name.into(), ty });
+        self
+    }
+
+    /// Declares the primary key. Attribute names are resolved to canonical
+    /// casing when the schema is added to a database.
+    pub fn set_primary_key<I, S>(&mut self, attrs: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.primary_key = attrs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Declares a foreign key `attrs -> ref_relation(ref_attrs)`.
+    pub fn add_foreign_key<I, J, S, T>(
+        &mut self,
+        attrs: I,
+        ref_relation: impl Into<String>,
+        ref_attrs: J,
+    ) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        J: IntoIterator<Item = T>,
+        S: Into<String>,
+        T: Into<String>,
+    {
+        self.foreign_keys.push(ForeignKey {
+            attrs: attrs.into_iter().map(Into::into).collect(),
+            ref_relation: ref_relation.into(),
+            ref_attrs: ref_attrs.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Declares an extra functional dependency (for unnormalized relations).
+    pub fn add_fd<I, J, S, T>(&mut self, lhs: I, rhs: J) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        J: IntoIterator<Item = T>,
+        S: Into<String>,
+        T: Into<String>,
+    {
+        self.extra_fds.push(Fd::new(lhs, rhs));
+        self
+    }
+
+    /// Declares the semantic entity name for the given identifying
+    /// attributes (see [`RelationSchema::entity_names`]).
+    pub fn name_entity<I, S>(&mut self, key_attrs: I, name: impl Into<String>) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.entity_names
+            .push((key_attrs.into_iter().map(Into::into).collect(), name.into()));
+        self
+    }
+
+    /// The declared entity name for an identifying attribute set, if any
+    /// (compared as case-insensitive sets).
+    pub fn entity_name_for<'a, I>(&self, key_attrs: I) -> Option<&str>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let wanted: std::collections::BTreeSet<String> =
+            key_attrs.into_iter().map(str::to_lowercase).collect();
+        self.entity_names
+            .iter()
+            .find(|(attrs, _)| {
+                attrs.iter().map(|a| a.to_lowercase()).collect::<std::collections::BTreeSet<_>>()
+                    == wanted
+            })
+            .map(|(_, name)| name.as_str())
+    }
+
+    /// Position of an attribute by case-insensitive name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Canonical attribute name for a case-insensitive lookup.
+    pub fn canonical_attr(&self, name: &str) -> Option<&str> {
+        self.attr_index(name).map(|i| self.attrs[i].name.as_str())
+    }
+
+    /// True if `name` equals this relation's name, case-insensitively.
+    pub fn is_named(&self, name: &str) -> bool {
+        self.name.eq_ignore_ascii_case(name)
+    }
+
+    /// All attribute names in declaration order.
+    pub fn attr_names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|a| a.name.as_str())
+    }
+
+    /// The full FD set of this relation: `PK -> all` plus `extra_fds`,
+    /// expressed over this relation's attributes.
+    pub fn fd_set(&self) -> FdSet {
+        let mut fds = FdSet::new(self.attr_names().map(str::to_string));
+        if !self.primary_key.is_empty() {
+            let rhs: Vec<String> = self
+                .attr_names()
+                .filter(|a| !self.primary_key.iter().any(|k| k.eq_ignore_ascii_case(a)))
+                .map(str::to_string)
+                .collect();
+            if !rhs.is_empty() {
+                fds.add(Fd::new(self.primary_key.clone(), rhs));
+            }
+        }
+        for fd in &self.extra_fds {
+            fds.add(fd.clone());
+        }
+        fds
+    }
+
+    /// Validates internal consistency: PK/FK attributes must exist, FK arity
+    /// must match. Called by [`crate::Database::add_relation`].
+    pub fn validate(&self) -> Result<()> {
+        for k in &self.primary_key {
+            if self.attr_index(k).is_none() {
+                return Err(Error::InvalidSchema(format!(
+                    "primary key attribute `{k}` not in relation `{}`",
+                    self.name
+                )));
+            }
+        }
+        for fk in &self.foreign_keys {
+            if fk.attrs.len() != fk.ref_attrs.len() || fk.attrs.is_empty() {
+                return Err(Error::InvalidSchema(format!(
+                    "foreign key arity mismatch in `{}`",
+                    self.name
+                )));
+            }
+            for a in &fk.attrs {
+                if self.attr_index(a).is_none() {
+                    return Err(Error::InvalidSchema(format!(
+                        "foreign key attribute `{a}` not in relation `{}`",
+                        self.name
+                    )));
+                }
+            }
+        }
+        for fd in &self.extra_fds {
+            for a in fd.lhs.iter().chain(fd.rhs.iter()) {
+                if self.attr_index(a).is_none() {
+                    return Err(Error::InvalidSchema(format!(
+                        "FD attribute `{a}` not in relation `{}`",
+                        self.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A whole database schema: an ordered collection of relation schemas.
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseSchema {
+    /// Relations in declaration order.
+    pub relations: Vec<RelationSchema>,
+}
+
+impl DatabaseSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a relation by case-insensitive name.
+    pub fn relation(&self, name: &str) -> Option<&RelationSchema> {
+        self.relations.iter().find(|r| r.is_named(name))
+    }
+
+    /// Index of a relation by case-insensitive name.
+    pub fn relation_index(&self, name: &str) -> Option<usize> {
+        self.relations.iter().position(|r| r.is_named(name))
+    }
+
+    /// Validates all relations plus cross-relation FK targets.
+    pub fn validate(&self) -> Result<()> {
+        for r in &self.relations {
+            r.validate()?;
+            for fk in &r.foreign_keys {
+                let target = self.relation(&fk.ref_relation).ok_or_else(|| {
+                    Error::InvalidSchema(format!(
+                        "relation `{}` references unknown relation `{}`",
+                        r.name, fk.ref_relation
+                    ))
+                })?;
+                for a in &fk.ref_attrs {
+                    if target.attr_index(a).is_none() {
+                        return Err(Error::InvalidSchema(format!(
+                            "relation `{}` references unknown attribute `{}.{a}`",
+                            r.name, fk.ref_relation
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn student() -> RelationSchema {
+        let mut s = RelationSchema::new("Student");
+        s.add_attr("Sid", AttrType::Text)
+            .add_attr("Sname", AttrType::Text)
+            .add_attr("Age", AttrType::Int);
+        s.set_primary_key(["Sid"]);
+        s
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let s = student();
+        assert_eq!(s.attr_index("sname"), Some(1));
+        assert_eq!(s.canonical_attr("SNAME"), Some("Sname"));
+        assert!(s.is_named("student"));
+    }
+
+    #[test]
+    fn fd_set_includes_key_fd() {
+        let s = student();
+        let fds = s.fd_set();
+        let closure = fds.closure(["Sid".to_string()].into_iter().collect());
+        assert!(closure.contains("Sname"));
+        assert!(closure.contains("Age"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_pk() {
+        let mut s = student();
+        s.set_primary_key(["Nope"]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_fk_target() {
+        let mut db = DatabaseSchema::new();
+        let mut e = RelationSchema::new("Enrol");
+        e.add_attr("Sid", AttrType::Text);
+        e.set_primary_key(["Sid"]);
+        e.add_foreign_key(["Sid"], "Student", ["Sid"]);
+        db.relations.push(e);
+        assert!(db.validate().is_err());
+        db.relations.push(student());
+        assert!(db.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_fk_arity_mismatch() {
+        let mut e = RelationSchema::new("Enrol");
+        e.add_attr("Sid", AttrType::Text);
+        e.set_primary_key(["Sid"]);
+        e.foreign_keys.push(ForeignKey {
+            attrs: vec!["Sid".into()],
+            ref_relation: "Student".into(),
+            ref_attrs: vec!["Sid".into(), "X".into()],
+        });
+        assert!(e.validate().is_err());
+    }
+}

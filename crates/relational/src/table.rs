@@ -1,0 +1,194 @@
+//! Tuple storage for a single relation, with arity/type checks and
+//! primary-key uniqueness enforcement.
+
+use std::collections::HashSet;
+
+use crate::error::{Error, Result};
+use crate::schema::{AttrType, RelationSchema};
+use crate::value::Value;
+
+/// One tuple. Values are positionally aligned with the schema's attributes.
+pub type Row = Vec<Value>;
+
+/// A relation instance: schema plus tuples.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Schema of this relation.
+    pub schema: RelationSchema,
+    rows: Vec<Row>,
+    /// Attribute positions of the primary key (cached).
+    key_pos: Vec<usize>,
+    key_index: HashSet<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table for the (already validated) schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        let key_pos = schema
+            .primary_key
+            .iter()
+            .filter_map(|k| schema.attr_index(k))
+            .collect();
+        Table { schema, rows: Vec::new(), key_pos, key_index: HashSet::new() }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All tuples, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Inserts a tuple after checking arity, types, and key uniqueness.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.attrs.len() {
+            return Err(Error::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.schema.attrs.len(),
+                got: row.len(),
+            });
+        }
+        for (v, a) in row.iter().zip(&self.schema.attrs) {
+            let ok = matches!(
+                (v, a.ty),
+                (Value::Null, _)
+                    | (Value::Int(_), AttrType::Int)
+                    | (Value::Float(_), AttrType::Float)
+                    | (Value::Int(_), AttrType::Float)
+                    | (Value::Str(_), AttrType::Text)
+                    | (Value::Date(_), AttrType::Date)
+            );
+            if !ok {
+                return Err(Error::TypeMismatch {
+                    relation: self.schema.name.clone(),
+                    attribute: a.name.clone(),
+                    expected: a.ty.name().to_string(),
+                    got: v.type_name().to_string(),
+                });
+            }
+        }
+        if !self.key_pos.is_empty() {
+            let key: Vec<Value> = self.key_pos.iter().map(|&i| row[i].clone()).collect();
+            if !self.key_index.insert(key.clone()) {
+                return Err(Error::DuplicateKey {
+                    relation: self.schema.name.clone(),
+                    key: format!(
+                        "({})",
+                        key.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+                    ),
+                });
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Value of `attr` (case-insensitive) in row `row_idx`.
+    pub fn value(&self, row_idx: usize, attr: &str) -> Option<&Value> {
+        let i = self.schema.attr_index(attr)?;
+        self.rows.get(row_idx).map(|r| &r[i])
+    }
+
+    /// Projects the table onto the named attributes, optionally de-duplicating.
+    /// This is the relational-algebra `Π` used by Table 1's mappings.
+    pub fn project(&self, attrs: &[&str], distinct: bool) -> Result<Vec<Row>> {
+        let idx: Result<Vec<usize>> = attrs
+            .iter()
+            .map(|a| {
+                self.schema.attr_index(a).ok_or_else(|| Error::UnknownAttribute {
+                    relation: self.schema.name.clone(),
+                    attribute: (*a).to_string(),
+                })
+            })
+            .collect();
+        let idx = idx?;
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let proj: Row = idx.iter().map(|&i| row[i].clone()).collect();
+            if !distinct || seen.insert(proj.clone()) {
+                out.push(proj);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    fn course_table() -> Table {
+        let mut s = RelationSchema::new("Course");
+        s.add_attr("Code", AttrType::Text)
+            .add_attr("Title", AttrType::Text)
+            .add_attr("Credit", AttrType::Float);
+        s.set_primary_key(["Code"]);
+        Table::new(s)
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut t = course_table();
+        t.insert(vec![Value::str("c1"), Value::str("Java"), Value::Float(5.0)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value(0, "title"), Some(&Value::str("Java")));
+    }
+
+    #[test]
+    fn rejects_duplicate_key() {
+        let mut t = course_table();
+        t.insert(vec![Value::str("c1"), Value::str("Java"), Value::Float(5.0)]).unwrap();
+        let err = t
+            .insert(vec![Value::str("c1"), Value::str("DB"), Value::Float(4.0)])
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_arity_and_type() {
+        let mut t = course_table();
+        assert!(matches!(
+            t.insert(vec![Value::str("c1")]),
+            Err(Error::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::str("c1"), Value::Int(3), Value::Float(5.0)]),
+            Err(Error::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn int_promotes_to_float_attribute() {
+        let mut t = course_table();
+        t.insert(vec![Value::str("c1"), Value::str("Java"), Value::Int(5)]).unwrap();
+        assert_eq!(t.value(0, "Credit"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn project_distinct_removes_duplicates() {
+        let mut t = course_table();
+        t.insert(vec![Value::str("c1"), Value::str("Java"), Value::Float(5.0)]).unwrap();
+        t.insert(vec![Value::str("c2"), Value::str("Java"), Value::Float(4.0)]).unwrap();
+        let rows = t.project(&["Title"], true).unwrap();
+        assert_eq!(rows.len(), 1);
+        let rows = t.project(&["Title"], false).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn null_allowed_in_any_column() {
+        let mut t = course_table();
+        t.insert(vec![Value::str("c1"), Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.value(0, "Title"), Some(&Value::Null));
+    }
+}

@@ -1,0 +1,267 @@
+//! SQAK's schema graph: relations as nodes, foreign keys as edges —
+//! deliberately ignorant of object/relationship/component semantics.
+
+use std::collections::VecDeque;
+
+use aqks_relational::DatabaseSchema;
+
+/// One foreign-key edge of the schema graph.
+#[derive(Debug, Clone)]
+pub struct FkEdge {
+    /// Referencing relation index.
+    pub from: usize,
+    /// Referenced relation index.
+    pub to: usize,
+    /// Referencing attributes.
+    pub from_attrs: Vec<String>,
+    /// Referenced attributes.
+    pub to_attrs: Vec<String>,
+}
+
+/// The relation-level schema graph.
+#[derive(Debug, Clone)]
+pub struct SchemaGraph {
+    /// Relation names, indexed by node id (schema order).
+    pub relations: Vec<String>,
+    /// FK edges.
+    pub edges: Vec<FkEdge>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl SchemaGraph {
+    /// Builds the graph from a database schema.
+    pub fn build(schema: &DatabaseSchema) -> SchemaGraph {
+        let relations: Vec<String> = schema.relations.iter().map(|r| r.name.clone()).collect();
+        let mut edges = Vec::new();
+        for (fi, rel) in schema.relations.iter().enumerate() {
+            for fk in &rel.foreign_keys {
+                if let Some(ti) = schema.relation_index(&fk.ref_relation) {
+                    if ti != fi {
+                        edges.push(FkEdge {
+                            from: fi,
+                            to: ti,
+                            from_attrs: fk.attrs.clone(),
+                            to_attrs: fk.ref_attrs.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Name-based join edges for relations the FK graph leaves
+        // isolated (denormalized schemas like ACMDL' declare no FK from
+        // PaperAuthor): two relations sharing an `…id`/`…key` attribute
+        // are joined on it. This is the classic keyword-system heuristic
+        // that lets SQAK produce Table 9's (wrong) A2 answers instead of
+        // refusing the query.
+        let mut connected = vec![false; relations.len()];
+        for e in &edges {
+            connected[e.from] = true;
+            connected[e.to] = true;
+        }
+        for (fi, rel) in schema.relations.iter().enumerate() {
+            if connected[fi] {
+                continue;
+            }
+            for (ti, other) in schema.relations.iter().enumerate() {
+                if ti == fi {
+                    continue;
+                }
+                for attr in rel.attr_names() {
+                    let lower = attr.to_lowercase();
+                    if !(lower.ends_with("id") || lower.ends_with("key")) {
+                        continue;
+                    }
+                    if other.attr_index(attr).is_some() {
+                        edges.push(FkEdge {
+                            from: fi,
+                            to: ti,
+                            from_attrs: vec![attr.to_string()],
+                            to_attrs: vec![attr.to_string()],
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut adjacency = vec![Vec::new(); relations.len()];
+        for (ei, e) in edges.iter().enumerate() {
+            adjacency[e.from].push(ei);
+            adjacency[e.to].push(ei);
+        }
+        SchemaGraph { relations, edges, adjacency }
+    }
+
+    /// Relation index by case-insensitive *containment* (SQAK's matching:
+    /// `order` matches `Ordering`). Exact matches win over containment.
+    pub fn relation_by_name(&self, term: &str) -> Option<usize> {
+        let lower = term.to_lowercase();
+        if let Some(i) = self.relations.iter().position(|r| r.to_lowercase() == lower) {
+            return Some(i);
+        }
+        self.relations.iter().position(|r| r.to_lowercase().contains(&lower))
+    }
+
+    /// Shortest path between relations as edge indices (BFS; ties broken
+    /// by edge order). `Some(vec![])` when `from == to`.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; self.relations.len()];
+        let mut visited = vec![false; self.relations.len()];
+        visited[from] = true;
+        let mut q = VecDeque::from([from]);
+        while let Some(n) = q.pop_front() {
+            for &ei in &self.adjacency[n] {
+                let e = &self.edges[ei];
+                let m = if e.from == n { e.to } else { e.from };
+                if visited[m] {
+                    continue;
+                }
+                visited[m] = true;
+                prev[m] = Some((n, ei));
+                if m == to {
+                    let mut path = Vec::new();
+                    let mut cur = to;
+                    while let Some((p, e)) = prev[cur] {
+                        path.push(e);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                q.push_back(m);
+            }
+        }
+        None
+    }
+
+    /// Grows a minimal connected subgraph (a *simple query network*)
+    /// containing all `required` relations: each relation attaches along
+    /// the shortest path to the already-included set. Returns the set of
+    /// relation indices and the FK edges used. Unlike the semantic
+    /// engine's patterns, each relation appears **once** — SQAK cannot
+    /// express self joins.
+    pub fn simple_query_network(&self, required: &[usize]) -> Option<(Vec<usize>, Vec<usize>)> {
+        let mut rels: Vec<usize> = Vec::new();
+        let mut used_edges: Vec<usize> = Vec::new();
+        for &r in required {
+            if rels.is_empty() {
+                rels.push(r);
+                continue;
+            }
+            if rels.contains(&r) {
+                continue;
+            }
+            // Pick the best (source, path) pair together so the edge walk
+            // below starts at the path's actual source — selecting them
+            // independently desynchronizes on ties (min_by_key keeps the
+            // *last* minimum, find the *first*).
+            let (mut cur, path) = rels
+                .iter()
+                .filter_map(|&s| self.shortest_path(s, r).map(|p| (s, p)))
+                .min_by_key(|(s, p)| (p.len(), *s))?;
+            for &ei in &path {
+                let e = &self.edges[ei];
+                let next = if e.from == cur { e.to } else { e.from };
+                if !rels.contains(&next) {
+                    rels.push(next);
+                }
+                if !used_edges.contains(&ei) {
+                    used_edges.push(ei);
+                }
+                cur = next;
+            }
+        }
+        Some((rels, used_edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqks_datasets::university;
+
+    #[test]
+    fn university_schema_graph() {
+        let g = SchemaGraph::build(&university::normalized().schema());
+        assert_eq!(g.relations.len(), 8);
+        // Enrol->Student, Enrol->Course, Lecturer->Department,
+        // Teach->{Course,Lecturer,Textbook}, Department->Faculty.
+        assert_eq!(g.edges.len(), 7);
+    }
+
+    #[test]
+    fn containment_matching() {
+        let g = SchemaGraph::build(&university::normalized().schema());
+        assert_eq!(g.relation_by_name("student"), Some(g.relation_by_name("Student").unwrap()));
+        assert!(g.relation_by_name("zebra").is_none());
+        // Containment: "each" is inside "Teach".
+        assert!(g.relation_by_name("each").is_some());
+    }
+
+    #[test]
+    fn sqn_connects_student_and_course_via_enrol() {
+        let db = university::normalized();
+        let schema = db.schema();
+        let g = SchemaGraph::build(&schema);
+        let s = schema.relation_index("Student").unwrap();
+        let c = schema.relation_index("Course").unwrap();
+        let (rels, edges) = g.simple_query_network(&[s, c]).unwrap();
+        assert_eq!(rels.len(), 3);
+        assert_eq!(edges.len(), 2);
+        let e = schema.relation_index("Enrol").unwrap();
+        assert!(rels.contains(&e));
+    }
+
+    /// Regression: when the next required relation is equidistant from
+    /// two already-included relations, the chosen path and the walk's
+    /// start must agree (they used to be selected independently).
+    #[test]
+    fn sqn_tie_between_sources_is_consistent() {
+        use aqks_relational::{AttrType, DatabaseSchema, RelationSchema};
+        // Star: Hub references A and B; C references Hub. A and B are
+        // both distance 2 from C.
+        let mut rels = Vec::new();
+        for name in ["A", "B"] {
+            let mut r = RelationSchema::new(name);
+            r.add_attr("id", AttrType::Int);
+            r.set_primary_key(["id"]);
+            rels.push(r);
+        }
+        let mut hub = RelationSchema::new("Hub");
+        hub.add_attr("aid", AttrType::Int).add_attr("bid", AttrType::Int);
+        hub.set_primary_key(["aid", "bid"]);
+        hub.add_foreign_key(["aid"], "A", ["id"]);
+        hub.add_foreign_key(["bid"], "B", ["id"]);
+        rels.push(hub);
+        let mut c = RelationSchema::new("C");
+        c.add_attr("cid", AttrType::Int).add_attr("aid", AttrType::Int).add_attr("bid", AttrType::Int);
+        c.set_primary_key(["cid"]);
+        c.add_foreign_key(["aid", "bid"], "Hub", ["aid", "bid"]);
+        rels.push(c);
+        let schema = DatabaseSchema { relations: rels };
+        let g = SchemaGraph::build(&schema);
+
+        let (a, b, cc) = (0usize, 1usize, 3usize);
+        let (sqn_rels, edges) = g.simple_query_network(&[a, b, cc]).unwrap();
+        // All required relations present, and every used edge's endpoints
+        // are in the SQN (a corrupt walk breaks this).
+        for r in [a, b, cc] {
+            assert!(sqn_rels.contains(&r), "{sqn_rels:?}");
+        }
+        for &ei in &edges {
+            let e = &g.edges[ei];
+            assert!(sqn_rels.contains(&e.from) && sqn_rels.contains(&e.to), "{sqn_rels:?} {edges:?}");
+        }
+    }
+
+    #[test]
+    fn sqn_with_single_relation() {
+        let db = university::normalized();
+        let g = SchemaGraph::build(&db.schema());
+        let (rels, edges) = g.simple_query_network(&[0]).unwrap();
+        assert_eq!((rels.len(), edges.len()), (1, 0));
+    }
+}

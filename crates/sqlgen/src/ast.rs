@@ -1,0 +1,257 @@
+//! The `SELECT` statement AST.
+//!
+//! The shapes here are exactly those produced by pattern translation
+//! (Section 3.1.3), nested aggregates (Section 3.2), and the
+//! unnormalized-database pipeline (Section 4): conjunctive queries with
+//! equi-joins, `contains`/equality selections, GROUP BY, aggregate select
+//! items, optional `SELECT DISTINCT`, and derived tables in FROM.
+
+use aqks_relational::Value;
+
+/// The five aggregate functions of Definition 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+impl AggFunc {
+    /// Uppercase SQL keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Parses a query term as an aggregate keyword (case-insensitive).
+    pub fn parse(term: &str) -> Option<AggFunc> {
+        match term.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Prefix used when auto-naming aggregate result columns, mirroring
+    /// the paper's `numLid` / `avgnumLid` style.
+    pub fn alias_prefix(self) -> &'static str {
+        match self {
+            AggFunc::Count => "num",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// A qualified column reference `alias.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// FROM-item alias (e.g. `S1`).
+    pub qualifier: String,
+    /// Column name within the aliased relation/derived table.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Creates a reference.
+    pub fn new(qualifier: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef { qualifier: qualifier.into(), column: column.into() }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // An empty qualifier addresses an output alias (ORDER BY n).
+        if self.qualifier.is_empty() {
+            write!(f, "{}", self.column)
+        } else {
+            write!(f, "{}.{}", self.qualifier, self.column)
+        }
+    }
+}
+
+/// One item of the SELECT clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column, optionally aliased.
+    Column {
+        /// The column.
+        col: ColumnRef,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+    /// An aggregate over a column.
+    Aggregate {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated column.
+        arg: ColumnRef,
+        /// `COUNT(DISTINCT …)`-style duplicate elimination inside the
+        /// aggregate. The paper's translation prefers DISTINCT *subqueries*
+        /// (Example 6); this flag exists for the ablation variants.
+        distinct: bool,
+        /// Output alias (`numLid`, `avgnumLid`, …).
+        alias: String,
+    },
+}
+
+impl SelectItem {
+    /// The output column name of this item.
+    pub fn output_name(&self) -> &str {
+        match self {
+            SelectItem::Column { col, alias } => alias.as_deref().unwrap_or(&col.column),
+            SelectItem::Aggregate { alias, .. } => alias,
+        }
+    }
+}
+
+/// One item of the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableExpr {
+    /// A base relation with an alias.
+    Relation {
+        /// Relation name in the database.
+        name: String,
+        /// Alias used by column references.
+        alias: String,
+    },
+    /// A parenthesized subquery with an alias (derived table).
+    Derived {
+        /// The subquery.
+        query: Box<SelectStatement>,
+        /// Alias used by column references.
+        alias: String,
+    },
+}
+
+impl TableExpr {
+    /// The alias of this FROM item.
+    pub fn alias(&self) -> &str {
+        match self {
+            TableExpr::Relation { alias, .. } | TableExpr::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// A conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Equi-join `a = b`.
+    JoinEq(ColumnRef, ColumnRef),
+    /// The paper's `column contains 'text'` (case-insensitive substring).
+    Contains(ColumnRef, String),
+    /// Exact equality with a literal.
+    Eq(ColumnRef, Value),
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Output column name (an alias from the SELECT list) or a qualified
+    /// column of a FROM item.
+    pub column: ColumnRef,
+    /// Descending order when true.
+    pub desc: bool,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStatement {
+    /// `SELECT DISTINCT` when true.
+    pub distinct: bool,
+    /// Select list (never empty for a well-formed statement).
+    pub items: Vec<SelectItem>,
+    /// FROM items, joined by the equi-join predicates.
+    pub from: Vec<TableExpr>,
+    /// Conjunctive WHERE clause.
+    pub predicates: Vec<Predicate>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// ORDER BY keys, applied to the output rows.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT on the output row count.
+    pub limit: Option<usize>,
+}
+
+impl SelectStatement {
+    /// Creates an empty statement (builder style).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if any select item is an aggregate.
+    pub fn has_aggregate(&self) -> bool {
+        self.items.iter().any(|i| matches!(i, SelectItem::Aggregate { .. }))
+    }
+
+    /// Number of aggregate select items.
+    pub fn aggregate_count(&self) -> usize {
+        self.items.iter().filter(|i| matches!(i, SelectItem::Aggregate { .. })).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_parse_roundtrip() {
+        for (s, f) in [
+            ("count", AggFunc::Count),
+            ("SUM", AggFunc::Sum),
+            ("Avg", AggFunc::Avg),
+            ("MIN", AggFunc::Min),
+            ("max", AggFunc::Max),
+        ] {
+            assert_eq!(AggFunc::parse(s), Some(f));
+            assert_eq!(AggFunc::parse(f.keyword()), Some(f));
+        }
+        assert_eq!(AggFunc::parse("GROUPBY"), None);
+        assert_eq!(AggFunc::parse("total"), None);
+    }
+
+    #[test]
+    fn select_item_output_names() {
+        let c = SelectItem::Column { col: ColumnRef::new("S", "Sid"), alias: None };
+        assert_eq!(c.output_name(), "Sid");
+        let a = SelectItem::Aggregate {
+            func: AggFunc::Count,
+            arg: ColumnRef::new("C", "Code"),
+            distinct: false,
+            alias: "numCode".into(),
+        };
+        assert_eq!(a.output_name(), "numCode");
+    }
+
+    #[test]
+    fn has_aggregate_detection() {
+        let mut s = SelectStatement::new();
+        s.items.push(SelectItem::Column { col: ColumnRef::new("S", "Sid"), alias: None });
+        assert!(!s.has_aggregate());
+        s.items.push(SelectItem::Aggregate {
+            func: AggFunc::Sum,
+            arg: ColumnRef::new("C", "Credit"),
+            distinct: false,
+            alias: "sumCredit".into(),
+        });
+        assert!(s.has_aggregate());
+        assert_eq!(s.aggregate_count(), 1);
+    }
+}

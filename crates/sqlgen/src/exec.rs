@@ -1,0 +1,805 @@
+//! In-memory execution of [`SelectStatement`]s.
+//!
+//! The executor is the stand-in for the RDBMS the paper ran its generated
+//! SQL on. It evaluates FROM items (materializing derived tables
+//! recursively), hash-joins them left-to-right along the statement's
+//! equi-join predicates (falling back to a cross product when no join
+//! predicate links the next item), applies the remaining selections, and
+//! finally evaluates grouping, aggregates, projection and DISTINCT.
+//!
+//! Semantics follow SQL: aggregates skip NULLs; `SUM`/`MIN`/`MAX`/`AVG`
+//! over an empty group yield NULL while `COUNT` yields 0; `AVG` is always
+//! a float; an aggregate query without GROUP BY returns exactly one row.
+
+use std::collections::HashMap;
+
+use aqks_relational::{Database, Row, Value};
+
+use crate::ast::{AggFunc, ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
+use crate::result::ResultTable;
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A FROM item names a relation that is not in the database.
+    UnknownRelation(String),
+    /// A column reference does not resolve against the FROM items.
+    UnknownColumn(String),
+    /// Two FROM items share an alias.
+    DuplicateAlias(String),
+    /// Statement shape not supported (e.g. empty SELECT list).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            ExecError::UnknownColumn(c) => write!(f, "unresolved column `{c}`"),
+            ExecError::DuplicateAlias(a) => write!(f, "duplicate FROM alias `{a}`"),
+            ExecError::Unsupported(m) => write!(f, "unsupported statement: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Rows tagged with the (alias, column) pairs that name their columns.
+struct Working {
+    /// Lowercased (alias, column) for resolution.
+    cols: Vec<(String, String)>,
+    rows: Vec<Row>,
+}
+
+impl Working {
+    fn resolve(&self, c: &ColumnRef) -> Result<usize, ExecError> {
+        let q = c.qualifier.to_lowercase();
+        let n = c.column.to_lowercase();
+        self.cols
+            .iter()
+            .position(|(a, col)| *a == q && *col == n)
+            .ok_or_else(|| ExecError::UnknownColumn(c.to_string()))
+    }
+
+    fn try_resolve(&self, c: &ColumnRef) -> Option<usize> {
+        self.resolve(c).ok()
+    }
+}
+
+/// Executes `stmt` against `db`.
+pub fn execute(stmt: &SelectStatement, db: &Database) -> Result<ResultTable, ExecError> {
+    if stmt.items.is_empty() {
+        return Err(ExecError::Unsupported("empty SELECT list".into()));
+    }
+    if stmt.from.is_empty() {
+        return Err(ExecError::Unsupported("empty FROM clause".into()));
+    }
+
+    // --- Materialize FROM items -----------------------------------------
+    let mut sources: Vec<Working> = Vec::with_capacity(stmt.from.len());
+    {
+        let mut seen_alias: Vec<String> = Vec::new();
+        for item in &stmt.from {
+            let alias = item.alias().to_lowercase();
+            if seen_alias.contains(&alias) {
+                return Err(ExecError::DuplicateAlias(item.alias().to_string()));
+            }
+            seen_alias.push(alias.clone());
+            sources.push(materialize(item, &alias, db)?);
+        }
+    }
+
+    // --- Join, preferring connected sources -------------------------------
+    // Greedy order: always join next a source that an unconsumed equi-join
+    // links to the accumulated rows; cross products only as a last resort.
+    // (A left-to-right fold would build Part x Supplier before the
+    // Lineitem that connects them — quadratic rows for nothing.)
+    let mut consumed = vec![false; stmt.predicates.len()];
+    let mut acc = sources.remove(0);
+    while !sources.is_empty() {
+        let mut pick: Option<usize> = None;
+        'scan: for (si, right) in sources.iter().enumerate() {
+            for (pi, p) in stmt.predicates.iter().enumerate() {
+                if consumed[pi] {
+                    continue;
+                }
+                if let Predicate::JoinEq(a, b) = p {
+                    let connects = (acc.try_resolve(a).is_some()
+                        && right.try_resolve(b).is_some())
+                        || (acc.try_resolve(b).is_some() && right.try_resolve(a).is_some());
+                    if connects {
+                        pick = Some(si);
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        let right = sources.remove(pick.unwrap_or(0));
+
+        // Join keys: unconsumed equi-joins with one side in `acc` and the
+        // other in `right`.
+        let mut left_keys: Vec<usize> = Vec::new();
+        let mut right_keys: Vec<usize> = Vec::new();
+        for (pi, p) in stmt.predicates.iter().enumerate() {
+            if consumed[pi] {
+                continue;
+            }
+            if let Predicate::JoinEq(a, b) = p {
+                let (l, r) = match (acc.try_resolve(a), right.try_resolve(b)) {
+                    (Some(l), Some(r)) => (l, r),
+                    _ => match (acc.try_resolve(b), right.try_resolve(a)) {
+                        (Some(l), Some(r)) => (l, r),
+                        _ => continue,
+                    },
+                };
+                left_keys.push(l);
+                right_keys.push(r);
+                consumed[pi] = true;
+            }
+        }
+        acc = if left_keys.is_empty() {
+            cross_join(acc, right)
+        } else {
+            hash_join(acc, right, &left_keys, &right_keys)
+        };
+    }
+
+    // --- Residual predicates ---------------------------------------------
+    for (pi, p) in stmt.predicates.iter().enumerate() {
+        if consumed[pi] {
+            continue;
+        }
+        match p {
+            Predicate::JoinEq(a, b) => {
+                let (l, r) = (acc.resolve(a)?, acc.resolve(b)?);
+                acc.rows.retain(|row| !row[l].is_null() && row[l] == row[r]);
+            }
+            Predicate::Contains(c, text) => {
+                let i = acc.resolve(c)?;
+                let needle = text.to_lowercase();
+                acc.rows.retain(|row| row[i].contains_ci(&needle));
+            }
+            Predicate::Eq(c, v) => {
+                let i = acc.resolve(c)?;
+                acc.rows.retain(|row| row[i] == *v);
+            }
+        }
+    }
+
+    // --- Grouping / aggregation / projection ------------------------------
+    let columns: Vec<String> = stmt.items.iter().map(|i| i.output_name().to_string()).collect();
+    let mut result = ResultTable::new(columns);
+
+    if stmt.has_aggregate() || !stmt.group_by.is_empty() {
+        let key_idx: Vec<usize> =
+            stmt.group_by.iter().map(|c| acc.resolve(c)).collect::<Result<_, _>>()?;
+        // Pre-resolve aggregate arguments and plain columns.
+        let item_idx: Vec<usize> = stmt
+            .items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Column { col, .. } => acc.resolve(col),
+                SelectItem::Aggregate { arg, .. } => acc.resolve(arg),
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (ri, row) in acc.rows.iter().enumerate() {
+            let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+            let entry = groups.entry(key.clone()).or_default();
+            if entry.is_empty() {
+                order.push(key);
+            }
+            entry.push(ri);
+        }
+        // A global aggregate over an empty input still yields one row.
+        if groups.is_empty() && stmt.group_by.is_empty() {
+            order.push(Vec::new());
+            groups.insert(Vec::new(), Vec::new());
+        }
+
+        for key in order {
+            let members = &groups[&key];
+            let mut out = Vec::with_capacity(stmt.items.len());
+            for (item, &idx) in stmt.items.iter().zip(&item_idx) {
+                match item {
+                    SelectItem::Column { .. } => {
+                        let v = members
+                            .first()
+                            .map(|&ri| acc.rows[ri][idx].clone())
+                            .unwrap_or(Value::Null);
+                        out.push(v);
+                    }
+                    SelectItem::Aggregate { func, distinct, .. } => {
+                        let vals = members.iter().map(|&ri| &acc.rows[ri][idx]);
+                        out.push(aggregate(*func, *distinct, vals));
+                    }
+                }
+            }
+            result.rows.push(out);
+        }
+    } else {
+        let idx: Vec<usize> = stmt
+            .items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Column { col, .. } => acc.resolve(col),
+                SelectItem::Aggregate { .. } => unreachable!("guarded by has_aggregate"),
+            })
+            .collect::<Result<_, _>>()?;
+        for row in &acc.rows {
+            result.rows.push(idx.iter().map(|&i| row[i].clone()).collect());
+        }
+    }
+
+    if stmt.distinct {
+        result.dedup_rows();
+    }
+
+    // --- ORDER BY / LIMIT --------------------------------------------------
+    // Keys resolve against the output columns first (SELECT aliases), so
+    // `ORDER BY numLid DESC` works; a qualified key that is not an output
+    // column is an error (it was not projected).
+    if !stmt.order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = stmt
+            .order_by
+            .iter()
+            .map(|k| {
+                result
+                    .column_index(&k.column.column)
+                    .map(|i| (i, k.desc))
+                    .ok_or_else(|| ExecError::UnknownColumn(k.column.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        result.rows.sort_by(|a, b| {
+            for &(i, desc) in &keys {
+                let ord = a[i].cmp(&b[i]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(limit) = stmt.limit {
+        result.rows.truncate(limit);
+    }
+    Ok(result)
+}
+
+fn materialize(item: &TableExpr, alias_lower: &str, db: &Database) -> Result<Working, ExecError> {
+    match item {
+        TableExpr::Relation { name, .. } => {
+            let table = db.table(name).ok_or_else(|| ExecError::UnknownRelation(name.clone()))?;
+            let cols = table
+                .schema
+                .attr_names()
+                .map(|a| (alias_lower.to_string(), a.to_lowercase()))
+                .collect();
+            Ok(Working { cols, rows: table.rows().to_vec() })
+        }
+        TableExpr::Derived { query, .. } => {
+            let sub = execute(query, db)?;
+            let cols = sub
+                .columns
+                .iter()
+                .map(|c| (alias_lower.to_string(), c.to_lowercase()))
+                .collect();
+            Ok(Working { cols, rows: sub.rows })
+        }
+    }
+}
+
+fn cross_join(left: Working, right: Working) -> Working {
+    let mut cols = left.cols;
+    cols.extend(right.cols);
+    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
+    for l in &left.rows {
+        for r in &right.rows {
+            let mut row = l.clone();
+            row.extend(r.iter().cloned());
+            rows.push(row);
+        }
+    }
+    Working { cols, rows }
+}
+
+fn hash_join(left: Working, right: Working, lk: &[usize], rk: &[usize]) -> Working {
+    let mut table: HashMap<Vec<&Value>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
+    for (ri, row) in right.rows.iter().enumerate() {
+        let key: Vec<&Value> = rk.iter().map(|&i| &row[i]).collect();
+        if key.iter().any(|v| v.is_null()) {
+            continue; // NULL never joins.
+        }
+        table.entry(key).or_default().push(ri);
+    }
+    let mut cols = left.cols;
+    cols.extend(right.cols.iter().cloned());
+    let mut rows = Vec::new();
+    for l in &left.rows {
+        let key: Vec<&Value> = lk.iter().map(|&i| &l[i]).collect();
+        if key.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for &ri in matches {
+                let mut row = l.clone();
+                row.extend(right.rows[ri].iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Working { cols, rows }
+}
+
+/// Evaluates one aggregate over a group's values (NULLs skipped).
+fn aggregate<'a, I: Iterator<Item = &'a Value>>(func: AggFunc, distinct: bool, vals: I) -> Value {
+    let mut non_null: Vec<&Value> = vals.filter(|v| !v.is_null()).collect();
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        non_null.retain(|v| seen.insert((*v).clone()));
+    }
+    match func {
+        AggFunc::Count => Value::Int(non_null.len() as i64),
+        AggFunc::Sum => {
+            let all_int = non_null.iter().all(|v| matches!(v, Value::Int(_)));
+            let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                // Empty group, or nothing numeric (SUM over text): NULL.
+                Value::Null
+            } else if all_int {
+                Value::Int(nums.iter().map(|&f| f as i64).sum())
+            } else {
+                Value::Float(nums.iter().sum())
+            }
+        }
+        AggFunc::Avg => {
+            let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::Min => non_null.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Max => non_null.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqks_relational::{AttrType, RelationSchema};
+
+    /// Small Student/Enrol/Course database mirroring Figure 1's left side.
+    fn db() -> Database {
+        let mut db = Database::new("uni");
+        let mut s = RelationSchema::new("Student");
+        s.add_attr("Sid", AttrType::Text)
+            .add_attr("Sname", AttrType::Text)
+            .add_attr("Age", AttrType::Int);
+        s.set_primary_key(["Sid"]);
+        db.add_relation(s).unwrap();
+        let mut c = RelationSchema::new("Course");
+        c.add_attr("Code", AttrType::Text)
+            .add_attr("Title", AttrType::Text)
+            .add_attr("Credit", AttrType::Float);
+        c.set_primary_key(["Code"]);
+        db.add_relation(c).unwrap();
+        let mut e = RelationSchema::new("Enrol");
+        e.add_attr("Sid", AttrType::Text)
+            .add_attr("Code", AttrType::Text)
+            .add_attr("Grade", AttrType::Text);
+        e.set_primary_key(["Sid", "Code"]);
+        e.add_foreign_key(["Sid"], "Student", ["Sid"]);
+        e.add_foreign_key(["Code"], "Course", ["Code"]);
+        db.add_relation(e).unwrap();
+
+        for (sid, name, age) in
+            [("s1", "George", 22), ("s2", "Green", 24), ("s3", "Green", 21)]
+        {
+            db.insert("Student", vec![Value::str(sid), Value::str(name), Value::Int(age)])
+                .unwrap();
+        }
+        for (code, title, credit) in
+            [("c1", "Java", 5.0), ("c2", "Database", 4.0), ("c3", "Multimedia", 3.0)]
+        {
+            db.insert("Course", vec![Value::str(code), Value::str(title), Value::Float(credit)])
+                .unwrap();
+        }
+        for (sid, code, g) in [
+            ("s1", "c1", "A"),
+            ("s1", "c2", "B"),
+            ("s1", "c3", "B"),
+            ("s2", "c1", "A"),
+            ("s3", "c1", "A"),
+            ("s3", "c3", "B"),
+        ] {
+            db.insert("Enrol", vec![Value::str(sid), Value::str(code), Value::str(g)]).unwrap();
+        }
+        db
+    }
+
+    fn col(q: &str, c: &str) -> ColumnRef {
+        ColumnRef::new(q, c)
+    }
+
+    /// Q1 as SQAK would issue it (paper's first listing): one merged row.
+    #[test]
+    fn q1_sqak_style_merges_greens() {
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("S", "Sname"), alias: None },
+                SelectItem::Aggregate {
+                    func: AggFunc::Sum,
+                    arg: col("C", "Credit"),
+                    distinct: false,
+                    alias: "sumCredit".into(),
+                },
+            ],
+            from: vec![
+                TableExpr::Relation { name: "Student".into(), alias: "S".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "E".into() },
+                TableExpr::Relation { name: "Course".into(), alias: "C".into() },
+            ],
+            predicates: vec![
+                Predicate::JoinEq(col("E", "Sid"), col("S", "Sid")),
+                Predicate::JoinEq(col("E", "Code"), col("C", "Code")),
+                Predicate::Contains(col("S", "Sname"), "Green".into()),
+            ],
+            group_by: vec![col("S", "Sname")],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][1], Value::Float(13.0), "5 + (5+3) merged into 13");
+    }
+
+    /// The corrected Q1: grouping by Sid separates the two Greens.
+    #[test]
+    fn q1_semantic_style_distinguishes_greens() {
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("S", "Sid"), alias: None },
+                SelectItem::Aggregate {
+                    func: AggFunc::Sum,
+                    arg: col("C", "Credit"),
+                    distinct: false,
+                    alias: "sumCredit".into(),
+                },
+            ],
+            from: vec![
+                TableExpr::Relation { name: "Student".into(), alias: "S".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "E".into() },
+                TableExpr::Relation { name: "Course".into(), alias: "C".into() },
+            ],
+            predicates: vec![
+                Predicate::JoinEq(col("E", "Sid"), col("S", "Sid")),
+                Predicate::JoinEq(col("E", "Code"), col("C", "Code")),
+                Predicate::Contains(col("S", "Sname"), "Green".into()),
+            ],
+            group_by: vec![col("S", "Sid")],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap().sorted();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0], vec![Value::str("s2"), Value::Float(5.0)]);
+        assert_eq!(r.rows[1], vec![Value::str("s3"), Value::Float(8.0)]);
+    }
+
+    #[test]
+    fn global_aggregate_without_groupby_returns_one_row() {
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Avg,
+                arg: col("S", "Age"),
+                distinct: false,
+                alias: "avgAge".into(),
+            }],
+            from: vec![TableExpr::Relation { name: "Student".into(), alias: "S".into() }],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Float((22.0 + 24.0 + 21.0) / 3.0)));
+    }
+
+    #[test]
+    fn aggregate_over_empty_input() {
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Aggregate {
+                    func: AggFunc::Count,
+                    arg: col("S", "Sid"),
+                    distinct: false,
+                    alias: "n".into(),
+                },
+                SelectItem::Aggregate {
+                    func: AggFunc::Sum,
+                    arg: col("S", "Age"),
+                    distinct: false,
+                    alias: "s".into(),
+                },
+            ],
+            from: vec![TableExpr::Relation { name: "Student".into(), alias: "S".into() }],
+            predicates: vec![Predicate::Contains(col("S", "Sname"), "nobody".into())],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn derived_table_in_from() {
+        let inner = SelectStatement {
+            distinct: true,
+            items: vec![SelectItem::Column { col: col("E", "Sid"), alias: None }],
+            from: vec![TableExpr::Relation { name: "Enrol".into(), alias: "E".into() }],
+            ..Default::default()
+        };
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: col("D", "Sid"),
+                distinct: false,
+                alias: "n".into(),
+            }],
+            from: vec![TableExpr::Derived { query: Box::new(inner), alias: "D".into() }],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn self_join_counts_common_courses() {
+        // Courses taken by both s1 (George) and s3 (a Green).
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: col("C", "Code"),
+                distinct: false,
+                alias: "n".into(),
+            }],
+            from: vec![
+                TableExpr::Relation { name: "Course".into(), alias: "C".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "E1".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "E2".into() },
+            ],
+            predicates: vec![
+                Predicate::JoinEq(col("C", "Code"), col("E1", "Code")),
+                Predicate::JoinEq(col("C", "Code"), col("E2", "Code")),
+                Predicate::Eq(col("E1", "Sid"), Value::str("s1")),
+                Predicate::Eq(col("E2", "Sid"), Value::str("s3")),
+            ],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)), "c1 and c3 shared");
+    }
+
+    #[test]
+    fn count_distinct() {
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: col("E", "Sid"),
+                distinct: true,
+                alias: "n".into(),
+            }],
+            from: vec![TableExpr::Relation { name: "Enrol".into(), alias: "E".into() }],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn min_max_on_strings_and_dates() {
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Aggregate {
+                    func: AggFunc::Min,
+                    arg: col("S", "Sname"),
+                    distinct: false,
+                    alias: "lo".into(),
+                },
+                SelectItem::Aggregate {
+                    func: AggFunc::Max,
+                    arg: col("S", "Sname"),
+                    distinct: false,
+                    alias: "hi".into(),
+                },
+            ],
+            from: vec![TableExpr::Relation { name: "Student".into(), alias: "S".into() }],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap();
+        assert_eq!(r.rows[0], vec![Value::str("George"), Value::str("Green")]);
+    }
+
+    #[test]
+    fn error_on_unknown_relation_and_column() {
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Column { col: col("X", "a"), alias: None }],
+            from: vec![TableExpr::Relation { name: "Nope".into(), alias: "X".into() }],
+            ..Default::default()
+        };
+        assert!(matches!(execute(&stmt, &db()), Err(ExecError::UnknownRelation(_))));
+
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Column { col: col("S", "missing"), alias: None }],
+            from: vec![TableExpr::Relation { name: "Student".into(), alias: "S".into() }],
+            ..Default::default()
+        };
+        assert!(matches!(execute(&stmt, &db()), Err(ExecError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Column { col: col("S", "Sid"), alias: None }],
+            from: vec![
+                TableExpr::Relation { name: "Student".into(), alias: "S".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "s".into() },
+            ],
+            ..Default::default()
+        };
+        assert!(matches!(execute(&stmt, &db()), Err(ExecError::DuplicateAlias(_))));
+    }
+
+    #[test]
+    fn nested_aggregate_example7_shape() {
+        // AVG over a grouped COUNT, paper Example 7 shape on Enrol:
+        // average number of students per course = 6 enrolments / 3 courses.
+        let inner = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("E", "Code"), alias: None },
+                SelectItem::Aggregate {
+                    func: AggFunc::Count,
+                    arg: col("E", "Sid"),
+                    distinct: false,
+                    alias: "numSid".into(),
+                },
+            ],
+            from: vec![TableExpr::Relation { name: "Enrol".into(), alias: "E".into() }],
+            group_by: vec![col("E", "Code")],
+            ..Default::default()
+        };
+        let outer = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Avg,
+                arg: col("R", "numSid"),
+                distinct: false,
+                alias: "avgnumSid".into(),
+            }],
+            from: vec![TableExpr::Derived { query: Box::new(inner), alias: "R".into() }],
+            ..Default::default()
+        };
+        let r = execute(&outer, &db()).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Float(2.0)));
+    }
+
+    /// The greedy join order makes FROM-clause order irrelevant to the
+    /// result (and avoids the Part x Supplier cross product a naive
+    /// left-to-right fold would build for chain joins).
+    #[test]
+    fn from_order_does_not_change_results() {
+        let base = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("S", "Sid"), alias: None },
+                SelectItem::Aggregate {
+                    func: AggFunc::Count,
+                    arg: col("C", "Code"),
+                    distinct: false,
+                    alias: "n".into(),
+                },
+            ],
+            from: vec![
+                TableExpr::Relation { name: "Student".into(), alias: "S".into() },
+                TableExpr::Relation { name: "Course".into(), alias: "C".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "E".into() },
+            ],
+            predicates: vec![
+                Predicate::JoinEq(col("E", "Sid"), col("S", "Sid")),
+                Predicate::JoinEq(col("E", "Code"), col("C", "Code")),
+            ],
+            group_by: vec![col("S", "Sid")],
+            ..Default::default()
+        };
+        let db = db();
+        let reference = execute(&base, &db).unwrap().sorted();
+        // Student and Course are not directly joined: with left-to-right
+        // folding this order would cross-join them first.
+        let mut permuted = base.clone();
+        permuted.from.rotate_left(1);
+        assert_eq!(execute(&permuted, &db).unwrap().sorted().rows, reference.rows);
+        let mut permuted = base;
+        permuted.from.swap(0, 2);
+        assert_eq!(execute(&permuted, &db).unwrap().sorted().rows, reference.rows);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        use crate::ast::OrderKey;
+        // Top-2 students by enrolment count, descending.
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("E", "Sid"), alias: None },
+                SelectItem::Aggregate {
+                    func: AggFunc::Count,
+                    arg: col("E", "Code"),
+                    distinct: false,
+                    alias: "n".into(),
+                },
+            ],
+            from: vec![TableExpr::Relation { name: "Enrol".into(), alias: "E".into() }],
+            group_by: vec![col("E", "Sid")],
+            order_by: vec![
+                OrderKey { column: col("", "n"), desc: true },
+                OrderKey { column: col("", "Sid"), desc: false },
+            ],
+            limit: Some(2),
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0], vec![Value::str("s1"), Value::Int(3)]);
+        assert_eq!(r.rows[1], vec![Value::str("s3"), Value::Int(2)]);
+        // Rendering includes the clauses.
+        let text = stmt.to_string();
+        assert!(text.contains("ORDER BY .n DESC, .Sid") || text.contains("ORDER BY"), "{text}");
+        assert!(text.contains("LIMIT 2"), "{text}");
+    }
+
+    #[test]
+    fn order_by_unknown_column_errors() {
+        use crate::ast::OrderKey;
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Column { col: col("S", "Sid"), alias: None }],
+            from: vec![TableExpr::Relation { name: "Student".into(), alias: "S".into() }],
+            order_by: vec![OrderKey { column: col("S", "nope"), desc: false }],
+            ..Default::default()
+        };
+        assert!(matches!(execute(&stmt, &db()), Err(ExecError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn sum_over_text_is_null() {
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Sum,
+                arg: col("S", "Sname"),
+                distinct: false,
+                alias: "s".into(),
+            }],
+            from: vec![TableExpr::Relation { name: "Student".into(), alias: "S".into() }],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db()).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Null));
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut db = db();
+        db.insert("Enrol", vec![Value::Null, Value::str("c2"), Value::str("C")]).unwrap();
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: col("E", "Code"),
+                distinct: false,
+                alias: "n".into(),
+            }],
+            from: vec![
+                TableExpr::Relation { name: "Student".into(), alias: "S".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "E".into() },
+            ],
+            predicates: vec![Predicate::JoinEq(col("S", "Sid"), col("E", "Sid"))],
+            ..Default::default()
+        };
+        let r = execute(&stmt, &db).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(6)), "NULL Sid row must not join");
+    }
+}

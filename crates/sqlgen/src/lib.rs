@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # aqks-sqlgen
+//!
+//! The SQL subset shared by the semantic engine and the SQAK baseline:
+//!
+//! * [`ast`] — a `SELECT` statement AST covering exactly the shapes the
+//!   paper's translation step emits (conjunctive equi-joins, `contains`
+//!   predicates, GROUP BY, the five aggregate functions, DISTINCT, derived
+//!   tables in FROM, and nested aggregate queries);
+//! * [`render`] — pretty-printing in the paper's listing style;
+//! * [`exec`] — an in-memory executor over [`aqks_relational::Database`],
+//!   standing in for the RDBMS the paper ran on.
+//!
+//! The executor exists because the paper's experiments report *answers*,
+//! not just SQL text: Tables 5/6/8/9 compare the numbers both systems
+//! return. Execution semantics follow SQL: aggregates skip NULLs, `AVG`
+//! is always a float, `contains` is case-insensitive substring match.
+
+pub mod ast;
+pub mod exec;
+pub mod render;
+pub mod result;
+
+pub use ast::{AggFunc, ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
+pub use exec::{execute, ExecError};
+pub use result::ResultTable;

@@ -1,0 +1,206 @@
+//! Pretty-printing of [`SelectStatement`] in the paper's listing style.
+//!
+//! The paper prints predicates such as `S.Sname contains 'Green'`; this is
+//! rendered verbatim (its standard-SQL equivalent would be
+//! `LOWER(S.Sname) LIKE '%green%'`). Derived tables are rendered inline:
+//! `(SELECT DISTINCT Lid, Code FROM Teach) T`.
+
+use std::fmt;
+
+use crate::ast::{Predicate, SelectItem, SelectStatement, TableExpr};
+
+impl fmt::Display for SelectStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render(self))
+    }
+}
+
+/// Renders a statement as multi-line SQL (top level) with nested derived
+/// tables rendered inline.
+pub fn render(stmt: &SelectStatement) -> String {
+    let mut out = String::new();
+    render_into(stmt, &mut out, true);
+    out
+}
+
+fn render_into(stmt: &SelectStatement, out: &mut String, multiline: bool) {
+    let sep = if multiline { "\n" } else { " " };
+
+    out.push_str("SELECT ");
+    if stmt.distinct {
+        out.push_str("DISTINCT ");
+    }
+    let items: Vec<String> = stmt.items.iter().map(render_item).collect();
+    out.push_str(&items.join(", "));
+
+    out.push_str(sep);
+    out.push_str("FROM ");
+    let from: Vec<String> = stmt.from.iter().map(render_from).collect();
+    out.push_str(&from.join(", "));
+
+    if !stmt.predicates.is_empty() {
+        out.push_str(sep);
+        out.push_str("WHERE ");
+        let preds: Vec<String> = stmt.predicates.iter().map(render_pred).collect();
+        out.push_str(&preds.join(" AND "));
+    }
+
+    if !stmt.group_by.is_empty() {
+        out.push_str(sep);
+        out.push_str("GROUP BY ");
+        let cols: Vec<String> = stmt.group_by.iter().map(|c| c.to_string()).collect();
+        out.push_str(&cols.join(", "));
+    }
+
+    if !stmt.order_by.is_empty() {
+        out.push_str(sep);
+        out.push_str("ORDER BY ");
+        let keys: Vec<String> = stmt
+            .order_by
+            .iter()
+            .map(|k| {
+                if k.desc {
+                    format!("{} DESC", k.column)
+                } else {
+                    k.column.to_string()
+                }
+            })
+            .collect();
+        out.push_str(&keys.join(", "));
+    }
+
+    if let Some(limit) = stmt.limit {
+        out.push_str(sep);
+        out.push_str(&format!("LIMIT {limit}"));
+    }
+}
+
+fn render_item(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Column { col, alias: None } => col.to_string(),
+        SelectItem::Column { col, alias: Some(a) } => format!("{col} AS {a}"),
+        SelectItem::Aggregate { func, arg, distinct, alias } => {
+            let inner = if *distinct { format!("DISTINCT {arg}") } else { arg.to_string() };
+            format!("{}({inner}) AS {alias}", func.keyword())
+        }
+    }
+}
+
+fn render_from(item: &TableExpr) -> String {
+    match item {
+        TableExpr::Relation { name, alias } => {
+            if name.eq_ignore_ascii_case(alias) {
+                name.clone()
+            } else {
+                format!("{name} {alias}")
+            }
+        }
+        TableExpr::Derived { query, alias } => {
+            let mut inner = String::new();
+            render_into(query, &mut inner, false);
+            format!("({inner}) {alias}")
+        }
+    }
+}
+
+fn render_pred(p: &Predicate) -> String {
+    match p {
+        Predicate::JoinEq(a, b) => format!("{a}={b}"),
+        Predicate::Contains(c, text) => format!("{c} contains '{text}'"),
+        Predicate::Eq(c, v) => match v {
+            aqks_relational::Value::Str(s) => format!("{c}='{s}'"),
+            other => format!("{c}={other}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggFunc, ColumnRef};
+
+    /// Builds the paper's Example 5 statement and checks the rendering
+    /// matches the listing (modulo whitespace).
+    #[test]
+    fn example5_rendering() {
+        let stmt = SelectStatement {
+            distinct: false,
+            items: vec![
+                SelectItem::Column { col: ColumnRef::new("S1", "Sid"), alias: None },
+                SelectItem::Aggregate {
+                    func: AggFunc::Count,
+                    arg: ColumnRef::new("C", "Code"),
+                    distinct: false,
+                    alias: "numCode".into(),
+                },
+            ],
+            from: vec![
+                TableExpr::Relation { name: "Course".into(), alias: "C".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "E1".into() },
+                TableExpr::Relation { name: "Student".into(), alias: "S1".into() },
+            ],
+            predicates: vec![
+                Predicate::JoinEq(ColumnRef::new("C", "Code"), ColumnRef::new("E1", "Code")),
+                Predicate::JoinEq(ColumnRef::new("S1", "Sid"), ColumnRef::new("E1", "Sid")),
+                Predicate::Contains(ColumnRef::new("S1", "Sname"), "Green".into()),
+            ],
+            group_by: vec![ColumnRef::new("S1", "Sid")],
+            ..Default::default()
+        };
+        let sql = render(&stmt);
+        assert_eq!(
+            sql,
+            "SELECT S1.Sid, COUNT(C.Code) AS numCode\n\
+             FROM Course C, Enrol E1, Student S1\n\
+             WHERE C.Code=E1.Code AND S1.Sid=E1.Sid AND S1.Sname contains 'Green'\n\
+             GROUP BY S1.Sid"
+        );
+    }
+
+    /// Derived tables render inline like Example 6's Teach projection.
+    #[test]
+    fn derived_table_rendering() {
+        let inner = SelectStatement {
+            distinct: true,
+            items: vec![
+                SelectItem::Column { col: ColumnRef::new("Teach", "Lid"), alias: None },
+                SelectItem::Column { col: ColumnRef::new("Teach", "Code"), alias: None },
+            ],
+            from: vec![TableExpr::Relation { name: "Teach".into(), alias: "Teach".into() }],
+            predicates: vec![],
+            group_by: vec![],
+            ..Default::default()
+        };
+        let stmt = SelectStatement {
+            distinct: false,
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: ColumnRef::new("L", "Lid"),
+                distinct: false,
+                alias: "numLid".into(),
+            }],
+            from: vec![
+                TableExpr::Relation { name: "Lecturer".into(), alias: "L".into() },
+                TableExpr::Derived { query: Box::new(inner), alias: "T".into() },
+            ],
+            predicates: vec![Predicate::JoinEq(
+                ColumnRef::new("T", "Lid"),
+                ColumnRef::new("L", "Lid"),
+            )],
+            group_by: vec![],
+            ..Default::default()
+        };
+        let sql = render(&stmt);
+        assert!(sql.contains("(SELECT DISTINCT Teach.Lid, Teach.Code FROM Teach) T"), "{sql}");
+    }
+
+    #[test]
+    fn relation_alias_equal_to_name_is_not_repeated() {
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Column { col: ColumnRef::new("Teach", "Lid"), alias: None }],
+            from: vec![TableExpr::Relation { name: "Teach".into(), alias: "Teach".into() }],
+            ..Default::default()
+        };
+        assert_eq!(render(&stmt), "SELECT Teach.Lid\nFROM Teach");
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: the paper's opening example, end to end.
+//!
+//! Q1 = {Green SUM Credit} — "total credits obtained by the student
+//! Green". Two students are named Green; the semantic engine notices and
+//! returns one total per student, while SQAK-style naive translation
+//! would merge them into a single (wrong) 13.0.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use aqks::core::Engine;
+use aqks::datasets::university;
+use aqks::sqak::Sqak;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = university::normalized();
+    println!("university database: {} tuples\n", db.total_rows());
+
+    let engine = Engine::new(db.clone())?;
+    let query = "Green SUM Credit";
+    println!("keyword query: {query}\n");
+
+    for (rank, interp) in engine.answer(query, 3)?.iter().enumerate() {
+        println!("-- interpretation #{} : {}", rank + 1, interp.pattern_description);
+        println!("{}\n{}", interp.sql_text, interp.result);
+    }
+
+    // The baseline for contrast.
+    let sqak = Sqak::new(db);
+    println!("-- SQAK's statement for the same query:");
+    let g = sqak.generate(query)?;
+    println!("{}\n{}", g.sql_text, sqak.answer(query)?);
+    println!("(SQAK merges both students named Green into one answer.)");
+    Ok(())
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # aqks — Aggregate Keyword Search over Relational Databases
+//!
+//! A from-scratch Rust reproduction of *"Answering Keyword Queries
+//! involving Aggregates and GROUPBY on Relational Databases"* (Zeng, Lee,
+//! Ling — EDBT 2016).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`relational`] — in-memory relational engine, FD theory, 3NF synthesis
+//! * [`sqlgen`] — SQL AST, renderer, executor
+//! * [`orm`] — ORM schema graph (object/relationship/mixed/component)
+//! * [`core`] — the paper's semantic keyword-search engine
+//! * [`sqak`] — the SQAK baseline the paper compares against
+//! * [`datasets`] — university / TPC-H / ACM-DL datasets and denormalizers
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aqks::datasets::university;
+//! use aqks::core::Engine;
+//!
+//! let db = university::normalized();
+//! let engine = Engine::new(db).unwrap();
+//! let answers = engine.answer("Green SUM Credit", 1).unwrap();
+//! assert!(!answers.is_empty());
+//! println!("{}", answers[0].sql_text);
+//! ```
+
+pub use aqks_core as core;
+pub use aqks_datasets as datasets;
+pub use aqks_orm as orm;
+pub use aqks_relational as relational;
+pub use aqks_sqak as sqak;
+pub use aqks_sqlgen as sqlgen;

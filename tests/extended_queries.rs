@@ -1,0 +1,162 @@
+//! Queries beyond the paper's T/A workloads, exercising corners the
+//! evaluation section never reaches: multiple GROUPBYs, double-nested
+//! aggregates, metadata-only queries, MIN/MAX over attributes, quoted
+//! operator words, and error paths.
+
+use aqks::core::{CoreError, Engine};
+use aqks::datasets::{generate_acmdl, generate_tpch, university, AcmdlConfig, TpchConfig};
+use aqks::relational::Value;
+
+fn tpch() -> Engine {
+    Engine::new(generate_tpch(&TpchConfig::small())).unwrap()
+}
+
+fn acmdl() -> Engine {
+    Engine::new(generate_acmdl(&AcmdlConfig::small())).unwrap()
+}
+
+/// Two GROUPBYs: lineitems per (part, supplier) pair — grouping
+/// attributes from two different nodes.
+#[test]
+fn two_groupbys() {
+    let answers = tpch().answer("COUNT Lineitem GROUPBY part GROUPBY supplier", 1).unwrap();
+    let a = &answers[0];
+    assert_eq!(a.sql.group_by.len(), 2, "{}", a.sql_text);
+    assert!(a.result.len() > 10, "{}", a.result.len());
+    // Every count is >= 1.
+    for row in &a.result.rows {
+        assert!(matches!(row.last().unwrap(), Value::Int(n) if *n >= 1));
+    }
+}
+
+/// Double nesting: MAX of AVG of COUNT.
+#[test]
+fn double_nested_aggregate() {
+    let answers = acmdl().answer("MAX AVG COUNT paper GROUPBY proceeding", 1).unwrap();
+    let a = &answers[0];
+    // MAX(AVG(COUNT(..))) — AVG over one series yields a scalar; MAX of a
+    // scalar is the scalar. Verify the nesting structure itself.
+    assert!(a.sql_text.contains("AVG(R.numpaperid)"), "{}", a.sql_text);
+    assert!(a.sql_text.contains("MAX(R.avgnumpaperid)"), "{}", a.sql_text);
+    assert_eq!(a.result.len(), 1);
+}
+
+/// MIN over an attribute reached through a merged metadata node.
+#[test]
+fn min_attribute() {
+    let answers = tpch().answer("part MIN retailprice", 1).unwrap();
+    let a = &answers[0];
+    assert!(a.sql_text.contains("MIN(P.retailprice)"), "{}", a.sql_text);
+    assert_eq!(a.result.len(), 1);
+}
+
+/// A value term that matches metadata of nothing and values of exactly
+/// one column still aggregates correctly across a 2-hop join.
+#[test]
+fn aggregate_with_region_condition() {
+    let answers = tpch().answer("ASIA COUNT nation", 1).unwrap();
+    let a = &answers[0];
+    assert_eq!(a.result.rows[0].last().unwrap(), &Value::Int(5), "{}", a.sql_text);
+}
+
+/// Quoting turns an operator word into a basic term: "count" as a value
+/// keyword matches nothing in the university database.
+#[test]
+fn quoted_operator_is_searched_literally() {
+    let err = Engine::new(university::normalized())
+        .unwrap()
+        .answer(r#""count" Student"#, 1)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::NoMatch(_)));
+}
+
+/// GROUPBY without any aggregate still produces a grouped projection.
+#[test]
+fn groupby_without_aggregate() {
+    let answers = tpch().answer("GROUPBY mktsegment customer", 2).unwrap();
+    let a = &answers[0];
+    assert_eq!(a.result.len(), 5, "five market segments: {}", a.sql_text);
+}
+
+/// Several error paths surface as typed errors, not panics.
+#[test]
+fn error_paths() {
+    let engine = tpch();
+    assert!(matches!(
+        engine.answer("SUM zebra", 1),
+        Err(CoreError::BadOperand(_) | CoreError::NoMatch(_))
+    ));
+    assert!(matches!(engine.answer("", 1), Err(CoreError::Parse(_))));
+    assert!(matches!(engine.answer("COUNT", 1), Err(CoreError::Parse(_))));
+    // SUM over a text attribute parses and translates; execution yields
+    // NULL (no numeric values) rather than an error.
+    let r = engine.answer("SUM priority order", 1);
+    if let Ok(answers) = r {
+        assert!(answers[0].result.rows[0].last().unwrap().is_null());
+    }
+}
+
+/// Interpretations beyond the first are still valid SQL over the data.
+#[test]
+fn top_k_interpretations_all_execute() {
+    let engine = acmdl();
+    let answers = engine.answer("COUNT paper Smith", 5).unwrap();
+    assert!(!answers.is_empty());
+    for a in &answers {
+        // Executed without error; shape sanity only.
+        assert!(!a.result.columns.is_empty());
+    }
+}
+
+/// MAX over dates through two mixed hops (paper -> proceeding ->
+/// publisher path but grouped by acronym attribute).
+#[test]
+fn max_date_groupby_acronym() {
+    let answers = acmdl().answer("paper MAX date GROUPBY acronym", 1).unwrap();
+    let a = &answers[0];
+    assert!(a.result.len() >= 4, "several acronyms: {}", a.result);
+    let idx = a.result.column_index("maxdate").unwrap_or(a.result.columns.len() - 1);
+    for row in &a.result.rows {
+        assert!(matches!(row[idx], Value::Date(_)), "{row:?}");
+    }
+}
+
+/// Multi-source reconstruction on the denormalized TPCH': the merged
+/// Nation' relation has `nname` only in the identity `Nation` source and
+/// `regionkey` only in the `Customer`/`Ordering` projections, so a query
+/// needing both joins two sources on the derived key. We pick a nation
+/// that actually has customers (denormalization is lossy: a nation's
+/// region is only reconstructible from rows that record it).
+#[test]
+fn multi_source_subquery_join() {
+    use aqks::datasets::{denormalize_tpch, generate_tpch, TpchConfig};
+    let base = generate_tpch(&TpchConfig::small());
+    let prime = denormalize_tpch(&base);
+
+    // Find a nation name with at least one customer.
+    let customers = prime.table("Customer").unwrap();
+    let nations = prime.table("Nation").unwrap();
+    let nk = customers.rows()[0][customers.schema.attr_index("nationkey").unwrap()].clone();
+    let nname = nations
+        .rows()
+        .iter()
+        .find(|r| r[0] == nk)
+        .map(|r| r[1].to_string())
+        .unwrap();
+
+    let engine = Engine::new(prime).unwrap();
+    let q = format!("{nname} COUNT region");
+    let answers = engine.answer(&q, 1).unwrap();
+    let a = &answers[0];
+    assert!(
+        a.sql_text.matches("SELECT").count() >= 3,
+        "multi-source subquery expected: {}",
+        a.sql_text
+    );
+    assert_eq!(
+        a.result.rows[0].last().unwrap(),
+        &Value::Int(1),
+        "{q}: every nation belongs to exactly one region\n{}",
+        a.sql_text
+    );
+}
