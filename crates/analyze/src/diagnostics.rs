@@ -1,0 +1,159 @@
+//! Structured diagnostics emitted by the lint passes.
+
+use std::fmt;
+
+use aqks_sqlgen::{render_spanned, SelectStatement, SpanKind};
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably wrong (e.g. `contains` on a date).
+    Warning,
+    /// The statement is malformed or computes a provably wrong answer.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of a lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`AQ-P1` … `AQ-P5`).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Name of the pass that produced it.
+    pub pass: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Derived-table chain from the root statement to the statement the
+    /// finding is about (matches [`SelectStatement::walk`] paths).
+    pub path: Vec<usize>,
+    /// Clause element within that statement, when the finding points at
+    /// one.
+    pub clause: Option<SpanKind>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(
+        code: &'static str,
+        pass: &'static str,
+        path: &[usize],
+        clause: Option<SpanKind>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            pass,
+            message: message.into(),
+            path: path.to_vec(),
+            clause,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(
+        code: &'static str,
+        pass: &'static str,
+        path: &[usize],
+        clause: Option<SpanKind>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, pass, path, clause, message)
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}/{}]: {}", self.severity, self.code, self.pass, self.message)
+    }
+}
+
+/// All findings for one analyzed statement tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Findings in pass order, root statement first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when no findings at all were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// True when at least one finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// True when some finding carries the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders the findings against the statement they were produced for,
+    /// quoting the SQL fragment each one points at.
+    pub fn render(&self, stmt: &SelectStatement) -> String {
+        let (sql, spans) = render_spanned(stmt);
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            let span =
+                d.clause.and_then(|kind| spans.iter().find(|s| s.path == d.path && s.kind == kind));
+            if let Some(s) = span {
+                out.push_str(&format!("\n  --> {}", &sql[s.start..s.end]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One-line summary: `2 errors, 1 warning`.
+    pub fn summary(&self) -> String {
+        let errors = self.error_count();
+        let warnings = self.diagnostics.len() - errors;
+        let plural = |n: usize| if n == 1 { "" } else { "s" };
+        format!("{errors} error{}, {warnings} warning{}", plural(errors), plural(warnings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts() {
+        let mut r = Report::default();
+        assert!(r.is_clean() && !r.has_errors());
+        r.diagnostics.push(Diagnostic::warning("AQ-P2", "types", &[], None, "w"));
+        assert!(!r.is_clean() && !r.has_errors());
+        r.diagnostics.push(Diagnostic::error("AQ-P5", "duplicates", &[0], None, "e"));
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert!(r.has_code("AQ-P5") && !r.has_code("AQ-P1"));
+        assert_eq!(r.summary(), "1 error, 1 warning");
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # aqks-analyze
+//!
+//! A static semantic analyzer for the `SELECT` statements the keyword
+//! engine and the SQAK baseline generate. It checks a
+//! [`SelectStatement`](aqks_sqlgen::SelectStatement) against the
+//! [`DatabaseSchema`](aqks_relational::DatabaseSchema), its declared
+//! functional dependencies, and (optionally) the ORM graph — without
+//! executing anything.
+//!
+//! Five lint passes with stable diagnostic codes:
+//!
+//! | code    | pass                  | what it proves                         |
+//! |---------|-----------------------|----------------------------------------|
+//! | `AQ-P1` | [`NameResolution`]    | every name resolves, no duplicates     |
+//! | `AQ-P2` | [`TypeCheck`]         | joins/aggregates/`contains` type-check |
+//! | `AQ-P3` | [`JoinValidity`]      | equi-joins follow schema structure     |
+//! | `AQ-P4` | [`AggregateForm`]     | GROUP BY covers plain select items     |
+//! | `AQ-P5` | [`DuplicateInflation`]| no duplicate-inflated aggregates       |
+//!
+//! `AQ-P5` is the static counterpart of the paper's Section 4 analysis:
+//! it reproduces, at the plan level, the error class SQAK's translation
+//! falls into on unnormalized schemas (merged groups when grouping by a
+//! text-matched non-key, redundant rows inflating `COUNT`/`SUM`/`AVG`),
+//! using attribute closures over the statement's flattened FD model.
+//!
+//! ```
+//! use aqks_analyze::analyze;
+//! use aqks_sqlgen::{ColumnRef, SelectItem, SelectStatement, TableExpr};
+//! # use aqks_relational::{AttrType, DatabaseSchema, RelationSchema};
+//! # let mut r = RelationSchema::new("Student");
+//! # r.add_attr("Sid", AttrType::Text);
+//! # r.set_primary_key(["Sid"]);
+//! # let schema = DatabaseSchema { relations: vec![r] };
+//! let stmt = SelectStatement {
+//!     items: vec![SelectItem::Column { col: ColumnRef::new("S", "Sid"), alias: None }],
+//!     from: vec![TableExpr::Relation { name: "Student".into(), alias: "S".into() }],
+//!     ..Default::default()
+//! };
+//! assert!(analyze(&stmt, &schema).is_clean());
+//! ```
+
+pub mod analyzer;
+pub mod diagnostics;
+pub mod fdmodel;
+pub mod passes;
+pub mod scope;
+
+pub use analyzer::{analyze, Analyzer, AnalyzerOptions, StmtContext};
+pub use diagnostics::{Diagnostic, Report, Severity};
+pub use passes::{
+    default_passes, AggregateForm, DuplicateInflation, JoinValidity, LintPass, NameResolution,
+    TypeCheck,
+};

@@ -1,0 +1,244 @@
+//! Name and type resolution for one `SELECT` statement.
+//!
+//! A [`Scope`] describes what every FROM item exposes: its output columns
+//! with declared types and, where derivable, the base-relation attribute
+//! each output ultimately projects (its *provenance*). Base relations
+//! expose their schema attributes directly; derived tables expose their
+//! select list, resolved recursively against their own scope.
+
+use aqks_relational::{AttrType, DatabaseSchema, RelationSchema};
+use aqks_sqlgen::{AggFunc, ColumnRef, SelectItem, SelectStatement, TableExpr};
+
+/// One column a FROM item exposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputCol {
+    /// Output name (canonical casing where known).
+    pub name: String,
+    /// Declared type, when derivable.
+    pub ty: Option<AttrType>,
+    /// The base `(relation, attribute)` this column projects, traced
+    /// through derived tables. `None` for aggregate results.
+    pub base: Option<(String, String)>,
+}
+
+/// Where a FROM item's rows come from.
+#[derive(Debug)]
+pub enum ItemSource<'a> {
+    /// A base relation found in the schema.
+    Base(&'a RelationSchema),
+    /// A derived table with the subquery's own scope.
+    Derived(Box<Scope<'a>>, &'a SelectStatement),
+    /// A relation name the schema does not know (reported by pass P1;
+    /// lookups against it resolve to nothing without cascading).
+    Unknown,
+}
+
+/// One FROM item of the analyzed statement.
+#[derive(Debug)]
+pub struct ItemScope<'a> {
+    /// The item's alias.
+    pub alias: String,
+    /// Row source.
+    pub source: ItemSource<'a>,
+    /// Exposed columns.
+    pub outputs: Vec<OutputCol>,
+}
+
+impl ItemScope<'_> {
+    /// Finds an exposed column by case-insensitive name.
+    pub fn output(&self, name: &str) -> Option<&OutputCol> {
+        self.outputs.iter().find(|o| o.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Why a column reference failed to resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The qualifier names no FROM item.
+    UnknownAlias(String),
+    /// The qualifier names more than one FROM item.
+    AmbiguousAlias(String),
+    /// The item exists but exposes no such column.
+    UnknownColumn(String, String),
+    /// The item is an unknown relation; column lookups are suppressed.
+    PoisonedItem,
+}
+
+/// Resolution context for one statement.
+#[derive(Debug)]
+pub struct Scope<'a> {
+    /// One entry per FROM item, in clause order.
+    pub items: Vec<ItemScope<'a>>,
+}
+
+impl<'a> Scope<'a> {
+    /// Builds the scope of `stmt` (recursively for derived tables)
+    /// against `schema`.
+    pub fn build(stmt: &'a SelectStatement, schema: &'a DatabaseSchema) -> Scope<'a> {
+        let items = stmt
+            .from
+            .iter()
+            .map(|item| match item {
+                TableExpr::Relation { name, alias } => match schema.relation(name) {
+                    Some(rel) => ItemScope {
+                        alias: alias.clone(),
+                        source: ItemSource::Base(rel),
+                        outputs: rel
+                            .attrs
+                            .iter()
+                            .map(|a| OutputCol {
+                                name: a.name.clone(),
+                                ty: Some(a.ty),
+                                base: Some((rel.name.clone(), a.name.clone())),
+                            })
+                            .collect(),
+                    },
+                    None => ItemScope {
+                        alias: alias.clone(),
+                        source: ItemSource::Unknown,
+                        outputs: Vec::new(),
+                    },
+                },
+                TableExpr::Derived { query, alias } => {
+                    let sub = Scope::build(query, schema);
+                    let outputs = statement_outputs(query, &sub);
+                    ItemScope {
+                        alias: alias.clone(),
+                        source: ItemSource::Derived(Box::new(sub), query),
+                        outputs,
+                    }
+                }
+            })
+            .collect();
+        Scope { items }
+    }
+
+    /// Finds the FROM item a qualifier addresses.
+    pub fn item(&self, qualifier: &str) -> Result<&ItemScope<'a>, ResolveError> {
+        let mut hits = self.items.iter().filter(|i| i.alias.eq_ignore_ascii_case(qualifier));
+        match (hits.next(), hits.next()) {
+            (Some(item), None) => Ok(item),
+            (Some(_), Some(_)) => Err(ResolveError::AmbiguousAlias(qualifier.to_string())),
+            (None, _) => Err(ResolveError::UnknownAlias(qualifier.to_string())),
+        }
+    }
+
+    /// Resolves a qualified column reference to its exposed column.
+    pub fn resolve(&self, col: &ColumnRef) -> Result<&OutputCol, ResolveError> {
+        let item = self.item(&col.qualifier)?;
+        if matches!(item.source, ItemSource::Unknown) {
+            return Err(ResolveError::PoisonedItem);
+        }
+        item.output(&col.column)
+            .ok_or_else(|| ResolveError::UnknownColumn(col.qualifier.clone(), col.column.clone()))
+    }
+}
+
+/// The columns `stmt` itself exposes, given its scope.
+pub fn statement_outputs(stmt: &SelectStatement, scope: &Scope<'_>) -> Vec<OutputCol> {
+    stmt.items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Column { col, alias } => {
+                let resolved = scope.resolve(col).ok();
+                OutputCol {
+                    name: alias.clone().unwrap_or_else(|| {
+                        resolved.map_or_else(|| col.column.clone(), |o| o.name.clone())
+                    }),
+                    ty: resolved.and_then(|o| o.ty),
+                    base: resolved.and_then(|o| o.base.clone()),
+                }
+            }
+            SelectItem::Aggregate { func, arg, alias, .. } => {
+                let arg_ty = scope.resolve(arg).ok().and_then(|o| o.ty);
+                let ty = match func {
+                    AggFunc::Count => Some(AttrType::Int),
+                    AggFunc::Avg => Some(AttrType::Float),
+                    AggFunc::Sum | AggFunc::Min | AggFunc::Max => arg_ty,
+                };
+                OutputCol { name: alias.clone(), ty, base: None }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqks_relational::{AttrType, DatabaseSchema, RelationSchema};
+    use aqks_sqlgen::ColumnRef;
+
+    fn schema() -> DatabaseSchema {
+        let mut s = RelationSchema::new("Student");
+        s.add_attr("Sid", AttrType::Text).add_attr("Age", AttrType::Int);
+        s.set_primary_key(["Sid"]);
+        DatabaseSchema { relations: vec![s] }
+    }
+
+    #[test]
+    fn base_relation_scope() {
+        let schema = schema();
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Column { col: ColumnRef::new("S", "sid"), alias: None }],
+            from: vec![TableExpr::Relation { name: "student".into(), alias: "S".into() }],
+            ..Default::default()
+        };
+        let scope = Scope::build(&stmt, &schema);
+        let col = scope.resolve(&ColumnRef::new("s", "AGE")).unwrap();
+        assert_eq!(col.ty, Some(AttrType::Int));
+        assert_eq!(col.base, Some(("Student".into(), "Age".into())));
+        assert!(matches!(
+            scope.resolve(&ColumnRef::new("S", "nope")),
+            Err(ResolveError::UnknownColumn(..))
+        ));
+        assert!(matches!(
+            scope.resolve(&ColumnRef::new("X", "Sid")),
+            Err(ResolveError::UnknownAlias(..))
+        ));
+    }
+
+    #[test]
+    fn derived_scope_traces_provenance_and_types() {
+        let schema = schema();
+        let inner = SelectStatement {
+            distinct: true,
+            items: vec![
+                SelectItem::Column { col: ColumnRef::new("S", "Sid"), alias: None },
+                SelectItem::Aggregate {
+                    func: AggFunc::Count,
+                    arg: ColumnRef::new("S", "Sid"),
+                    distinct: false,
+                    alias: "n".into(),
+                },
+            ],
+            from: vec![TableExpr::Relation { name: "Student".into(), alias: "S".into() }],
+            ..Default::default()
+        };
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Column { col: ColumnRef::new("D", "Sid"), alias: None }],
+            from: vec![TableExpr::Derived { query: Box::new(inner), alias: "D".into() }],
+            ..Default::default()
+        };
+        let scope = Scope::build(&stmt, &schema);
+        let sid = scope.resolve(&ColumnRef::new("D", "sid")).unwrap();
+        assert_eq!(sid.base, Some(("Student".into(), "Sid".into())));
+        let n = scope.resolve(&ColumnRef::new("D", "n")).unwrap();
+        assert_eq!(n.ty, Some(AttrType::Int));
+        assert_eq!(n.base, None);
+    }
+
+    #[test]
+    fn unknown_relation_is_poisoned() {
+        let schema = schema();
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Column { col: ColumnRef::new("Z", "x"), alias: None }],
+            from: vec![TableExpr::Relation { name: "Zebra".into(), alias: "Z".into() }],
+            ..Default::default()
+        };
+        let scope = Scope::build(&stmt, &schema);
+        assert!(matches!(
+            scope.resolve(&ColumnRef::new("Z", "x")),
+            Err(ResolveError::PoisonedItem)
+        ));
+    }
+}

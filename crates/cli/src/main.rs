@@ -14,10 +14,16 @@
 //! * `--sqak` — also run the SQAK baseline for contrast
 //! * `--explain` — print the ORM schema graph and the query pattern
 //!
+//! Subcommand `aqks check [--dataset NAME] [--sqak] [QUERY]` runs the
+//! static analyzer (`aqks-analyze`) over the SQL both engines generate —
+//! for one query, or for the dataset's whole built-in workload when no
+//! query is given — and exits non-zero on error-severity findings.
+//!
 //! REPL commands: `\schema` (relations), `\graph` (ORM graph), `\q`.
 
 use std::io::{BufRead, Write};
 
+use aqks_analyze::Analyzer;
 use aqks_core::Engine;
 use aqks_datasets::{
     denormalize_acmdl, denormalize_tpch, generate_acmdl, generate_tpch, university, AcmdlConfig,
@@ -32,6 +38,7 @@ struct Options {
     k: usize,
     sqak: bool,
     explain: bool,
+    check: bool,
     export: Option<String>,
     query: Option<String>,
 }
@@ -43,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
         k: 1,
         sqak: false,
         explain: false,
+        check: false,
         export: None,
         query: None,
     };
@@ -53,28 +61,24 @@ fn parse_args() -> Result<Options, String> {
         match args[i].as_str() {
             "--dataset" | "-d" => {
                 i += 1;
-                opts.dataset =
-                    args.get(i).ok_or("--dataset needs a value")?.to_lowercase();
+                opts.dataset = args.get(i).ok_or("--dataset needs a value")?.to_lowercase();
             }
             "--paper-scale" => opts.paper_scale = true,
             "--sqak" => opts.sqak = true,
             "--explain" => opts.explain = true,
             "--export" => {
                 i += 1;
-                opts.export =
-                    Some(args.get(i).ok_or("--export needs a directory")?.to_string());
+                opts.export = Some(args.get(i).ok_or("--export needs a directory")?.to_string());
             }
             "--k" => {
                 i += 1;
-                opts.k = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--k needs a number")?;
+                opts.k = args.get(i).and_then(|v| v.parse().ok()).ok_or("--k needs a number")?;
             }
             "--help" | "-h" => {
-                println!("usage: aqks [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--export DIR] [QUERY]");
+                println!("usage: aqks [check] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--export DIR] [QUERY]");
                 std::process::exit(0);
             }
+            "check" if positional.is_empty() && !opts.check => opts.check = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -153,6 +157,77 @@ fn run_query(engine: &Engine, sqak: Option<&Sqak>, query: &str, k: usize, explai
     }
 }
 
+/// The built-in workload `aqks check` sweeps when no query is given.
+fn check_workload(dataset: &str) -> Vec<String> {
+    match dataset {
+        "tpch" | "tpch-prime" | "tpch'" => {
+            aqks_eval::tpch_queries().iter().map(|q| q.text.to_string()).collect()
+        }
+        "acmdl" | "acmdl-prime" | "acmdl'" => {
+            aqks_eval::acmdl_queries().iter().map(|q| q.text.to_string()).collect()
+        }
+        "fig2" => vec!["Engineering COUNT Department".into()],
+        "fig8" | "enrolment" => vec!["Green George COUNT Code".into()],
+        _ => vec![
+            "Green SUM Credit".into(),
+            "Java SUM Price".into(),
+            "COUNT Lecturer GROUPBY Course".into(),
+        ],
+    }
+}
+
+/// Statically analyzes the SQL both engines generate for `queries`;
+/// returns the number of error-severity findings.
+fn run_check(engine: &Engine, sqak: Option<&Sqak>, queries: &[String], k: usize) -> usize {
+    let schema = engine.database().schema();
+    let mut errors = 0;
+    for q in queries {
+        println!("── check `{q}`");
+        match engine.generate(q, k) {
+            Ok(generated) => {
+                for (rank, g) in generated.iter().enumerate() {
+                    let verdict = if g.diagnostics.is_clean() {
+                        "clean".to_string()
+                    } else {
+                        g.diagnostics.summary()
+                    };
+                    println!("  engine #{}: {verdict}", rank + 1);
+                    errors += g.diagnostics.error_count();
+                    if !g.diagnostics.is_clean() {
+                        for line in g.diagnostics.render(&g.sql).lines() {
+                            println!("    {line}");
+                        }
+                    }
+                }
+            }
+            // Debug builds reject error findings inside `generate`.
+            Err(aqks_core::CoreError::Analysis(m)) => {
+                errors += 1;
+                println!("  engine: rejected\n    {}", m.replace('\n', "\n    "));
+            }
+            Err(e) => println!("  engine: N.A. ({e})"),
+        }
+        if let Some(sqak) = sqak {
+            match sqak.generate(q) {
+                Ok(g) => {
+                    let report = Analyzer::new(&schema).analyze(&g.sql);
+                    let verdict =
+                        if report.is_clean() { "clean".to_string() } else { report.summary() };
+                    println!("  sqak: {verdict}");
+                    errors += report.error_count();
+                    if !report.is_clean() {
+                        for line in report.render(&g.sql).lines() {
+                            println!("    {line}");
+                        }
+                    }
+                }
+                Err(e) => println!("  sqak: N.A. ({e})"),
+            }
+        }
+    }
+    errors
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -187,6 +262,21 @@ fn main() {
     };
     if engine.is_unnormalized() {
         eprintln!("(unnormalized database: querying through the normalized view)");
+    }
+
+    if opts.check {
+        let queries = opts
+            .query
+            .as_ref()
+            .map(|q| vec![q.clone()])
+            .unwrap_or_else(|| check_workload(&opts.dataset));
+        let errors = run_check(&engine, sqak.as_ref(), &queries, opts.k.max(3));
+        if errors > 0 {
+            eprintln!("check failed: {errors} error finding(s)");
+            std::process::exit(1);
+        }
+        eprintln!("check passed: no error findings");
+        return;
     }
 
     if let Some(q) = &opts.query {

@@ -9,10 +9,8 @@ fn aqks() -> Command {
 
 #[test]
 fn one_shot_query_prints_sql_and_answers() {
-    let out = aqks()
-        .args(["--dataset", "university", "Green SUM Credit"])
-        .output()
-        .expect("binary runs");
+    let out =
+        aqks().args(["--dataset", "university", "Green SUM Credit"]).output().expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("GROUP BY S.Sid"), "{stdout}");
@@ -22,10 +20,8 @@ fn one_shot_query_prints_sql_and_answers() {
 
 #[test]
 fn sqak_flag_adds_baseline_section() {
-    let out = aqks()
-        .args(["--dataset", "university", "--sqak", "Green SUM Credit"])
-        .output()
-        .unwrap();
+    let out =
+        aqks().args(["--dataset", "university", "--sqak", "Green SUM Credit"]).output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("SQAK baseline"), "{stdout}");
     assert!(stdout.contains("13.0"), "SQAK's merged answer shown: {stdout}");
@@ -48,12 +44,7 @@ fn repl_commands_work_over_stdin() {
         .spawn()
         .unwrap();
     use std::io::Write;
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(b"\\schema\n\\graph\nLecturer George\n\\q\n")
-        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"\\schema\n\\graph\nLecturer George\n\\q\n").unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -73,10 +64,8 @@ fn export_then_import_roundtrip() {
     assert!(out.status.success());
     let first = String::from_utf8_lossy(&out.stdout).to_string();
 
-    let out = aqks()
-        .args(["--dataset", dir.to_str().unwrap(), "Green SUM Credit"])
-        .output()
-        .unwrap();
+    let out =
+        aqks().args(["--dataset", dir.to_str().unwrap(), "Green SUM Credit"]).output().unwrap();
     assert!(out.status.success());
     let second = String::from_utf8_lossy(&out.stdout);
     // Same answer table either way (the SQL may name the directory-backed
@@ -90,10 +79,7 @@ fn export_then_import_roundtrip() {
 
 #[test]
 fn malformed_query_reports_typed_error() {
-    let out = aqks()
-        .args(["--dataset", "university", "Green SUM"])
-        .output()
-        .unwrap();
+    let out = aqks().args(["--dataset", "university", "Green SUM"]).output().unwrap();
     // The engine error is printed to stdout (the REPL keeps running on
     // errors; one-shot mode reports and exits 0).
     let stdout = String::from_utf8_lossy(&out.stdout);

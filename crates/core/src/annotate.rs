@@ -42,10 +42,8 @@ pub fn disambiguate(patterns: Vec<QueryPattern>, namespace: &DatabaseSchema) -> 
             for p in &s {
                 let mut fork = p.clone();
                 let rel = fork.nodes[node].relation.clone();
-                let key = namespace
-                    .relation(&rel)
-                    .map(|r| r.primary_key.clone())
-                    .unwrap_or_default();
+                let key =
+                    namespace.relation(&rel).map(|r| r.primary_key.clone()).unwrap_or_default();
                 if key.is_empty() {
                     continue;
                 }
@@ -114,9 +112,9 @@ mod tests {
         let forked = two_students
             .iter()
             .find(|p| {
-                p.nodes
-                    .iter()
-                    .any(|n| n.annotations.iter().any(|a| matches!(a, NodeAnnotation::Distinguish { .. })))
+                p.nodes.iter().any(|n| {
+                    n.annotations.iter().any(|a| matches!(a, NodeAnnotation::Distinguish { .. }))
+                })
             })
             .expect("per-object fork exists");
         let dist_node = forked
@@ -146,9 +144,10 @@ mod tests {
         assert!(!course_patterns.is_empty());
         for p in course_patterns {
             assert!(
-                !p.nodes
+                !p.nodes.iter().any(|n| n
+                    .annotations
                     .iter()
-                    .any(|n| n.annotations.iter().any(|a| matches!(a, NodeAnnotation::Distinguish { .. }))),
+                    .any(|a| matches!(a, NodeAnnotation::Distinguish { .. }))),
                 "{}",
                 p.describe()
             );

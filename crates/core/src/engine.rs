@@ -10,6 +10,7 @@
 //! [`Engine::generate`] produces the ranked SQL statements (what
 //! Figure 11 times); [`Engine::answer`] additionally executes them.
 
+use aqks_analyze::{Analyzer, Report};
 use aqks_orm::OrmGraph;
 use aqks_relational::{Database, DatabaseSchema, NormalizedView};
 use aqks_sqlgen::{execute, ResultTable, SelectStatement};
@@ -51,6 +52,10 @@ pub struct GeneratedSql {
     /// The pattern's rank key (smaller ranks first); interpretations are
     /// returned in rank order.
     pub score: crate::rank::RankKey,
+    /// Findings of the static analyzer (`aqks-analyze`) on `sql`. Debug
+    /// builds refuse to return statements with error-severity findings;
+    /// release builds record them here.
+    pub diagnostics: Report,
 }
 
 /// An executed interpretation.
@@ -100,6 +105,7 @@ pub struct Explanation {
 /// The semantic keyword-search engine.
 pub struct Engine {
     db: Database,
+    original_schema: DatabaseSchema,
     namespace: DatabaseSchema,
     graph: OrmGraph,
     matcher: Matcher,
@@ -122,13 +128,29 @@ impl Engine {
         if NormalizedView::is_normalized(&schema) {
             let graph = OrmGraph::build(&schema)?;
             let matcher = Matcher::normalized(&db);
-            Ok(Engine { db, namespace: schema, graph, matcher, view: None, options })
+            Ok(Engine {
+                db,
+                original_schema: schema.clone(),
+                namespace: schema,
+                graph,
+                matcher,
+                view: None,
+                options,
+            })
         } else {
             let view = NormalizedView::build(&schema);
             let namespace = view.schema();
             let graph = OrmGraph::build(&namespace)?;
             let matcher = Matcher::unnormalized(&db, view.clone());
-            Ok(Engine { db, namespace, graph, matcher, view: Some(view), options })
+            Ok(Engine {
+                db,
+                original_schema: schema,
+                namespace,
+                graph,
+                matcher,
+                view: Some(view),
+                options,
+            })
         }
     }
 
@@ -175,10 +197,32 @@ impl Engine {
                 t.stmt
             };
             let sql_text = sql.to_string();
+            let diagnostics = self.analyze(&sql);
+            if cfg!(debug_assertions) && diagnostics.has_errors() {
+                return Err(CoreError::Analysis(format!(
+                    "{}\n{sql_text}",
+                    diagnostics.render(&sql).trim_end()
+                )));
+            }
             let score = crate::rank::rank_key(&p);
-            out.push(GeneratedSql { pattern: p, sql, sql_text, score });
+            out.push(GeneratedSql { pattern: p, sql, sql_text, score, diagnostics });
         }
         Ok(out)
+    }
+
+    /// Statically analyzes a generated statement. Base relations in the
+    /// final SQL always come from the original schema — normalized-view
+    /// relations only ever appear as derived projections *over* original
+    /// relations — so the analysis resolves against it. The ORM graph
+    /// describes the namespace, so pass P3 consults it only when the two
+    /// schemas coincide (no view).
+    fn analyze(&self, sql: &SelectStatement) -> Report {
+        let analyzer = Analyzer::new(&self.original_schema);
+        if self.view.is_none() {
+            analyzer.with_graph(&self.graph).analyze(sql)
+        } else {
+            analyzer.analyze(sql)
+        }
     }
 
     /// Full Algorithm 2: generate the top-`k` interpretations and execute
@@ -223,12 +267,16 @@ impl Engine {
                         TermMatch::AttributeName { relation, attribute } => {
                             format!("attribute `{relation}.{attribute}`")
                         }
-                        TermMatch::Value { relation, attribute, tuple_count } => format!(
-                            "value of `{relation}.{attribute}` ({tuple_count} object(s))"
-                        ),
+                        TermMatch::Value { relation, attribute, tuple_count } => {
+                            format!("value of `{relation}.{attribute}` ({tuple_count} object(s))")
+                        }
                     })
                     .collect();
-                TermReport { term: text, is_operator: matches!(t, Term::Op(_)), matches: descriptions }
+                TermReport {
+                    term: text,
+                    is_operator: matches!(t, Term::Op(_)),
+                    matches: descriptions,
+                }
             })
             .collect();
 
@@ -355,20 +403,15 @@ mod tests {
 
         let a = &declared.answer("Green George COUNT Code", 1).unwrap()[0];
         let b = &discovering.answer("Green George COUNT Code", 1).unwrap()[0];
-        let left: Vec<&Value> =
-            a.result.rows.iter().map(|r| r.last().unwrap()).collect();
-        let right: Vec<&Value> =
-            b.result.rows.iter().map(|r| r.last().unwrap()).collect();
+        let left: Vec<&Value> = a.result.rows.iter().map(|r| r.last().unwrap()).collect();
+        let right: Vec<&Value> = b.result.rows.iter().map(|r| r.last().unwrap()).collect();
         assert_eq!(left, right, "{}\nvs\n{}", a.sql_text, b.sql_text);
     }
 
     #[test]
     fn nonexistent_term_errors() {
         let engine = Engine::new(university::normalized()).unwrap();
-        assert!(matches!(
-            engine.answer("zebra COUNT Code", 1),
-            Err(CoreError::NoMatch(_))
-        ));
+        assert!(matches!(engine.answer("zebra COUNT Code", 1), Err(CoreError::NoMatch(_))));
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub enum CoreError {
     BadOperand(String),
     /// No connected query pattern exists for any interpretation.
     NoPattern,
+    /// The static analyzer (`aqks-analyze`) found an error-severity
+    /// defect in a generated statement — a translation bug.
+    Analysis(String),
     /// SQL execution failed (executor bug or malformed translation).
     Exec(String),
     /// Schema-level problem (e.g. ORM graph construction failed).
@@ -27,6 +30,7 @@ impl fmt::Display for CoreError {
             CoreError::NoMatch(t) => write!(f, "term `{t}` matches nothing in the database"),
             CoreError::BadOperand(m) => write!(f, "invalid operator operand: {m}"),
             CoreError::NoPattern => write!(f, "no connected query pattern exists"),
+            CoreError::Analysis(m) => write!(f, "static analysis rejected generated SQL: {m}"),
             CoreError::Exec(m) => write!(f, "execution error: {m}"),
             CoreError::Schema(m) => write!(f, "schema error: {m}"),
         }

@@ -42,7 +42,9 @@ pub mod rank;
 pub mod translate;
 pub mod unnormalized;
 
-pub use engine::{Engine, EngineOptions, Explanation, GeneratedSql, Interpretation, PatternReport, TermReport};
+pub use engine::{
+    Engine, EngineOptions, Explanation, GeneratedSql, Interpretation, PatternReport, TermReport,
+};
 pub use error::CoreError;
 pub use matching::{Matcher, TermMatch, TermRole};
 pub use pattern::{NodeAnnotation, PatternNode, QueryPattern};

@@ -206,9 +206,7 @@ impl Matcher {
 
 /// True if `attr` participates in any foreign key of `rel`.
 fn is_foreign_key_attr(rel: &aqks_relational::RelationSchema, attr: &str) -> bool {
-    rel.foreign_keys
-        .iter()
-        .any(|fk| fk.attrs.iter().any(|a| a.eq_ignore_ascii_case(attr)))
+    rel.foreign_keys.iter().any(|fk| fk.attrs.iter().any(|a| a.eq_ignore_ascii_case(attr)))
 }
 
 /// Chooses the derived relation a value/attribute match on
@@ -256,7 +254,9 @@ mod tests {
         // "Credit" as aggregate operand: attribute name only.
         let ms = m.matches(&db, "Credit", TermRole::AggOperand);
         assert_eq!(ms.len(), 1);
-        assert!(matches!(&ms[0], TermMatch::AttributeName { relation, .. } if relation == "Course"));
+        assert!(
+            matches!(&ms[0], TermMatch::AttributeName { relation, .. } if relation == "Course")
+        );
         // "Green" cannot be an aggregate operand.
         assert!(m.matches(&db, "Green", TermRole::AggOperand).is_empty());
         // "Course" as COUNT operand: relation name.

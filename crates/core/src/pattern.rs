@@ -118,10 +118,7 @@ pub struct QueryPattern {
 impl QueryPattern {
     /// Number of object/mixed nodes (the primary ranking key).
     pub fn object_mixed_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Object | NodeKind::Mixed))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Object | NodeKind::Mixed)).count()
     }
 
     /// Neighbours of node `id` in the pattern graph.
@@ -173,7 +170,9 @@ impl QueryPattern {
                     "{}:{}:{:?}:{:?}",
                     n.relation,
                     n.terminal,
-                    n.condition.as_ref().map(|c| format!("{}.{}={}", c.relation, c.attribute, c.term)),
+                    n.condition
+                        .as_ref()
+                        .map(|c| format!("{}.{}={}", c.relation, c.attribute, c.term)),
                     n.annotations,
                 )
             })
@@ -184,8 +183,16 @@ impl QueryPattern {
             .iter()
             .map(|e| {
                 let mut pair = [
-                    format!("{}|{:?}", self.nodes[e.a].relation, self.nodes[e.a].condition.as_ref().map(|c| &c.term)),
-                    format!("{}|{:?}", self.nodes[e.b].relation, self.nodes[e.b].condition.as_ref().map(|c| &c.term)),
+                    format!(
+                        "{}|{:?}",
+                        self.nodes[e.a].relation,
+                        self.nodes[e.a].condition.as_ref().map(|c| &c.term)
+                    ),
+                    format!(
+                        "{}|{:?}",
+                        self.nodes[e.b].relation,
+                        self.nodes[e.b].condition.as_ref().map(|c| &c.term)
+                    ),
                 ];
                 pair.sort();
                 pair.join("--")
@@ -230,10 +237,7 @@ impl QueryPattern {
             out.push_str(&format!("  p{} -- p{};\n", e.a, e.b));
         }
         for (i, f) in self.nested.iter().enumerate() {
-            out.push_str(&format!(
-                "  nested{i} [label=\"{}(…)\", shape=note];\n",
-                f.keyword()
-            ));
+            out.push_str(&format!("  nested{i} [label=\"{}(…)\", shape=note];\n", f.keyword()));
         }
         out.push_str("}\n");
         out
@@ -283,12 +287,8 @@ pub fn generate_patterns(
     graph: &OrmGraph,
     namespace: &DatabaseSchema,
 ) -> Result<Vec<QueryPattern>, CoreError> {
-    let basic: Vec<usize> = query
-        .terms
-        .iter()
-        .enumerate()
-        .filter_map(|(i, t)| t.as_basic().map(|_| i))
-        .collect();
+    let basic: Vec<usize> =
+        query.terms.iter().enumerate().filter_map(|(i, t)| t.as_basic().map(|_| i)).collect();
     for &i in &basic {
         if matches[i].is_empty() {
             let text = query.terms[i].as_basic().unwrap_or_default();
@@ -485,11 +485,9 @@ fn build_pattern(
                     return None;
                 }
                 let ann = match op {
-                    Operator::Agg(f) => NodeAnnotation::Agg {
-                        func: *f,
-                        relation,
-                        attribute: attributes[0].clone(),
-                    },
+                    Operator::Agg(f) => {
+                        NodeAnnotation::Agg { func: *f, relation, attribute: attributes[0].clone() }
+                    }
                     Operator::GroupBy => NodeAnnotation::GroupBy { relation, attributes },
                 };
                 nodes[node].annotations.push(ann);
@@ -530,9 +528,8 @@ fn attach(
             let path = graph.shortest_path_edges(nodes[u].orm, nodes[t].orm)?;
             if matches!(nodes[u].kind, NodeKind::Relationship) {
                 let first = *path.first()?;
-                let slot_taken = edges
-                    .iter()
-                    .any(|pe| (pe.a == u || pe.b == u) && pe.orm_edge == first);
+                let slot_taken =
+                    edges.iter().any(|pe| (pe.a == u || pe.b == u) && pe.orm_edge == first);
                 if slot_taken {
                     return None;
                 }
@@ -576,9 +573,7 @@ fn nearest_other_object(from: NodeId, graph: &OrmGraph) -> Option<NodeId> {
     graph
         .nodes()
         .iter()
-        .filter(|n| {
-            n.id != from && matches!(n.kind, NodeKind::Object | NodeKind::Mixed)
-        })
+        .filter(|n| n.id != from && matches!(n.kind, NodeKind::Object | NodeKind::Mixed))
         .filter_map(|n| graph.distance(from, n.id).map(|d| (d, n.id)))
         .min()
         .map(|(_, id)| id)
@@ -615,8 +610,7 @@ fn instantiate_path(
             });
             id
         };
-        let (a, b) =
-            if edge.a == cur_orm { (cur_node, next_node) } else { (next_node, cur_node) };
+        let (a, b) = if edge.a == cur_orm { (cur_node, next_node) } else { (next_node, cur_node) };
         edges.push(PatternEdge { a, b, orm_edge: ei });
         cur_orm = next_orm;
         cur_node = next_node;
@@ -737,10 +731,7 @@ mod tests {
         let p = &ps[0];
         assert_eq!(p.nested, vec![AggFunc::Avg]);
         let lect = p.nodes.iter().find(|n| n.relation == "Lecturer").unwrap();
-        assert!(matches!(
-            lect.annotations[0],
-            NodeAnnotation::Agg { func: AggFunc::Count, .. }
-        ));
+        assert!(matches!(lect.annotations[0], NodeAnnotation::Agg { func: AggFunc::Count, .. }));
     }
 
     /// Context merging: {Lecturer George} puts the condition on the
@@ -768,10 +759,7 @@ mod tests {
         let student = p.nodes.iter().find(|n| n.relation == "Student").unwrap();
         assert_eq!(student.condition.as_ref().unwrap().tuple_count, 2);
         let course = p.nodes.iter().find(|n| n.relation == "Course").unwrap();
-        assert!(matches!(
-            course.annotations[0],
-            NodeAnnotation::Agg { func: AggFunc::Sum, .. }
-        ));
+        assert!(matches!(course.annotations[0], NodeAnnotation::Agg { func: AggFunc::Sum, .. }));
     }
 
     /// Operand constraint: SUM over a value term fails.
@@ -807,8 +795,16 @@ mod tests {
         b.add_attr("bid", AttrType::Int).add_attr("bname", AttrType::Text);
         b.set_primary_key(["bid"]);
         db.add_relation(b).unwrap();
-        db.insert("Apple", vec![aqks_relational::Value::Int(1), aqks_relational::Value::str("fuji")]).unwrap();
-        db.insert("Banana", vec![aqks_relational::Value::Int(1), aqks_relational::Value::str("cavendish")]).unwrap();
+        db.insert(
+            "Apple",
+            vec![aqks_relational::Value::Int(1), aqks_relational::Value::str("fuji")],
+        )
+        .unwrap();
+        db.insert(
+            "Banana",
+            vec![aqks_relational::Value::Int(1), aqks_relational::Value::str("cavendish")],
+        )
+        .unwrap();
 
         let graph = OrmGraph::build(&db.schema()).unwrap();
         let matcher = Matcher::normalized(&db);
@@ -856,12 +852,8 @@ mod tests {
             .iter()
             .find(|p| p.nodes.iter().filter(|n| n.relation == "Student").count() == 2)
             .unwrap();
-        let students: Vec<usize> = p
-            .nodes
-            .iter()
-            .filter(|n| n.relation == "Student")
-            .map(|n| n.id)
-            .collect();
+        let students: Vec<usize> =
+            p.nodes.iter().filter(|n| n.relation == "Student").map(|n| n.id).collect();
         assert_eq!(p.distance(students[0], students[1]), Some(4));
         assert_eq!(p.fingerprint(), p.clone().fingerprint());
     }

@@ -118,11 +118,7 @@ impl KeywordQuery {
 
     /// Indices and texts of the basic terms, in order.
     pub fn basic_terms(&self) -> Vec<(usize, &str)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.as_basic().map(|s| (i, s)))
-            .collect()
+        self.terms.iter().enumerate().filter_map(|(i, t)| t.as_basic().map(|s| (i, s))).collect()
     }
 
     /// True if any term is an operator (an *aggregate query*).

@@ -129,10 +129,8 @@ pub fn translate_ex(
         let node_alias = aliases[n.id].clone();
         alias_of.insert((n.id, n.relation.to_lowercase()), node_alias.clone());
 
-        let node_required: Vec<String> = required
-            .get(&(n.id, n.relation.to_lowercase()))
-            .cloned()
-            .unwrap_or_default();
+        let node_required: Vec<String> =
+            required.get(&(n.id, n.relation.to_lowercase())).cloned().unwrap_or_default();
 
         // Relationship duplicate elimination (Section 3.1.3 FROM rule).
         let pattern_participants = participant_count(pattern, n.id);
@@ -142,14 +140,8 @@ pub fn translate_ex(
             && pattern_participants < graph_participants
             && !node_required.is_empty();
 
-        let table = build_from_item(
-            &n.relation,
-            &node_alias,
-            dedup,
-            &node_required,
-            namespace,
-            view,
-        )?;
+        let table =
+            build_from_item(&n.relation, &node_alias, dedup, &node_required, namespace, view)?;
         if view.is_some() {
             if let Some(rel) = namespace.relation(&n.relation) {
                 derived_keys.insert(node_alias.clone(), rel.primary_key.clone());
@@ -297,9 +289,7 @@ pub fn translate_ex(
                 SelectItem::Aggregate { alias, .. } => Some(alias.clone()),
                 SelectItem::Column { .. } => None,
             })
-            .ok_or_else(|| {
-                CoreError::Schema("nested aggregate has no inner aggregate".into())
-            })?;
+            .ok_or_else(|| CoreError::Schema("nested aggregate has no inner aggregate".into()))?;
         let alias = format!("{}{}", func.alias_prefix(), inner_alias);
         out = SelectStatement {
             distinct: false,
@@ -396,11 +386,8 @@ fn from_item_via_view(
     // The paper's translation projects the full derived relation and lets
     // rewrite Rule 1 prune unused attributes; with `dedup` we project the
     // participating keys only, composing both DISTINCT rules.
-    let projected: Vec<String> = if dedup {
-        required.to_vec()
-    } else {
-        schema.attr_names().map(str::to_string).collect()
-    };
+    let projected: Vec<String> =
+        if dedup { required.to_vec() } else { schema.attr_names().map(str::to_string).collect() };
 
     // Pick a minimal set of sources covering the projection (usually one).
     let needed: Vec<&str> = projected.iter().map(String::as_str).collect();
@@ -574,9 +561,8 @@ mod tests {
         let ps = rank_patterns(disambiguate(ps, &db.schema()));
         ps.into_iter()
             .map(|p| {
-                let sql =
-                    translate(&p, &graph, &db.schema(), None, &TranslateOptions::default())
-                        .unwrap();
+                let sql = translate(&p, &graph, &db.schema(), None, &TranslateOptions::default())
+                    .unwrap();
                 (p, sql)
             })
             .collect()
@@ -625,8 +611,7 @@ mod tests {
             .into_iter()
             .find(|(p, _)| p.nodes.iter().any(|n| n.relation == "Teach"))
             .unwrap();
-        let opts =
-            TranslateOptions { dedup_relationships: false, group_by_object_id: true };
+        let opts = TranslateOptions { dedup_relationships: false, group_by_object_id: true };
         let sql = translate(&p, &graph, &db.schema(), None, &opts).unwrap();
         let r = execute(&sql, &db).unwrap();
         assert_eq!(r.column("sumPrice").unwrap()[0], &aqks_relational::Value::Int(35));

@@ -168,10 +168,8 @@ fn rule2_push(stmt: &mut SelectStatement) {
                 continue;
             }
             if let TableExpr::Derived { query, .. } = item {
-                let projects = query
-                    .items
-                    .iter()
-                    .any(|i| i.output_name().eq_ignore_ascii_case(&col.column));
+                let projects =
+                    query.items.iter().any(|i| i.output_name().eq_ignore_ascii_case(&col.column));
                 let inner_qualifier = match query.from.first() {
                     Some(TableExpr::Relation { alias, .. }) => Some(alias.clone()),
                     _ => None,
@@ -230,10 +228,8 @@ fn find_collapsible_group(
         let rel = original.relation(&origin)?;
         let keys = rel.fd_set().candidate_keys();
 
-        let alias_idx: HashMap<String, usize> = indices
-            .iter()
-            .map(|&fi| (stmt.from[fi].alias().to_lowercase(), fi))
-            .collect();
+        let alias_idx: HashMap<String, usize> =
+            indices.iter().map(|&fi| (stmt.from[fi].alias().to_lowercase(), fi)).collect();
         // Direct same-attribute joins between candidate members.
         let mut linked: Vec<(usize, usize)> = Vec::new();
         for p in &stmt.predicates {
@@ -271,16 +267,13 @@ fn find_collapsible_group(
         let fds = rel.fd_set();
         let lossless = |group_union: &BTreeSet<String>, fi: usize| -> bool {
             let member = signature(fi);
-            let shared: BTreeSet<String> =
-                group_union.intersection(&member).cloned().collect();
+            let shared: BTreeSet<String> = group_union.intersection(&member).cloned().collect();
             if shared.is_empty() {
                 return false;
             }
             // fd_set attrs use canonical casing; signatures are lowercase.
-            let canon: BTreeSet<String> = shared
-                .iter()
-                .filter_map(|a| rel.canonical_attr(a).map(str::to_string))
-                .collect();
+            let canon: BTreeSet<String> =
+                shared.iter().filter_map(|a| rel.canonical_attr(a).map(str::to_string)).collect();
             let closure: BTreeSet<String> =
                 fds.closure(canon).iter().map(|a| a.to_lowercase()).collect();
             member.is_subset(&closure) || group_union.is_subset(&closure)
@@ -425,14 +418,8 @@ mod tests {
             .collect();
         let ps = generate_patterns(&query, &matches, &graph, &namespace).unwrap();
         let ps = rank_patterns(disambiguate(ps, &namespace));
-        let t = translate_ex(
-            &ps[0],
-            &graph,
-            &namespace,
-            Some(&view),
-            &TranslateOptions::default(),
-        )
-        .unwrap();
+        let t = translate_ex(&ps[0], &graph, &namespace, Some(&view), &TranslateOptions::default())
+            .unwrap();
         let orig = db.schema();
         (t, db, orig)
     }
@@ -442,12 +429,7 @@ mod tests {
     #[test]
     fn example9_translation() {
         let (t, db, _) = fig8_translation("Green George COUNT Code");
-        let sub = t
-            .stmt
-            .from
-            .iter()
-            .filter(|f| matches!(f, TableExpr::Derived { .. }))
-            .count();
+        let sub = t.stmt.from.iter().filter(|f| matches!(f, TableExpr::Derived { .. })).count();
         assert_eq!(sub, 5, "{}", t.stmt);
         let r = execute(&t.stmt, &db).unwrap().sorted();
         assert_eq!(r.len(), 2, "one row per Green\n{}\n{r}", t.stmt);
@@ -464,11 +446,7 @@ mod tests {
         let rewritten = rewrite(&t.stmt, &t.derived_keys, &orig, &RewriteOptions::default());
         let after = execute(&rewritten, &db).unwrap().sorted();
         assert_eq!(before.rows, after.rows, "rewrite preserves answers\n{rewritten}");
-        assert_eq!(
-            rewritten.from.len(),
-            2,
-            "collapsed to Enrolment R1, R2: {rewritten}"
-        );
+        assert_eq!(rewritten.from.len(), 2, "collapsed to Enrolment R1, R2: {rewritten}");
         assert!(rewritten
             .from
             .iter()
@@ -479,16 +457,19 @@ mod tests {
     #[test]
     fn rules_1_and_2_independent() {
         let (t, db, orig) = fig8_translation("Green George COUNT Code");
-        let opts =
-            RewriteOptions { prune_projections: true, push_selections: true, collapse_joins: false };
+        let opts = RewriteOptions {
+            prune_projections: true,
+            push_selections: true,
+            collapse_joins: false,
+        };
         let rewritten = rewrite(&t.stmt, &t.derived_keys, &orig, &opts);
         // Still 5 subqueries.
         assert_eq!(rewritten.from.len(), 5);
         // Conditions moved inside.
-        assert!(rewritten
-            .predicates
-            .iter()
-            .all(|p| !matches!(p, Predicate::Contains(..))), "{rewritten}");
+        assert!(
+            rewritten.predicates.iter().all(|p| !matches!(p, Predicate::Contains(..))),
+            "{rewritten}"
+        );
         // Unused Age/Grade pruned from the student subqueries.
         let text = rewritten.to_string();
         assert!(!text.to_lowercase().contains("age"), "{text}");
@@ -508,9 +489,7 @@ mod tests {
         use aqks_sqlgen::{AggFunc, ColumnRef, SelectItem, TableExpr};
 
         let mut r = RelationSchema::new("R");
-        r.add_attr("x", AttrType::Int)
-            .add_attr("y", AttrType::Int)
-            .add_attr("z", AttrType::Int);
+        r.add_attr("x", AttrType::Int).add_attr("y", AttrType::Int).add_attr("z", AttrType::Int);
         r.set_primary_key(["x", "y"]);
         r.add_fd(["x"], ["z"]);
         r.add_fd(["y"], ["z"]);
@@ -539,10 +518,7 @@ mod tests {
                 TableExpr::Derived { query: Box::new(proj(&["x", "z"])), alias: "A".into() },
                 TableExpr::Derived { query: Box::new(proj(&["y", "z"])), alias: "B".into() },
             ],
-            predicates: vec![Predicate::JoinEq(
-                ColumnRef::new("A", "z"),
-                ColumnRef::new("B", "z"),
-            )],
+            predicates: vec![Predicate::JoinEq(ColumnRef::new("A", "z"), ColumnRef::new("B", "z"))],
             ..Default::default()
         };
         let opts = RewriteOptions {
@@ -551,15 +527,8 @@ mod tests {
             collapse_joins: true,
         };
         let rewritten = rewrite(&stmt, &HashMap::new(), &original, &opts);
-        assert_eq!(
-            rewritten.from.len(),
-            2,
-            "lossy join must stay un-collapsed: {rewritten}"
-        );
-        assert!(rewritten
-            .from
-            .iter()
-            .all(|f| matches!(f, TableExpr::Derived { .. })));
+        assert_eq!(rewritten.from.len(), 2, "lossy join must stay un-collapsed: {rewritten}");
+        assert!(rewritten.from.iter().all(|f| matches!(f, TableExpr::Derived { .. })));
     }
 
     /// Rule 1 never prunes the derived key out of a DISTINCT projection.
@@ -577,10 +546,7 @@ mod tests {
                 if let Some(keys) = t.derived_keys.get(alias.as_str()) {
                     for k in keys {
                         assert!(
-                            query
-                                .items
-                                .iter()
-                                .any(|i| i.output_name().eq_ignore_ascii_case(k)),
+                            query.items.iter().any(|i| i.output_name().eq_ignore_ascii_case(k)),
                             "key {k} kept in {alias}: {query}"
                         );
                     }

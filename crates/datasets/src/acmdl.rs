@@ -17,8 +17,7 @@
 //!   [1, 32, 8, …] (A7);
 //! * two editors each editing one SIGIR and one CIKM proceeding (A8).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use std::collections::HashSet;
 
 use aqks_relational::{AttrType, Database, Date, RelationSchema, Value};
@@ -191,8 +190,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
 
     // --- Publisher ---------------------------------------------------------
     // ids: 1..=ieee are the IEEE group; the rest are background.
-    let ieee_names =
-        ["IEEE", "IEEE Computer Society", "IEEE Press", "IEEE Communications Society"];
+    let ieee_names = ["IEEE", "IEEE Computer Society", "IEEE Press", "IEEE Communications Society"];
     let mut publisherid = 0i64;
     for i in 0..cfg.ieee_publishers {
         publisherid += 1;
@@ -227,37 +225,41 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
             words::TITLE_WORDS[rng.gen_range(0..words::TITLE_WORDS.len())],
         )
     };
-    let mut add_proc = |db: &mut Database,
-                        rng: &mut StdRng,
-                        acronym: &str,
-                        year: i32,
-                        publisher: i64|
-     -> i64 {
-        procid += 1;
-        let t = title(rng, year);
-        db.insert(
-            "Proceeding",
-            vec![
-                Value::Int(procid),
-                Value::str(acronym),
-                Value::str(t),
-                Value::Date(Date::new(year, rng.gen_range(1..=12) as u8, rng.gen_range(1..=28) as u8)),
-                Value::Int(rng.gen_range(200..=900)),
-                Value::Int(publisher),
-            ],
-        )
-        .unwrap();
-        procid
-    };
+    let mut add_proc =
+        |db: &mut Database, rng: &mut StdRng, acronym: &str, year: i32, publisher: i64| -> i64 {
+            procid += 1;
+            let t = title(rng, year);
+            db.insert(
+                "Proceeding",
+                vec![
+                    Value::Int(procid),
+                    Value::str(acronym),
+                    Value::str(t),
+                    Value::Date(Date::new(
+                        year,
+                        rng.gen_range(1..=12) as u8,
+                        rng.gen_range(1..=28) as u8,
+                    )),
+                    Value::Int(rng.gen_range(200..=900)),
+                    Value::Int(publisher),
+                ],
+            )
+            .unwrap();
+            procid
+        };
 
     let mut sigmod_procs = Vec::new();
     for i in 0..cfg.sigmod_proceedings {
         sigmod_procs.push(add_proc(&mut db, &mut rng, "SIGMOD", 1975 + i as i32, acm_publisher));
     }
-    let sigir_procs =
-        [add_proc(&mut db, &mut rng, "SIGIR", 2005, acm_publisher), add_proc(&mut db, &mut rng, "SIGIR", 2006, acm_publisher)];
-    let cikm_procs =
-        [add_proc(&mut db, &mut rng, "CIKM", 2011, acm_publisher), add_proc(&mut db, &mut rng, "CIKM", 2012, acm_publisher)];
+    let sigir_procs = [
+        add_proc(&mut db, &mut rng, "SIGIR", 2005, acm_publisher),
+        add_proc(&mut db, &mut rng, "SIGIR", 2006, acm_publisher),
+    ];
+    let cikm_procs = [
+        add_proc(&mut db, &mut rng, "CIKM", 2011, acm_publisher),
+        add_proc(&mut db, &mut rng, "CIKM", 2012, acm_publisher),
+    ];
     let mut ieee_procs = Vec::new();
     for p in 1..=cfg.ieee_publishers as i64 {
         for k in 0..2 {
@@ -398,7 +400,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
 
     // Background papers per proceeding.
     for proc_ in 1..=n_procs {
-        let n = cfg.papers_per_proceeding + rng.gen_range(0..=4);
+        let n = cfg.papers_per_proceeding + rng.gen_range(0..=4usize);
         for _ in 0..n {
             let t = format!(
                 "{} {} {}",
@@ -429,9 +431,8 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
     // Gill papers (A4): every Gill writes 1-3 papers in pre-2011
     // proceedings; Gill #1 additionally writes the planted 2011-06-13
     // paper (in the CIKM 2011 proceeding), the global Gill maximum.
-    let pre2011: Vec<i64> = (1..=n_procs)
-        .filter(|&p| proc_dates[(p - 1) as usize].year < 2011)
-        .collect();
+    let pre2011: Vec<i64> =
+        (1..=n_procs).filter(|&p| proc_dates[(p - 1) as usize].year < 2011).collect();
     for (i, &gill) in gills.iter().enumerate() {
         let n = 1 + (i % 3);
         for k in 0..n {

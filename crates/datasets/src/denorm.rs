@@ -21,10 +21,7 @@ use aqks_relational::{AttrType, Database, RelationSchema, Row, Value};
 fn index_by<'a>(db: &'a Database, relation: &str, key: &[&str]) -> HashMap<Vec<Value>, &'a Row> {
     let t = db.table(relation).unwrap_or_else(|| panic!("relation {relation}"));
     let idx: Vec<usize> = key.iter().map(|k| t.schema.attr_index(k).expect("key attr")).collect();
-    t.rows()
-        .iter()
-        .map(|r| (idx.iter().map(|&i| r[i].clone()).collect(), r))
-        .collect()
+    t.rows().iter().map(|r| (idx.iter().map(|&i| r[i].clone()).collect(), r)).collect()
 }
 
 fn get<'a>(db: &'a Database, relation: &str) -> &'a aqks_relational::Table {
@@ -218,12 +215,8 @@ pub fn denormalize_acmdl(acmdl: &Database) -> Database {
     let authors = index_by(acmdl, "Author", &["authorid"]);
     let editors = index_by(acmdl, "Editor", &["editorid"]);
     let procs = index_by(acmdl, "Proceeding", &["procid"]);
-    let (pt, at, et, prt) = (
-        get(acmdl, "Paper"),
-        get(acmdl, "Author"),
-        get(acmdl, "Editor"),
-        get(acmdl, "Proceeding"),
-    );
+    let (pt, at, et, prt) =
+        (get(acmdl, "Paper"), get(acmdl, "Author"), get(acmdl, "Editor"), get(acmdl, "Proceeding"));
 
     for w in get(acmdl, "Write").rows() {
         let paper = papers[&vec![w[0].clone()]];
@@ -279,10 +272,7 @@ mod tests {
     fn tpch_prime_matches_lineitem_count() {
         let base = tpch::generate_tpch(&tpch::TpchConfig::small());
         let prime = denormalize_tpch(&base);
-        assert_eq!(
-            prime.table("Ordering").unwrap().len(),
-            base.table("Lineitem").unwrap().len()
-        );
+        assert_eq!(prime.table("Ordering").unwrap().len(), base.table("Lineitem").unwrap().len());
         assert!(!NormalizedView::is_normalized(&prime.schema()));
     }
 
@@ -328,10 +318,7 @@ mod tests {
     fn acmdl_prime_row_counts() {
         let base = acmdl::generate_acmdl(&acmdl::AcmdlConfig::small());
         let prime = denormalize_acmdl(&base);
-        assert_eq!(
-            prime.table("PaperAuthor").unwrap().len(),
-            base.table("Write").unwrap().len()
-        );
+        assert_eq!(prime.table("PaperAuthor").unwrap().len(), base.table("Write").unwrap().len());
         assert_eq!(
             prime.table("EditorProceeding").unwrap().len(),
             base.table("Edit").unwrap().len()

@@ -28,6 +28,7 @@
 
 pub mod acmdl;
 pub mod denorm;
+mod rng;
 pub mod tpch;
 pub mod university;
 mod words;

@@ -1,0 +1,117 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The dataset generators only need reproducible streams of integers in
+//! half-open or inclusive ranges; this module supplies them without an
+//! external dependency (the environments this crate builds in cannot
+//! reach a crates-io mirror). The API deliberately mirrors the subset of
+//! `rand` the generators used to consume: `StdRng::seed_from_u64` and
+//! `gen_range(lo..hi)` / `gen_range(lo..=hi)`.
+//!
+//! The core is SplitMix64 (Steele, Lea & Flood, "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014): a 64-bit state advanced
+//! by a Weyl constant and finalized with a murmur-style mixer. It is not
+//! cryptographic, but it passes BigCrush and is more than adequate for
+//! synthetic test data.
+
+/// A deterministic 64-bit PRNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    ///
+    /// Panics if the range is empty. The modulo bias is below 2^-32 for
+    /// every span the generators use.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Integer ranges [`StdRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let y: usize = rng.gen_range(0..3usize);
+            assert!(y < 3);
+            let z: i32 = rng.gen_range(10..=12);
+            assert!((10..=12).contains(&z));
+        }
+        // An inclusive range of one value is valid.
+        assert_eq!(rng.gen_range(9i64..=9), 9);
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+    }
+}

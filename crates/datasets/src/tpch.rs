@@ -20,8 +20,7 @@
 //!   supplier each (T8: three answers of 1);
 //! * 5 market segments (T7), 25 nations, 5 regions (T2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use std::collections::HashSet;
 
 use aqks_relational::{AttrType, Database, Date, RelationSchema, Value};
@@ -246,11 +245,8 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Database {
     // Suppliers 31..=34 supply the yellow tomatoes; supplier 31 carries the
     // planted maximum balance 9844.00, everyone else stays below it.
     for i in 1..=cfg.suppliers {
-        let acctbal = if i == 31 {
-            YELLOW_TOMATO_MAX_ACCTBAL
-        } else {
-            money(&mut rng, 100.0, 9500.0)
-        };
+        let acctbal =
+            if i == 31 { YELLOW_TOMATO_MAX_ACCTBAL } else { money(&mut rng, 100.0, 9500.0) };
         // dbgen-style names: every sname literally contains "Supplier",
         // which is how SQAK's value matching still reaches supplier data
         // on the denormalized TPCH' schema (Table 8).
@@ -298,11 +294,11 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Database {
     // --- Lineitem ------------------------------------------------------------
     let mut used: HashSet<(i64, i64, i64)> = HashSet::new();
     let add_lineitem = |db: &mut Database,
-                            used: &mut HashSet<(i64, i64, i64)>,
-                            rng: &mut StdRng,
-                            part: i64,
-                            supp: i64,
-                            order: i64|
+                        used: &mut HashSet<(i64, i64, i64)>,
+                        rng: &mut StdRng,
+                        part: i64,
+                        supp: i64,
+                        order: i64|
      -> bool {
         if !used.insert((part, supp, order)) {
             return false;
@@ -362,8 +358,7 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Database {
     // orders — SQAK counts 22 suppliers, the semantic engine 4.
     {
         let supps: [i64; CHOCOLATE_SUPPLIERS] = [1, 2, 3, 4];
-        for (k, order) in
-            next_orders(CHOCOLATE_LINEITEMS, &mut pool_cursor).into_iter().enumerate()
+        for (k, order) in next_orders(CHOCOLATE_LINEITEMS, &mut pool_cursor).into_iter().enumerate()
         {
             add_lineitem(&mut db, &mut used, &mut rng, 22, supps[k % supps.len()], order);
         }
@@ -413,10 +408,7 @@ mod tests {
         let a = generate_tpch(&TpchConfig::small());
         let b = generate_tpch(&TpchConfig::small());
         assert_eq!(a.total_rows(), b.total_rows());
-        assert_eq!(
-            a.table("Lineitem").unwrap().rows(),
-            b.table("Lineitem").unwrap().rows()
-        );
+        assert_eq!(a.table("Lineitem").unwrap().rows(), b.table("Lineitem").unwrap().rows());
     }
 
     #[test]
@@ -500,11 +492,7 @@ mod tests {
     fn tomato_max_acctbal_planted() {
         let db = db();
         let suppliers = db.table("Supplier").unwrap();
-        let max = suppliers
-            .rows()
-            .iter()
-            .filter_map(|r| r[3].as_f64())
-            .fold(f64::MIN, f64::max);
+        let max = suppliers.rows().iter().filter_map(|r| r[3].as_f64()).fold(f64::MIN, f64::max);
         assert_eq!(max, YELLOW_TOMATO_MAX_ACCTBAL);
     }
 

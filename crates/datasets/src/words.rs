@@ -12,8 +12,24 @@ pub const ADJECTIVES: &[&str] = &[
 /// Part-name colors. Deliberately excludes "royal", "yellow", "pink",
 /// "white", "black": those appear only in planted part names.
 pub const COLORS: &[&str] = &[
-    "almond", "azure", "beige", "blush", "chartreuse", "cornflower", "cyan", "forest", "indigo",
-    "lavender", "magenta", "maroon", "navy", "plum", "salmon", "sienna", "teal", "turquoise",
+    "almond",
+    "azure",
+    "beige",
+    "blush",
+    "chartreuse",
+    "cornflower",
+    "cyan",
+    "forest",
+    "indigo",
+    "lavender",
+    "magenta",
+    "maroon",
+    "navy",
+    "plum",
+    "salmon",
+    "sienna",
+    "teal",
+    "turquoise",
 ];
 
 /// Part-name nouns (excludes "olive", "tomato", "chocolate", "rose").
@@ -42,9 +58,30 @@ pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI
 
 /// The 25 TPC-H nations.
 pub const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 
@@ -67,9 +104,27 @@ pub const LAST_NAMES: &[&str] = &[
 /// Words for synthetic paper titles (no "database"/"tuning": the A5
 /// phrase is planted).
 pub const TITLE_WORDS: &[&str] = &[
-    "adaptive", "algorithms", "analysis", "caching", "concurrent", "distributed", "efficient",
-    "graphs", "incremental", "indexing", "learning", "mining", "networks", "parallel",
-    "processing", "queries", "ranking", "scalable", "semantics", "streams", "transactions",
+    "adaptive",
+    "algorithms",
+    "analysis",
+    "caching",
+    "concurrent",
+    "distributed",
+    "efficient",
+    "graphs",
+    "incremental",
+    "indexing",
+    "learning",
+    "mining",
+    "networks",
+    "parallel",
+    "processing",
+    "queries",
+    "ranking",
+    "scalable",
+    "semantics",
+    "streams",
+    "transactions",
     "workloads",
 ];
 
@@ -77,14 +132,8 @@ pub const TITLE_WORDS: &[&str] = &[
 pub const ACRONYMS: &[&str] = &["VLDB", "ICDE", "EDBT", "KDD", "WWW", "WSDM", "PODS"];
 
 /// Publisher names beyond the planted IEEE group.
-pub const PUBLISHERS: &[&str] = &[
-    "ACM",
-    "Springer",
-    "Elsevier",
-    "Morgan Kaufmann",
-    "Now Publishers",
-    "Open Proceedings",
-];
+pub const PUBLISHERS: &[&str] =
+    &["ACM", "Springer", "Elsevier", "Morgan Kaufmann", "Now Publishers", "Open Proceedings"];
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,11 @@
 //! * [`tables`] — runs both engines and renders the answer-comparison
 //!   rows of Tables 5, 6 (normalized) and 8, 9 (unnormalized);
 //! * [`fig11`] — times SQL *generation* (not execution) for both engines,
-//!   reproducing Figure 11's two series.
+//!   reproducing Figure 11's two series;
+//! * [`analysis`] — runs the `aqks-analyze` static analyzer over every
+//!   statement both engines generate for the workloads: the paper engine
+//!   must come back with zero error findings, SQAK trips `AQ-P5` where
+//!   Section 4 predicts duplicate-inflated answers.
 //!
 //! The `repro` binary drives everything:
 //!
@@ -20,12 +24,14 @@
 //! generators with the paper's cardinalities (1000 suppliers, 61 Smiths,
 //! 36 SIGMOD proceedings, …).
 
+pub mod analysis;
 pub mod fig11;
 pub mod tables;
 #[cfg(test)]
 mod tests;
 pub mod workload;
 
+pub use analysis::{analyze_workload, run_analysis, AnalysisRow, PlanVerdict};
 pub use fig11::{run_fig11, TimingRow};
 pub use tables::{run_table5, run_table6, run_table8, run_table9, ComparisonRow, EngineOutcome};
 pub use workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};

@@ -8,11 +8,7 @@ use aqks_eval::{fig11, tables, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--paper-scale") {
-        Scale::Paper
-    } else {
-        Scale::Small
-    };
+    let scale = if args.iter().any(|a| a == "--paper-scale") { Scale::Paper } else { Scale::Small };
     let mut reps = 21usize;
     let mut what = "all".to_string();
     let mut i = 0;

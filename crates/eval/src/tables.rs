@@ -51,8 +51,7 @@ impl EngineOutcome {
     pub fn cell(&self) -> String {
         match self {
             EngineOutcome::Answers { count, values, .. } => {
-                let sample: Vec<&str> =
-                    values.iter().take(6).map(String::as_str).collect();
+                let sample: Vec<&str> = values.iter().take(6).map(String::as_str).collect();
                 let ellipsis = if values.len() > 6 { ", ..." } else { "" };
                 format!("{count} answer(s): {}{ellipsis}", sample.join(", "))
             }
@@ -82,8 +81,7 @@ fn answer_values(result: &ResultTable, group_cols: usize) -> Vec<String> {
         .rows
         .iter()
         .map(|row| {
-            let aggs: Vec<String> =
-                row.iter().skip(group_cols).map(|v| v.to_string()).collect();
+            let aggs: Vec<String> = row.iter().skip(group_cols).map(|v| v.to_string()).collect();
             if aggs.len() == 1 {
                 aggs.into_iter().next().unwrap()
             } else {

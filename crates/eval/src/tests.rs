@@ -1,8 +1,12 @@
 //! Smoke tests for the harness itself (the substantive shape assertions
 //! live in the workspace-level `tests/table_shapes.rs`).
 
+use crate::analysis::{analyze_workload, PlanVerdict};
 use crate::tables::{render_markdown, run_table5};
-use crate::workload::Scale;
+use crate::workload::{
+    acmdl_database, acmdl_prime_database, acmdl_queries, tpch_database, tpch_prime_database,
+    tpch_queries, Scale,
+};
 use crate::{fig11, run_fig11};
 
 #[test]
@@ -41,4 +45,47 @@ fn outcome_cell_truncates_long_answer_lists() {
     assert!(cell.ends_with(", ..."), "{cell}");
     let u = EngineOutcome::Unsupported("self join".into());
     assert_eq!(u.cell(), "N.A. (self join)");
+}
+
+/// The paper engine's statements carry zero error-severity findings on
+/// every workload query, normalized and unnormalized alike.
+#[test]
+fn engine_plans_are_statically_clean() {
+    let sweeps = [
+        analyze_workload(&tpch_database(Scale::Small), &tpch_queries(), 3),
+        analyze_workload(&acmdl_database(Scale::Small), &acmdl_queries(), 3),
+        analyze_workload(&tpch_prime_database(Scale::Small), &tpch_queries(), 3),
+        analyze_workload(&acmdl_prime_database(Scale::Small), &acmdl_queries(), 3),
+    ];
+    for rows in &sweeps {
+        assert_eq!(rows.len(), 8);
+        for row in rows {
+            assert!(
+                matches!(row.ours, PlanVerdict::Analyzed { .. }),
+                "{}: engine produced nothing to analyze: {:?}",
+                row.id,
+                row.ours
+            );
+            assert_eq!(row.ours.errors(), 0, "{}: {:?}", row.id, row.ours);
+        }
+    }
+}
+
+/// SQAK's statements over the unnormalized datasets trip the
+/// duplicate-inflation pass — the static counterpart of the wrong
+/// answers Tables 8 and 9 report.
+#[test]
+fn sqak_plans_trip_duplicate_inflation_on_unnormalized_data() {
+    for (db, queries) in [
+        (tpch_prime_database(Scale::Small), tpch_queries()),
+        (acmdl_prime_database(Scale::Small), acmdl_queries()),
+    ] {
+        let rows = analyze_workload(&db, &queries, 3);
+        let flagged = rows.iter().filter(|r| r.sqak.has_code("AQ-P5")).count();
+        assert!(flagged >= 1, "no AQ-P5 on {}: {rows:?}", db.name);
+        // And every flag is an error, not a warning.
+        for r in rows.iter().filter(|r| r.sqak.has_code("AQ-P5")) {
+            assert!(r.sqak.errors() >= 1, "{}: {:?}", r.id, r.sqak);
+        }
+    }
 }

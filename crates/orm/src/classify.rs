@@ -41,9 +41,9 @@ pub fn classify_relation(rel: &RelationSchema) -> RelationKind {
 
     // Is the whole primary key covered by FK attributes?
     let covered = !pk_lower.is_empty()
-        && pk_lower.iter().all(|k| {
-            fks_in_pk.iter().any(|fk| fk.attrs.iter().any(|a| a.to_lowercase() == *k))
-        });
+        && pk_lower
+            .iter()
+            .all(|k| fks_in_pk.iter().any(|fk| fk.attrs.iter().any(|a| a.to_lowercase() == *k)));
 
     if covered && fks_in_pk.len() >= 2 {
         return RelationKind::Relationship;
@@ -115,10 +115,7 @@ mod tests {
         hobby.add_attr("Sid", AttrType::Text).add_attr("Hobby", AttrType::Text);
         hobby.set_primary_key(["Sid", "Hobby"]);
         hobby.add_foreign_key(["Sid"], "Student", ["Sid"]);
-        assert_eq!(
-            classify_relation(&hobby),
-            RelationKind::Component { parent: "Student".into() }
-        );
+        assert_eq!(classify_relation(&hobby), RelationKind::Component { parent: "Student".into() });
     }
 
     /// A component of a relationship (multivalued attribute of Teach).

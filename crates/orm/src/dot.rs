@@ -25,12 +25,7 @@ impl OrmGraph {
             } else {
                 format!("{}\\n[{}]", n.relation, n.components.join(", "))
             };
-            out.push_str(&format!(
-                "  n{} [label=\"{}\", shape={}];\n",
-                n.id,
-                esc(&label),
-                shape
-            ));
+            out.push_str(&format!("  n{} [label=\"{}\", shape={}];\n", n.id, esc(&label), shape));
         }
         for e in self.edges() {
             out.push_str(&format!(
@@ -63,10 +58,8 @@ mod tests {
         enrol.set_primary_key(["Sid", "Code"]);
         enrol.add_foreign_key(["Sid"], "Student", ["Sid"]);
         enrol.add_foreign_key(["Code"], "Course", ["Code"]);
-        let g = OrmGraph::build(&DatabaseSchema {
-            relations: vec![student, course, enrol],
-        })
-        .unwrap();
+        let g =
+            OrmGraph::build(&DatabaseSchema { relations: vec![student, course, enrol] }).unwrap();
 
         let dot = g.to_dot();
         assert!(dot.starts_with("graph orm {"));

@@ -60,7 +60,11 @@ impl Database {
     }
 
     /// Inserts many tuples into `relation`.
-    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, relation: &str, rows: I) -> Result<()> {
+    pub fn insert_all<I: IntoIterator<Item = Row>>(
+        &mut self,
+        relation: &str,
+        rows: I,
+    ) -> Result<()> {
         for row in rows {
             self.insert(relation, row)?;
         }
@@ -85,11 +89,8 @@ impl Database {
                 for row in target.rows() {
                     keys.insert(ref_idx.iter().map(|&i| &row[i]).collect());
                 }
-                let src_idx: Vec<usize> = fk
-                    .attrs
-                    .iter()
-                    .map(|a| t.schema.attr_index(a).expect("validated"))
-                    .collect();
+                let src_idx: Vec<usize> =
+                    fk.attrs.iter().map(|a| t.schema.attr_index(a).expect("validated")).collect();
                 for row in t.rows() {
                     let key: Vec<&Value> = src_idx.iter().map(|&i| &row[i]).collect();
                     if key.iter().any(|v| v.is_null()) {
@@ -194,18 +195,13 @@ mod tests {
         .unwrap();
         assert_eq!(db.table("Student").unwrap().len(), 5);
         // A failing row aborts mid-batch with the typed error.
-        let err = db
-            .insert_all("Student", vec![vec![Value::str("s9")], vec![]])
-            .unwrap_err();
+        let err = db.insert_all("Student", vec![vec![Value::str("s9")], vec![]]).unwrap_err();
         assert!(matches!(err, Error::ArityMismatch { .. }));
     }
 
     #[test]
     fn unknown_relation_on_insert() {
         let mut db = two_relation_db();
-        assert!(matches!(
-            db.insert("Nope", vec![]),
-            Err(Error::UnknownRelation(_))
-        ));
+        assert!(matches!(db.insert("Nope", vec![]), Err(Error::UnknownRelation(_))));
     }
 }

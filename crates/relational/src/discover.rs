@@ -95,9 +95,7 @@ pub fn discover_fds(table: &Table, opts: &DiscoveryOptions) -> Vec<Fd> {
                     continue;
                 }
                 // Minimality: a subset of lhs already determines a.
-                let minimal = !found[a]
-                    .iter()
-                    .any(|prev| prev.iter().all(|x| lhs.contains(x)));
+                let minimal = !found[a].iter().any(|prev| prev.iter().all(|x| lhs.contains(x)));
                 if !minimal {
                     continue;
                 }
@@ -193,10 +191,7 @@ mod tests {
         let fds = discover_fds(&enrolment(), &DiscoveryOptions::default());
         // Sname is determined by {Sid}; {Sid, Code} -> Sname must not be
         // reported.
-        assert!(
-            !fds.iter().any(|fd| fd.lhs.len() > 1 && fd.rhs.contains("Sname")),
-            "{fds:?}"
-        );
+        assert!(!fds.iter().any(|fd| fd.lhs.len() > 1 && fd.rhs.contains("Sname")), "{fds:?}");
     }
 
     /// On this sample, (Title, Age) happens to determine Sid — data-level
@@ -260,9 +255,8 @@ mod tests {
         }
         let fds = discover_fds(&t, &DiscoveryOptions::default());
         assert!(
-            fds.iter().any(|fd| fd.lhs.contains("a")
-                && fd.lhs.contains("b")
-                && fd.rhs.contains("c")),
+            fds.iter()
+                .any(|fd| fd.lhs.contains("a") && fd.lhs.contains("b") && fd.rhs.contains("c")),
             "{fds:?}"
         );
     }

@@ -162,9 +162,8 @@ impl FdSet {
                 for part in combinations(&key_vec, size) {
                     let part: Attrs = part.into_iter().collect();
                     let closure = self.closure(part.clone());
-                    let has_partial = closure
-                        .iter()
-                        .any(|a| !prime.contains(a) && !part.contains(a));
+                    let has_partial =
+                        closure.iter().any(|a| !prime.contains(a) && !part.contains(a));
                     if has_partial {
                         return false;
                     }
@@ -411,10 +410,7 @@ mod tests {
         f.add(Fd::new(["b"], ["a"]));
         let rels = f.synthesize_3nf();
         assert!(
-            rels.iter().any(|(h, _)| f
-                .candidate_keys()
-                .iter()
-                .any(|k| k.is_subset(h))),
+            rels.iter().any(|(h, _)| f.candidate_keys().iter().any(|k| k.is_subset(h))),
             "one synthesized relation must contain a candidate key: {rels:?}"
         );
     }

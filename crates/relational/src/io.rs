@@ -123,8 +123,7 @@ pub fn schema_from_text(text: &str) -> Result<DatabaseSchema> {
                 if rest.len() != 2 {
                     return Err(err("fk syntax: fk a b -> Target(x y)"));
                 }
-                let attrs: Vec<String> =
-                    rest[0].split_whitespace().map(str::to_string).collect();
+                let attrs: Vec<String> = rest[0].split_whitespace().map(str::to_string).collect();
                 let target = rest[1].trim();
                 let open = target.find('(').ok_or_else(|| err("fk target needs (attrs)"))?;
                 let close = target.rfind(')').ok_or_else(|| err("fk target needs (attrs)"))?;
@@ -185,8 +184,7 @@ fn csv_escape(field: &str) -> String {
 /// unquoted field.
 pub fn table_to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let header: Vec<String> =
-        table.schema.attr_names().map(csv_escape).collect();
+    let header: Vec<String> = table.schema.attr_names().map(csv_escape).collect();
     let _ = writeln!(out, "{}", header.join(","));
     for row in table.rows() {
         let cells: Vec<String> = row
@@ -346,8 +344,7 @@ pub fn import_dir(dir: &Path) -> Result<Database> {
     for rel in schema.relations {
         db.add_relation(rel)?;
     }
-    let relations: Vec<String> =
-        db.tables().iter().map(|t| t.schema.name.clone()).collect();
+    let relations: Vec<String> = db.tables().iter().map(|t| t.schema.name.clone()).collect();
     for rel in relations {
         let path = dir.join(format!("{rel}.csv"));
         if path.exists() {
@@ -465,10 +462,12 @@ relation Enrol
         let mut db = sample_db();
         assert!(load_csv(&mut db, "Student", "Sid\nz1\n").is_err(), "partial header");
         assert!(load_csv(&mut db, "Student", "Sid,Sname,Age,Gpa,Since\nz1,a\n").is_err());
-        assert!(
-            load_csv(&mut db, "Student", "Sid,Sname,Age,Gpa,Since\nz1,a,notint,1.0,2020-01-01\n")
-                .is_err()
-        );
+        assert!(load_csv(
+            &mut db,
+            "Student",
+            "Sid,Sname,Age,Gpa,Since\nz1,a,notint,1.0,2020-01-01\n"
+        )
+        .is_err());
         assert!(
             load_csv(&mut db, "Student", "Sid,Sname,Age,Gpa,Since\nz1,a,1,1.0,2020-13-01\n")
                 .is_err(),

@@ -45,9 +45,9 @@ impl DerivedRelation {
     /// The source projection covering all of `needed` (preferring
     /// identity/first sources), if a single one exists.
     pub fn source_covering(&self, needed: &[&str]) -> Option<&SourceProjection> {
-        self.sources.iter().find(|s| {
-            needed.iter().all(|n| s.attrs.iter().any(|a| a.eq_ignore_ascii_case(n)))
-        })
+        self.sources
+            .iter()
+            .find(|s| needed.iter().all(|n| s.attrs.iter().any(|a| a.eq_ignore_ascii_case(n))))
     }
 }
 
@@ -162,9 +162,9 @@ fn merge_same_key(relations: &mut Vec<DerivedRelation>) {
     let mut merged: Vec<DerivedRelation> = Vec::new();
     for rel in relations.drain(..) {
         let key = lower_set(&rel.schema.primary_key.to_vec());
-        if let Some(existing) = merged.iter_mut().find(|m| {
-            lower_set(&m.schema.primary_key.to_vec()) == key
-        }) {
+        if let Some(existing) =
+            merged.iter_mut().find(|m| lower_set(&m.schema.primary_key.to_vec()) == key)
+        {
             // Extend heading with any new attributes, keep all sources.
             for attr in &rel.schema.attrs {
                 if existing.schema.attr_index(&attr.name).is_none() {
@@ -223,8 +223,7 @@ fn infer_foreign_keys(relations: &mut [DerivedRelation], schema: &DatabaseSchema
     for (ai, rel) in relations.iter_mut().enumerate() {
         let own_key = lower_set(&rel.schema.primary_key.to_vec());
         let own_originals = meta[ai].3.clone();
-        for (bi, (target, target_key, target_attrs, target_originals)) in meta.iter().enumerate()
-        {
+        for (bi, (target, target_key, target_attrs, target_originals)) in meta.iter().enumerate() {
             if ai == bi || target_key.is_empty() {
                 continue;
             }

@@ -147,8 +147,7 @@ impl RelationSchema {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.entity_names
-            .push((key_attrs.into_iter().map(Into::into).collect(), name.into()));
+        self.entity_names.push((key_attrs.into_iter().map(Into::into).collect(), name.into()));
         self
     }
 

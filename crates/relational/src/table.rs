@@ -24,11 +24,7 @@ pub struct Table {
 impl Table {
     /// Creates an empty table for the (already validated) schema.
     pub fn new(schema: RelationSchema) -> Self {
-        let key_pos = schema
-            .primary_key
-            .iter()
-            .filter_map(|k| schema.attr_index(k))
-            .collect();
+        let key_pos = schema.primary_key.iter().filter_map(|k| schema.attr_index(k)).collect();
         Table { schema, rows: Vec::new(), key_pos, key_index: HashSet::new() }
     }
 
@@ -148,19 +144,15 @@ mod tests {
     fn rejects_duplicate_key() {
         let mut t = course_table();
         t.insert(vec![Value::str("c1"), Value::str("Java"), Value::Float(5.0)]).unwrap();
-        let err = t
-            .insert(vec![Value::str("c1"), Value::str("DB"), Value::Float(4.0)])
-            .unwrap_err();
+        let err =
+            t.insert(vec![Value::str("c1"), Value::str("DB"), Value::Float(4.0)]).unwrap_err();
         assert!(matches!(err, Error::DuplicateKey { .. }));
     }
 
     #[test]
     fn rejects_wrong_arity_and_type() {
         let mut t = course_table();
-        assert!(matches!(
-            t.insert(vec![Value::str("c1")]),
-            Err(Error::ArityMismatch { .. })
-        ));
+        assert!(matches!(t.insert(vec![Value::str("c1")]), Err(Error::ArityMismatch { .. })));
         assert!(matches!(
             t.insert(vec![Value::str("c1"), Value::Int(3), Value::Float(5.0)]),
             Err(Error::TypeMismatch { .. })

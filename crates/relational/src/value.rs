@@ -214,11 +214,13 @@ mod tests {
 
     #[test]
     fn ordering_across_types() {
-        let mut vals = [Value::str("abc"),
+        let mut vals = [
+            Value::str("abc"),
             Value::Int(5),
             Value::Null,
             Value::Date(Date::new(2011, 6, 13)),
-            Value::Float(2.5)];
+            Value::Float(2.5),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Float(2.5));

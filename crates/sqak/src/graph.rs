@@ -237,7 +237,9 @@ mod tests {
         hub.add_foreign_key(["bid"], "B", ["id"]);
         rels.push(hub);
         let mut c = RelationSchema::new("C");
-        c.add_attr("cid", AttrType::Int).add_attr("aid", AttrType::Int).add_attr("bid", AttrType::Int);
+        c.add_attr("cid", AttrType::Int)
+            .add_attr("aid", AttrType::Int)
+            .add_attr("bid", AttrType::Int);
         c.set_primary_key(["cid"]);
         c.add_foreign_key(["aid", "bid"], "Hub", ["aid", "bid"]);
         rels.push(c);
@@ -253,7 +255,10 @@ mod tests {
         }
         for &ei in &edges {
             let e = &g.edges[ei];
-            assert!(sqn_rels.contains(&e.from) && sqn_rels.contains(&e.to), "{sqn_rels:?} {edges:?}");
+            assert!(
+                sqn_rels.contains(&e.from) && sqn_rels.contains(&e.to),
+                "{sqn_rels:?} {edges:?}"
+            );
         }
     }
 

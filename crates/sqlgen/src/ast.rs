@@ -205,6 +205,32 @@ impl SelectStatement {
     pub fn aggregate_count(&self) -> usize {
         self.items.iter().filter(|i| matches!(i, SelectItem::Aggregate { .. })).count()
     }
+
+    /// Pre-order walk over this statement and every derived-table
+    /// subquery. The visitor receives each statement together with its
+    /// *path*: the chain of FROM indices leading to it from the root
+    /// (empty for the root itself). The same path addressing is used by
+    /// [`crate::render::SqlSpan`], so a visitor can correlate statements
+    /// with rendered-SQL locations.
+    pub fn walk<'a, F>(&'a self, f: &mut F)
+    where
+        F: FnMut(&[usize], &'a SelectStatement),
+    {
+        fn go<'a, F>(stmt: &'a SelectStatement, path: &mut Vec<usize>, f: &mut F)
+        where
+            F: FnMut(&[usize], &'a SelectStatement),
+        {
+            f(path, stmt);
+            for (i, item) in stmt.from.iter().enumerate() {
+                if let TableExpr::Derived { query, .. } = item {
+                    path.push(i);
+                    go(query, path, f);
+                    path.pop();
+                }
+            }
+        }
+        go(self, &mut Vec::new(), f)
+    }
 }
 
 #[cfg(test)]

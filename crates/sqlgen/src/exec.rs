@@ -104,8 +104,7 @@ pub fn execute(stmt: &SelectStatement, db: &Database) -> Result<ResultTable, Exe
                     continue;
                 }
                 if let Predicate::JoinEq(a, b) = p {
-                    let connects = (acc.try_resolve(a).is_some()
-                        && right.try_resolve(b).is_some())
+                    let connects = (acc.try_resolve(a).is_some() && right.try_resolve(b).is_some())
                         || (acc.try_resolve(b).is_some() && right.try_resolve(a).is_some());
                     if connects {
                         pick = Some(si);
@@ -282,11 +281,8 @@ fn materialize(item: &TableExpr, alias_lower: &str, db: &Database) -> Result<Wor
         }
         TableExpr::Derived { query, .. } => {
             let sub = execute(query, db)?;
-            let cols = sub
-                .columns
-                .iter()
-                .map(|c| (alias_lower.to_string(), c.to_lowercase()))
-                .collect();
+            let cols =
+                sub.columns.iter().map(|c| (alias_lower.to_string(), c.to_lowercase())).collect();
             Ok(Working { cols, rows: sub.rows })
         }
     }
@@ -397,11 +393,8 @@ mod tests {
         e.add_foreign_key(["Code"], "Course", ["Code"]);
         db.add_relation(e).unwrap();
 
-        for (sid, name, age) in
-            [("s1", "George", 22), ("s2", "Green", 24), ("s3", "Green", 21)]
-        {
-            db.insert("Student", vec![Value::str(sid), Value::str(name), Value::Int(age)])
-                .unwrap();
+        for (sid, name, age) in [("s1", "George", 22), ("s2", "Green", 24), ("s3", "Green", 21)] {
+            db.insert("Student", vec![Value::str(sid), Value::str(name), Value::Int(age)]).unwrap();
         }
         for (code, title, credit) in
             [("c1", "Java", 5.0), ("c2", "Database", 4.0), ("c3", "Multimedia", 3.0)]

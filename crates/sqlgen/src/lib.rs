@@ -23,4 +23,5 @@ pub mod result;
 
 pub use ast::{AggFunc, ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
 pub use exec::{execute, ExecError};
+pub use render::{render, render_spanned, SpanKind, SqlSpan};
 pub use result::ResultTable;

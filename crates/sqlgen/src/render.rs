@@ -4,10 +4,48 @@
 //! rendered verbatim (its standard-SQL equivalent would be
 //! `LOWER(S.Sname) LIKE '%green%'`). Derived tables are rendered inline:
 //! `(SELECT DISTINCT Lid, Code FROM Teach) T`.
+//!
+//! [`render_spanned`] additionally reports where each clause element
+//! landed in the rendered text, so diagnostics (the `aqks-analyze` crate)
+//! can point at the offending SQL fragment.
 
 use std::fmt;
 
 use crate::ast::{Predicate, SelectItem, SelectStatement, TableExpr};
+
+/// Which clause element a [`SqlSpan`] covers, with its index within the
+/// clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// `items[i]` of the SELECT list.
+    SelectItem(usize),
+    /// `from[i]` of the FROM clause (a derived table's span covers the
+    /// whole parenthesized subquery plus its alias).
+    FromItem(usize),
+    /// `predicates[i]` of the WHERE clause.
+    Predicate(usize),
+    /// `group_by[i]`.
+    GroupBy(usize),
+    /// `order_by[i]`.
+    OrderBy(usize),
+    /// The LIMIT clause.
+    Limit,
+}
+
+/// A byte range of the rendered SQL covering one clause element of the
+/// statement at `path` (chain of FROM indices from the root, matching
+/// [`SelectStatement::walk`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlSpan {
+    /// Derived-table chain from the root statement.
+    pub path: Vec<usize>,
+    /// Clause element covered.
+    pub kind: SpanKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
 
 impl fmt::Display for SelectStatement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -18,60 +56,125 @@ impl fmt::Display for SelectStatement {
 /// Renders a statement as multi-line SQL (top level) with nested derived
 /// tables rendered inline.
 pub fn render(stmt: &SelectStatement) -> String {
-    let mut out = String::new();
-    render_into(stmt, &mut out, true);
-    out
+    render_spanned(stmt).0
 }
 
-fn render_into(stmt: &SelectStatement, out: &mut String, multiline: bool) {
+/// Renders a statement and reports the byte span of every clause element,
+/// including those inside derived tables.
+pub fn render_spanned(stmt: &SelectStatement) -> (String, Vec<SqlSpan>) {
+    let mut out = String::new();
+    let mut spans = Vec::new();
+    render_into(stmt, &mut out, true, &mut Vec::new(), &mut spans);
+    (out, spans)
+}
+
+fn render_into(
+    stmt: &SelectStatement,
+    out: &mut String,
+    multiline: bool,
+    path: &mut Vec<usize>,
+    spans: &mut Vec<SqlSpan>,
+) {
     let sep = if multiline { "\n" } else { " " };
+    fn note(spans: &mut Vec<SqlSpan>, path: &[usize], kind: SpanKind, start: usize, end: usize) {
+        spans.push(SqlSpan { path: path.to_vec(), kind, start, end });
+    }
 
     out.push_str("SELECT ");
     if stmt.distinct {
         out.push_str("DISTINCT ");
     }
-    let items: Vec<String> = stmt.items.iter().map(render_item).collect();
-    out.push_str(&items.join(", "));
+    for (i, item) in stmt.items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let start = out.len();
+        out.push_str(&render_item(item));
+        note(spans, path, SpanKind::SelectItem(i), start, out.len());
+    }
 
     out.push_str(sep);
     out.push_str("FROM ");
-    let from: Vec<String> = stmt.from.iter().map(render_from).collect();
-    out.push_str(&from.join(", "));
+    for (i, item) in stmt.from.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let start = out.len();
+        match item {
+            TableExpr::Relation { name, alias } => {
+                if name.eq_ignore_ascii_case(alias) {
+                    out.push_str(name);
+                } else {
+                    out.push_str(name);
+                    out.push(' ');
+                    out.push_str(alias);
+                }
+            }
+            TableExpr::Derived { query, alias } => {
+                out.push('(');
+                path.push(i);
+                render_into(query, out, false, path, spans);
+                path.pop();
+                out.push_str(") ");
+                out.push_str(alias);
+            }
+        }
+        spans.push(SqlSpan {
+            path: path.clone(),
+            kind: SpanKind::FromItem(i),
+            start,
+            end: out.len(),
+        });
+    }
 
     if !stmt.predicates.is_empty() {
         out.push_str(sep);
         out.push_str("WHERE ");
-        let preds: Vec<String> = stmt.predicates.iter().map(render_pred).collect();
-        out.push_str(&preds.join(" AND "));
+        for (i, p) in stmt.predicates.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" AND ");
+            }
+            let start = out.len();
+            out.push_str(&render_pred(p));
+            note(spans, path, SpanKind::Predicate(i), start, out.len());
+        }
     }
 
     if !stmt.group_by.is_empty() {
         out.push_str(sep);
         out.push_str("GROUP BY ");
-        let cols: Vec<String> = stmt.group_by.iter().map(|c| c.to_string()).collect();
-        out.push_str(&cols.join(", "));
+        for (i, c) in stmt.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let start = out.len();
+            out.push_str(&c.to_string());
+            note(spans, path, SpanKind::GroupBy(i), start, out.len());
+        }
     }
 
     if !stmt.order_by.is_empty() {
         out.push_str(sep);
         out.push_str("ORDER BY ");
-        let keys: Vec<String> = stmt
-            .order_by
-            .iter()
-            .map(|k| {
-                if k.desc {
-                    format!("{} DESC", k.column)
-                } else {
-                    k.column.to_string()
-                }
-            })
-            .collect();
-        out.push_str(&keys.join(", "));
+        for (i, k) in stmt.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let start = out.len();
+            if k.desc {
+                out.push_str(&format!("{} DESC", k.column));
+            } else {
+                out.push_str(&k.column.to_string());
+            }
+            note(spans, path, SpanKind::OrderBy(i), start, out.len());
+        }
     }
 
     if let Some(limit) = stmt.limit {
         out.push_str(sep);
+        let start = out.len();
         out.push_str(&format!("LIMIT {limit}"));
+        note(spans, path, SpanKind::Limit, start, out.len());
     }
 }
 
@@ -82,23 +185,6 @@ fn render_item(item: &SelectItem) -> String {
         SelectItem::Aggregate { func, arg, distinct, alias } => {
             let inner = if *distinct { format!("DISTINCT {arg}") } else { arg.to_string() };
             format!("{}({inner}) AS {alias}", func.keyword())
-        }
-    }
-}
-
-fn render_from(item: &TableExpr) -> String {
-    match item {
-        TableExpr::Relation { name, alias } => {
-            if name.eq_ignore_ascii_case(alias) {
-                name.clone()
-            } else {
-                format!("{name} {alias}")
-            }
-        }
-        TableExpr::Derived { query, alias } => {
-            let mut inner = String::new();
-            render_into(query, &mut inner, false);
-            format!("({inner}) {alias}")
         }
     }
 }
@@ -202,5 +288,72 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(render(&stmt), "SELECT Teach.Lid\nFROM Teach");
+    }
+
+    /// Spans address clause elements of the root and of nested derived
+    /// tables; every span excerpts exactly its element's rendering.
+    #[test]
+    fn spans_cover_clause_elements() {
+        let inner = SelectStatement {
+            distinct: true,
+            items: vec![SelectItem::Column { col: ColumnRef::new("Teach", "Lid"), alias: None }],
+            from: vec![TableExpr::Relation { name: "Teach".into(), alias: "Teach".into() }],
+            ..Default::default()
+        };
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: ColumnRef::new("T", "Lid"),
+                distinct: false,
+                alias: "numLid".into(),
+            }],
+            from: vec![TableExpr::Derived { query: Box::new(inner), alias: "T".into() }],
+            limit: Some(5),
+            ..Default::default()
+        };
+        let (sql, spans) = render_spanned(&stmt);
+
+        let find = |path: &[usize], kind: SpanKind| {
+            spans
+                .iter()
+                .find(|s| s.path == path && s.kind == kind)
+                .unwrap_or_else(|| panic!("{path:?} {kind:?} in {spans:?}"))
+        };
+        let item = find(&[], SpanKind::SelectItem(0));
+        assert_eq!(&sql[item.start..item.end], "COUNT(T.Lid) AS numLid");
+        let from = find(&[], SpanKind::FromItem(0));
+        assert_eq!(&sql[from.start..from.end], "(SELECT DISTINCT Teach.Lid FROM Teach) T");
+        let inner_item = find(&[0], SpanKind::SelectItem(0));
+        assert_eq!(&sql[inner_item.start..inner_item.end], "Teach.Lid");
+        let limit = find(&[], SpanKind::Limit);
+        assert_eq!(&sql[limit.start..limit.end], "LIMIT 5");
+        // Spans never exceed the rendered text.
+        assert!(spans.iter().all(|s| s.start < s.end && s.end <= sql.len()));
+    }
+
+    /// `walk` visits root and nested statements with matching paths.
+    #[test]
+    fn walk_paths_match_span_paths() {
+        let leaf = SelectStatement {
+            items: vec![SelectItem::Column { col: ColumnRef::new("R", "x"), alias: None }],
+            from: vec![TableExpr::Relation { name: "R".into(), alias: "R".into() }],
+            ..Default::default()
+        };
+        let mid = SelectStatement {
+            items: vec![SelectItem::Column { col: ColumnRef::new("L", "x"), alias: None }],
+            from: vec![
+                TableExpr::Relation { name: "S".into(), alias: "S".into() },
+                TableExpr::Derived { query: Box::new(leaf), alias: "L".into() },
+            ],
+            ..Default::default()
+        };
+        let root = SelectStatement {
+            items: vec![SelectItem::Column { col: ColumnRef::new("M", "x"), alias: None }],
+            from: vec![TableExpr::Derived { query: Box::new(mid), alias: "M".into() }],
+            ..Default::default()
+        };
+        let mut paths = Vec::new();
+        root.walk(&mut |p, _| paths.push(p.to_vec()));
+        assert_eq!(paths, vec![vec![], vec![0], vec![0, 1]]);
     }
 }

@@ -68,11 +68,8 @@ impl ResultTable {
 impl fmt::Display for ResultTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(Value::to_string).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(Value::to_string).collect()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match engine.answer(query, 1) {
             Ok(answers) => {
                 let a = &answers[0];
-                println!("[ours] {}\n       -> {} answer(s)", a.sql_text.replace('\n', "\n       "), a.result.len());
+                println!(
+                    "[ours] {}\n       -> {} answer(s)",
+                    a.sql_text.replace('\n', "\n       "),
+                    a.result.len()
+                );
                 for row in a.result.rows.iter().take(4) {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
                     println!("          {}", cells.join(" | "));
@@ -48,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match sqak.generate(query) {
             Ok(g) => {
                 let r = sqak.answer(query)?;
-                println!("[sqak] {}\n       -> {} answer(s)", g.sql_text.replace('\n', "\n       "), r.len());
+                println!(
+                    "[sqak] {}\n       -> {} answer(s)",
+                    g.sql_text.replace('\n', "\n       "),
+                    r.len()
+                );
             }
             Err(e) => println!("[sqak] N.A.: {e}"),
         }

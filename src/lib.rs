@@ -13,6 +13,7 @@
 //! * [`core`] — the paper's semantic keyword-search engine
 //! * [`sqak`] — the SQAK baseline the paper compares against
 //! * [`datasets`] — university / TPC-H / ACM-DL datasets and denormalizers
+//! * [`analyze`] — static semantic analyzer for generated SQL plans
 //!
 //! ## Quickstart
 //!
@@ -27,6 +28,7 @@
 //! println!("{}", answers[0].sql_text);
 //! ```
 
+pub use aqks_analyze as analyze;
 pub use aqks_core as core;
 pub use aqks_datasets as datasets;
 pub use aqks_orm as orm;

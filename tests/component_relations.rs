@@ -46,10 +46,7 @@ fn condition_on_component_attribute() {
 fn merged_component_condition() {
     let engine = Engine::new(university::with_hobbies()).unwrap();
     let answers = engine.answer("chess COUNT Code", 5).unwrap();
-    let merged = answers
-        .iter()
-        .find(|a| a.sql.group_by.is_empty())
-        .expect("merged interpretation");
+    let merged = answers.iter().find(|a| a.sql.group_by.is_empty()).expect("merged interpretation");
     assert_eq!(merged.result.scalar(), Some(&Value::Int(4)), "{}", merged.sql_text);
 }
 

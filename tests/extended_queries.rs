@@ -63,10 +63,8 @@ fn aggregate_with_region_condition() {
 /// keyword matches nothing in the university database.
 #[test]
 fn quoted_operator_is_searched_literally() {
-    let err = Engine::new(university::normalized())
-        .unwrap()
-        .answer(r#""count" Student"#, 1)
-        .unwrap_err();
+    let err =
+        Engine::new(university::normalized()).unwrap().answer(r#""count" Student"#, 1).unwrap_err();
     assert!(matches!(err, CoreError::NoMatch(_)));
 }
 
@@ -137,12 +135,7 @@ fn multi_source_subquery_join() {
     let customers = prime.table("Customer").unwrap();
     let nations = prime.table("Nation").unwrap();
     let nk = customers.rows()[0][customers.schema.attr_index("nationkey").unwrap()].clone();
-    let nname = nations
-        .rows()
-        .iter()
-        .find(|r| r[0] == nk)
-        .map(|r| r[1].to_string())
-        .unwrap();
+    let nname = nations.rows().iter().find(|r| r[0] == nk).map(|r| r[1].to_string()).unwrap();
 
     let engine = Engine::new(prime).unwrap();
     let q = format!("{nname} COUNT region");

@@ -57,9 +57,7 @@ fn figures_4_5_6_pattern_variants() {
         .enumerate()
         .filter(|(_, g)| {
             g.pattern.nodes.iter().any(|n| {
-                n.annotations
-                    .iter()
-                    .any(|a| matches!(a, NodeAnnotation::Distinguish { .. }))
+                n.annotations.iter().any(|a| matches!(a, NodeAnnotation::Distinguish { .. }))
             })
         })
         .map(|(i, _)| i)
@@ -69,9 +67,7 @@ fn figures_4_5_6_pattern_variants() {
         .enumerate()
         .filter(|(_, g)| {
             g.pattern.nodes.iter().all(|n| {
-                !n.annotations
-                    .iter()
-                    .any(|a| matches!(a, NodeAnnotation::Distinguish { .. }))
+                !n.annotations.iter().any(|a| matches!(a, NodeAnnotation::Distinguish { .. }))
             })
         })
         .map(|(i, _)| i)
@@ -107,13 +103,7 @@ fn figure10_unnormalized_pattern() {
     assert_eq!(p.nodes.iter().filter(|n| n.relation == "Enrol").count(), 2);
     assert_eq!(p.nodes.iter().filter(|n| n.relation == "Course").count(), 1);
     // The Green node carries the disambiguating GROUPBY(Sid).
-    let green = p
-        .nodes
-        .iter()
-        .find(|n| n.condition.as_ref().is_some_and(|c| c.term == "Green"))
-        .unwrap();
-    assert!(green
-        .annotations
-        .iter()
-        .any(|a| matches!(a, NodeAnnotation::Distinguish { .. })));
+    let green =
+        p.nodes.iter().find(|n| n.condition.as_ref().is_some_and(|c| c.term == "Green")).unwrap();
+    assert!(green.annotations.iter().any(|a| matches!(a, NodeAnnotation::Distinguish { .. })));
 }

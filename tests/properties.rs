@@ -1,15 +1,34 @@
-//! Property-based tests on the substrates' invariants: FD theory
-//! (closures, candidate keys, 3NF synthesis), the value type's total
-//! order, executor correctness against a naive reference evaluator, and
-//! engine determinism.
+//! Randomized tests on the substrates' invariants: FD theory (closures,
+//! candidate keys, 3NF synthesis), the value type's total order, executor
+//! correctness against a naive reference evaluator, and engine
+//! determinism. A fixed-seed SplitMix64 generator drives the case
+//! generation, so every run exercises the same (large) set of cases.
 
 use std::collections::BTreeSet;
 
-use aqks::relational::{AttrType, Database, Fd, FdSet, RelationSchema, Value};
+use aqks::relational::{AttrType, Database, Date, Fd, FdSet, RelationSchema, Value};
 use aqks::sqlgen::{
     execute, AggFunc, ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr,
 };
-use proptest::prelude::*;
+
+/// SplitMix64: deterministic across platforms, good enough distribution
+/// for test-case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 // ---------------------------------------------------------------------
 // FD theory
@@ -17,79 +36,93 @@ use proptest::prelude::*;
 
 const UNIVERSE: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
 
-fn arb_attrs() -> impl Strategy<Value = BTreeSet<String>> {
-    proptest::collection::btree_set(0..UNIVERSE.len(), 1..=3)
-        .prop_map(|idx| idx.into_iter().map(|i| UNIVERSE[i].to_string()).collect())
+fn arb_attrs(rng: &mut Rng) -> BTreeSet<String> {
+    let n = 1 + rng.below(3);
+    (0..n).map(|_| UNIVERSE[rng.below(UNIVERSE.len())].to_string()).collect()
 }
 
-fn arb_fdset() -> impl Strategy<Value = FdSet> {
-    proptest::collection::vec((arb_attrs(), arb_attrs()), 0..6).prop_map(|pairs| {
-        let mut f = FdSet::new(UNIVERSE.iter().map(|s| s.to_string()));
-        for (lhs, rhs) in pairs {
-            f.add(Fd::new(lhs, rhs));
-        }
-        f
-    })
-}
-
-proptest! {
-    /// X ⊆ X+ and closure is idempotent and monotone.
-    #[test]
-    fn closure_laws(f in arb_fdset(), x in arb_attrs(), extra in arb_attrs()) {
-        let cx = f.closure(x.clone());
-        prop_assert!(x.is_subset(&cx));
-        prop_assert_eq!(f.closure(cx.clone()), cx.clone());
-        let mut bigger = x.clone();
-        bigger.extend(extra);
-        prop_assert!(cx.is_subset(&f.closure(bigger)));
+fn arb_fdset(rng: &mut Rng) -> FdSet {
+    let mut f = FdSet::new(UNIVERSE.iter().map(|s| s.to_string()));
+    for _ in 0..rng.below(6) {
+        let lhs = arb_attrs(rng);
+        let rhs = arb_attrs(rng);
+        f.add(Fd::new(lhs, rhs));
     }
+    f
+}
 
-    /// Candidate keys are superkeys, and no key contains another.
-    #[test]
-    fn candidate_keys_are_minimal_superkeys(f in arb_fdset()) {
+/// X ⊆ X+ and closure is idempotent and monotone.
+#[test]
+fn closure_laws() {
+    let mut rng = Rng(11);
+    for _ in 0..300 {
+        let f = arb_fdset(&mut rng);
+        let x = arb_attrs(&mut rng);
+        let cx = f.closure(x.clone());
+        assert!(x.is_subset(&cx));
+        assert_eq!(f.closure(cx.clone()), cx);
+        let mut bigger = x.clone();
+        bigger.extend(arb_attrs(&mut rng));
+        assert!(cx.is_subset(&f.closure(bigger)));
+    }
+}
+
+/// Candidate keys are superkeys, and no key contains another.
+#[test]
+fn candidate_keys_are_minimal_superkeys() {
+    let mut rng = Rng(12);
+    for _ in 0..300 {
+        let f = arb_fdset(&mut rng);
         let keys = f.candidate_keys();
-        prop_assert!(!keys.is_empty());
+        assert!(!keys.is_empty());
         for k in &keys {
-            prop_assert!(f.is_superkey(k), "{k:?}");
+            assert!(f.is_superkey(k), "{k:?}");
         }
         for (i, a) in keys.iter().enumerate() {
             for (j, b) in keys.iter().enumerate() {
                 if i != j {
-                    prop_assert!(!a.is_subset(b), "{a:?} ⊆ {b:?}");
+                    assert!(!a.is_subset(b), "{a:?} ⊆ {b:?}");
                 }
             }
         }
     }
+}
 
-    /// The minimal cover implies exactly the same dependencies (checked
-    /// on the declared FDs in both directions).
-    #[test]
-    fn minimal_cover_is_equivalent(f in arb_fdset()) {
+/// The minimal cover implies exactly the same dependencies (checked on
+/// the declared FDs in both directions).
+#[test]
+fn minimal_cover_is_equivalent() {
+    let mut rng = Rng(13);
+    for _ in 0..300 {
+        let f = arb_fdset(&mut rng);
         let mut g = FdSet::new(UNIVERSE.iter().map(|s| s.to_string()));
         g.fds = f.minimal_cover();
         for fd in &f.fds {
-            prop_assert!(g.implies(&fd.lhs, &fd.rhs), "cover lost {fd}");
+            assert!(g.implies(&fd.lhs, &fd.rhs), "cover lost {fd}");
         }
         for fd in &g.fds {
-            prop_assert!(f.implies(&fd.lhs, &fd.rhs), "cover invented {fd}");
+            assert!(f.implies(&fd.lhs, &fd.rhs), "cover invented {fd}");
         }
     }
+}
 
-    /// 3NF synthesis covers every attribute, keys its relations correctly,
-    /// and produces only 3NF relations.
-    #[test]
-    fn synthesis_is_sound(f in arb_fdset()) {
+/// 3NF synthesis covers every attribute, keys its relations correctly,
+/// and produces only relations whose keys determine their headings.
+#[test]
+fn synthesis_is_sound() {
+    let mut rng = Rng(14);
+    for _ in 0..300 {
+        let f = arb_fdset(&mut rng);
         let rels = f.synthesize_3nf();
         let covered: BTreeSet<String> = rels.iter().flat_map(|(h, _)| h.clone()).collect();
-        prop_assert_eq!(covered, f.attrs.clone());
+        assert_eq!(covered, f.attrs);
         // Some relation contains a candidate key of the original.
         let keys = f.candidate_keys();
-        prop_assert!(rels.iter().any(|(h, _)| keys.iter().any(|k| k.is_subset(h))));
+        assert!(rels.iter().any(|(h, _)| keys.iter().any(|k| k.is_subset(h))));
         for (heading, key) in &rels {
-            prop_assert!(key.is_subset(heading));
-            // The key determines its heading under the original FDs.
+            assert!(key.is_subset(heading));
             let closure = f.closure(key.clone());
-            prop_assert!(heading.is_subset(&closure), "{key:?} -> {heading:?}");
+            assert!(heading.is_subset(&closure), "{key:?} -> {heading:?}");
         }
     }
 }
@@ -98,26 +131,38 @@ proptest! {
 // Value ordering
 // ---------------------------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i32>().prop_map(|i| Value::Int(i as i64)),
-        (-1000i32..1000, 1u32..100).prop_map(|(n, d)| Value::Float(n as f64 / d as f64)),
-        "[a-z]{0,6}".prop_map(Value::str),
-        (1990i32..2030, 1u8..=12, 1u8..=28)
-            .prop_map(|(y, m, d)| Value::Date(aqks::relational::Date::new(y, m, d))),
-    ]
+fn arb_value(rng: &mut Rng) -> Value {
+    match rng.below(5) {
+        0 => Value::Null,
+        1 => Value::Int(rng.below(2001) as i64 - 1000),
+        2 => {
+            let n = rng.below(2000) as f64 - 1000.0;
+            let d = 1 + rng.below(99);
+            Value::Float(n / d as f64)
+        }
+        3 => {
+            let len = rng.below(7);
+            Value::str((0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect::<String>())
+        }
+        _ => Value::Date(Date::new(
+            1990 + rng.below(40) as i32,
+            1 + rng.below(12) as u8,
+            1 + rng.below(28) as u8,
+        )),
+    }
 }
 
-proptest! {
-    /// The order is total and consistent: antisymmetric and transitive,
-    /// and equality implies equal hashes.
-    #[test]
-    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+/// The order is total and consistent: antisymmetric and transitive, and
+/// equality implies equal hashes.
+#[test]
+fn value_order_is_total() {
+    use std::cmp::Ordering;
+    let mut rng = Rng(15);
+    for _ in 0..1000 {
+        let (a, b, c) = (arb_value(&mut rng), arb_value(&mut rng), arb_value(&mut rng));
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
         if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+            assert_ne!(a.cmp(&c), Ordering::Greater);
         }
         if a == b {
             use std::hash::{Hash, Hasher};
@@ -126,7 +171,7 @@ proptest! {
                 v.hash(&mut s);
                 s.finish()
             };
-            prop_assert_eq!(h(&a), h(&b));
+            assert_eq!(h(&a), h(&b));
         }
     }
 }
@@ -138,26 +183,24 @@ proptest! {
 /// Random two-table instances with small key domains so joins, filters,
 /// and groupings all hit interesting cases (dangling keys, duplicates,
 /// NULLs).
-fn arb_join_db() -> impl Strategy<Value = Database> {
-    let r_rows = proptest::collection::vec((0i64..6, proptest::option::of(0i64..5)), 0..24);
-    let s_rows = proptest::collection::vec((0i64..6, 0i64..9), 0..24);
-    (r_rows, s_rows).prop_map(|(r_rows, s_rows)| {
-        let mut db = Database::new("prop");
-        let mut r = RelationSchema::new("R");
-        r.add_attr("k", AttrType::Int).add_attr("v", AttrType::Int);
-        db.add_relation(r).unwrap();
-        let mut s = RelationSchema::new("S");
-        s.add_attr("k", AttrType::Int).add_attr("w", AttrType::Int);
-        db.add_relation(s).unwrap();
-        for (k, v) in r_rows {
-            db.insert("R", vec![Value::Int(k), v.map(Value::Int).unwrap_or(Value::Null)])
-                .unwrap();
-        }
-        for (k, w) in s_rows {
-            db.insert("S", vec![Value::Int(k), Value::Int(w)]).unwrap();
-        }
-        db
-    })
+fn arb_join_db(rng: &mut Rng) -> Database {
+    let mut db = Database::new("prop");
+    let mut r = RelationSchema::new("R");
+    r.add_attr("k", AttrType::Int).add_attr("v", AttrType::Int);
+    db.add_relation(r).unwrap();
+    let mut s = RelationSchema::new("S");
+    s.add_attr("k", AttrType::Int).add_attr("w", AttrType::Int);
+    db.add_relation(s).unwrap();
+    for _ in 0..rng.below(24) {
+        let k = Value::Int(rng.below(6) as i64);
+        let v = if rng.below(5) == 0 { Value::Null } else { Value::Int(rng.below(5) as i64) };
+        db.insert("R", vec![k, v]).unwrap();
+    }
+    for _ in 0..rng.below(24) {
+        let k = Value::Int(rng.below(6) as i64);
+        db.insert("S", vec![k, Value::Int(rng.below(9) as i64)]).unwrap();
+    }
+    db
 }
 
 /// Naive reference: nested-loop join, then grouped aggregation.
@@ -180,10 +223,12 @@ fn reference_join_count(db: &Database) -> Vec<(Value, i64, Option<i64>)> {
     groups.into_iter().map(|(k, (c, sum))| (k, c, sum)).collect()
 }
 
-proptest! {
-    /// Hash-join + grouped COUNT/SUM equals the nested-loop reference.
-    #[test]
-    fn executor_matches_reference(db in arb_join_db()) {
+/// Hash-join + grouped COUNT/SUM equals the nested-loop reference.
+#[test]
+fn executor_matches_reference() {
+    let mut rng = Rng(16);
+    for _ in 0..150 {
+        let db = arb_join_db(&mut rng);
         let stmt = SelectStatement {
             distinct: false,
             items: vec![
@@ -205,29 +250,30 @@ proptest! {
                 TableExpr::Relation { name: "R".into(), alias: "R".into() },
                 TableExpr::Relation { name: "S".into(), alias: "S".into() },
             ],
-            predicates: vec![Predicate::JoinEq(
-                ColumnRef::new("R", "k"),
-                ColumnRef::new("S", "k"),
-            )],
+            predicates: vec![Predicate::JoinEq(ColumnRef::new("R", "k"), ColumnRef::new("S", "k"))],
             group_by: vec![ColumnRef::new("R", "k")],
             ..Default::default()
         };
         let got = execute(&stmt, &db).unwrap().sorted();
         let expected = reference_join_count(&db);
-        prop_assert_eq!(got.len(), expected.len());
+        assert_eq!(got.len(), expected.len());
         for (row, (k, c, sum)) in got.rows.iter().zip(&expected) {
-            prop_assert_eq!(&row[0], k);
-            prop_assert_eq!(&row[1], &Value::Int(*c));
+            assert_eq!(&row[0], k);
+            assert_eq!(row[1], Value::Int(*c));
             match sum {
-                Some(s) => prop_assert_eq!(&row[2], &Value::Int(*s)),
-                None => prop_assert_eq!(&row[2], &Value::Null),
+                Some(s) => assert_eq!(row[2], Value::Int(*s)),
+                None => assert_eq!(row[2], Value::Null),
             }
         }
     }
+}
 
-    /// SELECT DISTINCT is idempotent and never larger than the input.
-    #[test]
-    fn distinct_is_idempotent(db in arb_join_db()) {
+/// SELECT DISTINCT is idempotent and never larger than the input.
+#[test]
+fn distinct_is_idempotent() {
+    let mut rng = Rng(17);
+    for _ in 0..150 {
+        let db = arb_join_db(&mut rng);
         let proj = |distinct| SelectStatement {
             distinct,
             items: vec![SelectItem::Column { col: ColumnRef::new("R", "k"), alias: None }],
@@ -238,11 +284,11 @@ proptest! {
         };
         let all = execute(&proj(false), &db).unwrap();
         let distinct = execute(&proj(true), &db).unwrap();
-        prop_assert!(distinct.len() <= all.len());
+        assert!(distinct.len() <= all.len());
         let mut set: Vec<_> = all.rows.clone();
         set.sort();
         set.dedup();
-        prop_assert_eq!(distinct.sorted().rows, set);
+        assert_eq!(distinct.sorted().rows, set);
     }
 }
 
@@ -250,23 +296,25 @@ proptest! {
 // Engine determinism
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-    /// The engine is deterministic: identical queries yield identical SQL
-    /// and answers across engine instances.
-    #[test]
-    fn engine_is_deterministic(seed in 0u8..4) {
-        let q = ["Green SUM Credit", "COUNT Lecturer GROUPBY Course",
-                 "Green George COUNT Code", "Java SUM Price"][seed as usize];
+/// The engine is deterministic: identical queries yield identical SQL and
+/// answers across engine instances.
+#[test]
+fn engine_is_deterministic() {
+    for q in [
+        "Green SUM Credit",
+        "COUNT Lecturer GROUPBY Course",
+        "Green George COUNT Code",
+        "Java SUM Price",
+    ] {
         let db = aqks::datasets::university::normalized();
         let e1 = aqks::core::Engine::new(db.clone()).unwrap();
         let e2 = aqks::core::Engine::new(db).unwrap();
         let a1 = e1.answer(q, 3).unwrap();
         let a2 = e2.answer(q, 3).unwrap();
-        prop_assert_eq!(a1.len(), a2.len());
+        assert_eq!(a1.len(), a2.len());
         for (x, y) in a1.iter().zip(&a2) {
-            prop_assert_eq!(&x.sql_text, &y.sql_text);
-            prop_assert_eq!(&x.result.rows, &y.result.rows);
+            assert_eq!(x.sql_text, y.sql_text);
+            assert_eq!(x.result.rows, y.result.rows);
         }
     }
 }
@@ -278,31 +326,56 @@ proptest! {
 /// Tokens assembled into random keyword queries: operators, metadata,
 /// values, and junk.
 const FUZZ_TOKENS: &[&str] = &[
-    "COUNT", "SUM", "AVG", "MIN", "MAX", "GROUPBY", "Student", "Course", "Enrol", "Teach",
-    "Lecturer", "Textbook", "Department", "Faculty", "Sname", "Credit", "Price", "Age", "Code",
-    "Green", "George", "Java", "Database", "Engineering", "Steven", "zebra", "\"royal olive\"",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "GROUPBY",
+    "Student",
+    "Course",
+    "Enrol",
+    "Teach",
+    "Lecturer",
+    "Textbook",
+    "Department",
+    "Faculty",
+    "Sname",
+    "Credit",
+    "Price",
+    "Age",
+    "Code",
+    "Green",
+    "George",
+    "Java",
+    "Database",
+    "Engineering",
+    "Steven",
+    "zebra",
+    "\"royal olive\"",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    /// Any token soup either errors typed or yields interpretations whose
-    /// SQL executes; nothing panics.
-    #[test]
-    fn pipeline_never_panics(idx in proptest::collection::vec(0..FUZZ_TOKENS.len(), 1..6)) {
+/// Any token soup either errors typed or yields interpretations whose SQL
+/// executes; nothing panics.
+#[test]
+fn pipeline_never_panics() {
+    let mut rng = Rng(18);
+    let db = aqks::datasets::university::normalized();
+    let engine = aqks::core::Engine::new(db.clone()).unwrap();
+    let sqak = aqks::sqak::Sqak::new(db);
+    for _ in 0..64 {
+        let n = 1 + rng.below(5);
         let query: String =
-            idx.iter().map(|&i| FUZZ_TOKENS[i]).collect::<Vec<_>>().join(" ");
-        let db = aqks::datasets::university::normalized();
-        let engine = aqks::core::Engine::new(db.clone()).unwrap();
+            (0..n).map(|_| FUZZ_TOKENS[rng.below(FUZZ_TOKENS.len())]).collect::<Vec<_>>().join(" ");
         match engine.answer(&query, 3) {
             Ok(answers) => {
                 for a in &answers {
-                    prop_assert!(!a.result.columns.is_empty(), "{query}: {}", a.sql_text);
+                    assert!(!a.result.columns.is_empty(), "{query}: {}", a.sql_text);
                 }
             }
             Err(_typed) => {}
         }
         // SQAK must be equally panic-free.
-        let sqak = aqks::sqak::Sqak::new(db);
         let _ = sqak.answer(&query);
     }
 }

@@ -5,7 +5,9 @@
 //! checked mechanically here at the small scale; `repro --paper-scale`
 //! regenerates the full-cardinality versions.
 
-use aqks_eval::{run_table5, run_table6, run_table8, run_table9, ComparisonRow, EngineOutcome, Scale};
+use aqks_eval::{
+    run_table5, run_table6, run_table8, run_table9, ComparisonRow, EngineOutcome, Scale,
+};
 
 fn row<'a>(rows: &'a [ComparisonRow], id: &str) -> &'a ComparisonRow {
     rows.iter().find(|r| r.id == id).unwrap_or_else(|| panic!("row {id}"))
