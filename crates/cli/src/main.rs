@@ -19,6 +19,11 @@
 //! for one query, or for the dataset's whole built-in workload when no
 //! query is given — and exits non-zero on error-severity findings.
 //!
+//! Subcommand `aqks explain [--analyze] [--dataset NAME] [QUERY]` prints
+//! the physical operator tree of each generated statement; `--analyze`
+//! additionally executes the plan and annotates every operator with rows
+//! in/out and wall time.
+//!
 //! REPL commands: `\schema` (relations), `\graph` (ORM graph), `\q`.
 
 use std::io::{BufRead, Write};
@@ -39,6 +44,8 @@ struct Options {
     sqak: bool,
     explain: bool,
     check: bool,
+    explain_plan: bool,
+    analyze: bool,
     export: Option<String>,
     query: Option<String>,
 }
@@ -51,6 +58,8 @@ fn parse_args() -> Result<Options, String> {
         sqak: false,
         explain: false,
         check: false,
+        explain_plan: false,
+        analyze: false,
         export: None,
         query: None,
     };
@@ -66,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
             "--paper-scale" => opts.paper_scale = true,
             "--sqak" => opts.sqak = true,
             "--explain" => opts.explain = true,
+            "--analyze" => opts.analyze = true,
             "--export" => {
                 i += 1;
                 opts.export = Some(args.get(i).ok_or("--export needs a directory")?.to_string());
@@ -75,10 +85,15 @@ fn parse_args() -> Result<Options, String> {
                 opts.k = args.get(i).and_then(|v| v.parse().ok()).ok_or("--k needs a number")?;
             }
             "--help" | "-h" => {
-                println!("usage: aqks [check] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--export DIR] [QUERY]");
+                println!("usage: aqks [check|explain] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--export DIR] [QUERY]");
                 std::process::exit(0);
             }
-            "check" if positional.is_empty() && !opts.check => opts.check = true,
+            "check" if positional.is_empty() && !opts.check && !opts.explain_plan => {
+                opts.check = true
+            }
+            "explain" if positional.is_empty() && !opts.check && !opts.explain_plan => {
+                opts.explain_plan = true
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -176,6 +191,51 @@ fn check_workload(dataset: &str) -> Vec<String> {
     }
 }
 
+/// Prints the physical plan of every interpretation of `queries`; with
+/// `analyze`, executes each plan and annotates operators with measured
+/// row counts and wall time. Returns the number of failed queries.
+fn run_explain(engine: &Engine, queries: &[String], k: usize, analyze: bool) -> usize {
+    let db = engine.database();
+    let mut failures = 0;
+    for q in queries {
+        println!("── explain `{q}`");
+        let generated = match engine.generate(q, k) {
+            Ok(g) => g,
+            Err(e) => {
+                println!("  error: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        for (rank, g) in generated.iter().enumerate() {
+            println!("interpretation #{}", rank + 1);
+            println!("{}", g.sql_text);
+            let plan = match aqks_sqlgen::plan(&g.sql, db) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("  plan error: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            let rendered = if analyze {
+                match aqks_sqlgen::run_plan(&plan, db) {
+                    Ok((_, stats)) => aqks_sqlgen::render_plan_with_stats(&plan, &stats),
+                    Err(e) => {
+                        println!("  execution error: {e}");
+                        failures += 1;
+                        continue;
+                    }
+                }
+            } else {
+                aqks_sqlgen::render_plan(&plan)
+            };
+            println!("{rendered}");
+        }
+    }
+    failures
+}
+
 /// Statically analyzes the SQL both engines generate for `queries`;
 /// returns the number of error-severity findings.
 fn run_check(engine: &Engine, sqak: Option<&Sqak>, queries: &[String], k: usize) -> usize {
@@ -262,6 +322,20 @@ fn main() {
     };
     if engine.is_unnormalized() {
         eprintln!("(unnormalized database: querying through the normalized view)");
+    }
+
+    if opts.explain_plan {
+        let queries = opts
+            .query
+            .as_ref()
+            .map(|q| vec![q.clone()])
+            .unwrap_or_else(|| check_workload(&opts.dataset));
+        let failures = run_explain(&engine, &queries, opts.k, opts.analyze);
+        if failures > 0 {
+            eprintln!("explain failed for {failures} quer(y/ies)");
+            std::process::exit(1);
+        }
+        return;
     }
 
     if opts.check {

@@ -78,6 +78,35 @@ fn export_then_import_roundtrip() {
 }
 
 #[test]
+fn explain_prints_physical_plan() {
+    let out = aqks()
+        .args(["explain", "--dataset", "university", "COUNT Lecturer GROUPBY Course"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("HashAggregate"), "{stdout}");
+    assert!(stdout.contains("Scan"), "{stdout}");
+    assert!(stdout.contains("Project"), "{stdout}");
+    // Plain explain shows estimates, not measurements.
+    assert!(!stdout.contains("time="), "{stdout}");
+}
+
+#[test]
+fn explain_analyze_adds_per_operator_metrics() {
+    let out = aqks()
+        .args(["explain", "--analyze", "--dataset", "tpch", "COUNT order \"royal olive\""])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Scan"), "{stdout}");
+    assert!(stdout.contains("rows="), "{stdout}");
+    assert!(stdout.contains("time="), "{stdout}");
+    assert!(stdout.contains("total:"), "{stdout}");
+}
+
+#[test]
 fn malformed_query_reports_typed_error() {
     let out = aqks().args(["--dataset", "university", "Green SUM"]).output().unwrap();
     // The engine error is printed to stdout (the REPL keeps running on

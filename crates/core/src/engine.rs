@@ -13,7 +13,7 @@
 use aqks_analyze::{Analyzer, Report};
 use aqks_orm::OrmGraph;
 use aqks_relational::{Database, DatabaseSchema, NormalizedView};
-use aqks_sqlgen::{execute, ResultTable, SelectStatement};
+use aqks_sqlgen::{execute_with_stats, ExecStats, ResultTable, SelectStatement};
 
 use crate::annotate::disambiguate;
 use crate::error::CoreError;
@@ -69,6 +69,9 @@ pub struct Interpretation {
     pub sql_text: String,
     /// The answer rows (deterministically sorted).
     pub result: ResultTable,
+    /// Per-operator execution metrics of the physical plan that produced
+    /// [`Interpretation::result`] (see [`aqks_sqlgen::render_plan_with_stats`]).
+    pub stats: ExecStats,
 }
 
 /// How one query term matched the database (see [`Engine::explain`]).
@@ -231,12 +234,13 @@ impl Engine {
         let generated = self.generate(query, k)?;
         let mut out = Vec::with_capacity(generated.len());
         for g in generated {
-            let result = execute(&g.sql, &self.db)?.sorted();
+            let (result, stats) = execute_with_stats(&g.sql, &self.db)?;
             out.push(Interpretation {
                 pattern_description: g.pattern.describe(),
                 sql: g.sql,
                 sql_text: g.sql_text,
-                result,
+                result: result.sorted(),
+                stats,
             });
         }
         Ok(out)
@@ -427,6 +431,18 @@ mod tests {
             assert!(w[0].score <= w[1].score);
         }
         assert!(ex.patterns[0].dot.starts_with("graph pattern {"));
+    }
+
+    #[test]
+    fn answer_carries_execution_stats() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let answers = engine.answer("Green SUM Credit", 1).unwrap();
+        let s = &answers[0].stats;
+        assert!(!s.ops.is_empty());
+        assert!(s.ops.iter().any(|m| m.rows_out > 0), "{s:?}");
+        // The plan and the stats vector index the same node ids.
+        let plan = aqks_sqlgen::plan(&answers[0].sql, engine.database()).unwrap();
+        assert_eq!(s.ops.len(), plan.max_id() + 1);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Executor micro-benchmark: plans and runs the Tables 5/6 workloads
+//! (T1–T8 on TPC-H, A1–A8 on ACMDL) through the physical-operator
+//! pipeline and reports per-query median wall time plus per-operator
+//! rows and timings, serialized as `BENCH_exec.json`.
+//!
+//! Unlike [`crate::fig11`], which times SQL *generation*, this measures
+//! *execution* of the generated plans — the cost the Volcano operators
+//! (`aqks_sqlgen::ops`) add or save. CI runs the `--smoke` variant (few
+//! repetitions, small data) to catch regressions that break planning or
+//! execution of any workload query.
+
+use std::time::Instant;
+
+use aqks_core::Engine;
+use aqks_sqlgen::{plan, run_plan, ExecStats, PlanNode};
+
+use crate::workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};
+
+/// Measured metrics of one operator in one benchmarked plan.
+#[derive(Debug, Clone)]
+pub struct OpBenchRow {
+    /// Plan node id (stable across the run).
+    pub id: usize,
+    /// Operator label as rendered by EXPLAIN.
+    pub label: String,
+    /// Rows received from all inputs (median run).
+    pub rows_in: u64,
+    /// Rows emitted (median run).
+    pub rows_out: u64,
+    /// Inclusive wall time of the operator, microseconds (median run).
+    pub wall_us: f64,
+}
+
+/// Execution benchmark of one workload query.
+#[derive(Debug, Clone)]
+pub struct QueryExecBench {
+    /// Paper query id (T1…T8, A1…A8).
+    pub id: &'static str,
+    /// Workload name (`tpch` or `acmdl`).
+    pub workload: &'static str,
+    /// The generated SQL text that was executed.
+    pub sql: String,
+    /// Result cardinality.
+    pub result_rows: usize,
+    /// Median end-to-end plan execution time, microseconds.
+    pub wall_us: f64,
+    /// Per-operator metrics from the median-time run.
+    pub ops: Vec<OpBenchRow>,
+    /// Failure message when the query could not be planned or run.
+    pub error: Option<String>,
+}
+
+fn failed(q: &EvalQuery, workload: &'static str, msg: String) -> QueryExecBench {
+    QueryExecBench {
+        id: q.id,
+        workload,
+        sql: String::new(),
+        result_rows: 0,
+        wall_us: 0.0,
+        ops: Vec::new(),
+        error: Some(msg),
+    }
+}
+
+/// Runs every query of one workload `reps` times and keeps the median.
+fn bench_workload(
+    db: aqks_relational::Database,
+    queries: Vec<EvalQuery>,
+    workload: &'static str,
+    reps: usize,
+) -> Vec<QueryExecBench> {
+    let engine = match Engine::new(db) {
+        Ok(e) => e,
+        Err(e) => {
+            return queries.iter().map(|q| failed(q, workload, format!("engine: {e}"))).collect()
+        }
+    };
+    queries
+        .into_iter()
+        .map(|q| {
+            let generated = match engine.generate(q.text, 1) {
+                Ok(g) if !g.is_empty() => g,
+                Ok(_) => return failed(&q, workload, "no interpretation".into()),
+                Err(e) => return failed(&q, workload, format!("generate: {e}")),
+            };
+            let g = &generated[0];
+            let p = match plan(&g.sql, engine.database()) {
+                Ok(p) => p,
+                Err(e) => return failed(&q, workload, format!("plan: {e}")),
+            };
+            // Warm-up, then `reps` timed runs; keep the stats of the
+            // median-time run so operator timings sum to the reported
+            // wall time.
+            if let Err(e) = run_plan(&p, engine.database()) {
+                return failed(&q, workload, format!("execute: {e}"));
+            }
+            let mut samples: Vec<(f64, usize, ExecStats)> = Vec::with_capacity(reps);
+            for _ in 0..reps.max(1) {
+                let t = Instant::now();
+                match run_plan(&p, engine.database()) {
+                    Ok((table, stats)) => {
+                        samples.push((t.elapsed().as_secs_f64() * 1e6, table.len(), stats))
+                    }
+                    Err(e) => return failed(&q, workload, format!("execute: {e}")),
+                }
+            }
+            samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let (wall_us, result_rows, stats) = samples.swap_remove(samples.len() / 2);
+            QueryExecBench {
+                id: q.id,
+                workload,
+                sql: g.sql_text.clone(),
+                result_rows,
+                wall_us,
+                ops: op_rows(&p, &stats),
+                error: None,
+            }
+        })
+        .collect()
+}
+
+/// Flattens a plan and its stats into per-operator rows, in node-id order.
+fn op_rows(p: &PlanNode, stats: &ExecStats) -> Vec<OpBenchRow> {
+    let mut rows = Vec::with_capacity(p.node_count());
+    p.visit(&mut |n| {
+        let m = &stats.ops[n.id];
+        rows.push(OpBenchRow {
+            id: n.id,
+            label: n.label(),
+            rows_in: m.rows_in,
+            rows_out: m.rows_out,
+            wall_us: m.wall.as_secs_f64() * 1e6,
+        });
+    });
+    rows.sort_by_key(|r| r.id);
+    rows
+}
+
+/// Runs the full benchmark: T1–T8 on TPC-H and A1–A8 on ACMDL.
+pub fn run_exec_bench(scale: Scale, reps: usize) -> Vec<QueryExecBench> {
+    let mut out =
+        bench_workload(crate::workload::tpch_database(scale), tpch_queries(), "tpch", reps);
+    out.extend(bench_workload(
+        crate::workload::acmdl_database(scale),
+        acmdl_queries(),
+        "acmdl",
+        reps,
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes benchmark rows as the `BENCH_exec.json` document.
+pub fn render_json(rows: &[QueryExecBench], scale: Scale, reps: usize) -> String {
+    let scale_name = match scale {
+        Scale::Small => "small",
+        Scale::Paper => "paper-scale",
+    };
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": \"{scale_name}\",\n  \"reps\": {reps},\n"));
+    s.push_str("  \"queries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"id\": \"{}\",\n", r.id));
+        s.push_str(&format!("      \"workload\": \"{}\",\n", r.workload));
+        if let Some(err) = &r.error {
+            s.push_str(&format!("      \"error\": \"{}\"\n", json_escape(err)));
+        } else {
+            s.push_str(&format!("      \"sql\": \"{}\",\n", json_escape(&r.sql)));
+            s.push_str(&format!("      \"result_rows\": {},\n", r.result_rows));
+            s.push_str(&format!("      \"wall_us\": {:.1},\n", r.wall_us));
+            s.push_str("      \"operators\": [\n");
+            for (j, op) in r.ops.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"id\": {}, \"label\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \"wall_us\": {:.1}}}{}\n",
+                    op.id,
+                    json_escape(&op.label),
+                    op.rows_in,
+                    op.rows_out,
+                    op.wall_us,
+                    if j + 1 < r.ops.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+        }
+        s.push_str(&format!("    }}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

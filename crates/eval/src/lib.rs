@@ -9,6 +9,8 @@
 //!   rows of Tables 5, 6 (normalized) and 8, 9 (unnormalized);
 //! * [`fig11`] — times SQL *generation* (not execution) for both engines,
 //!   reproducing Figure 11's two series;
+//! * [`execbench`] — times plan *execution* through the physical-operator
+//!   pipeline, per query and per operator, writing `BENCH_exec.json`;
 //! * [`analysis`] — runs the `aqks-analyze` static analyzer over every
 //!   statement both engines generate for the workloads: the paper engine
 //!   must come back with zero error findings, SQAK trips `AQ-P5` where
@@ -18,6 +20,7 @@
 //!
 //! ```text
 //! repro table5 | table6 | table8 | table9 | fig11 | all [--paper-scale]
+//! repro exec-bench [--smoke] [--out FILE] [--reps N]
 //! ```
 //!
 //! `--paper-scale` switches from the fast test-sized datasets to
@@ -25,6 +28,7 @@
 //! 36 SIGMOD proceedings, …).
 
 pub mod analysis;
+pub mod execbench;
 pub mod fig11;
 pub mod tables;
 #[cfg(test)]
@@ -32,6 +36,7 @@ mod tests;
 pub mod workload;
 
 pub use analysis::{analyze_workload, run_analysis, AnalysisRow, PlanVerdict};
+pub use execbench::{run_exec_bench, OpBenchRow, QueryExecBench};
 pub use fig11::{run_fig11, TimingRow};
 pub use tables::{run_table5, run_table6, run_table8, run_table9, ComparisonRow, EngineOutcome};
 pub use workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};

@@ -2,19 +2,39 @@
 //!
 //! ```text
 //! repro table5|table6|table8|table9|fig11|all [--paper-scale] [--reps N]
+//! repro exec-bench [--smoke] [--out FILE] [--reps N]
 //! ```
+//!
+//! `exec-bench` plans and executes the T1–T8 / A1–A8 workloads through
+//! the physical-operator pipeline and writes per-query and per-operator
+//! timings to `BENCH_exec.json` (override with `--out`); `--smoke` uses
+//! 3 repetitions for a fast CI regression check. Exits non-zero if any
+//! workload query fails to plan or execute.
 
-use aqks_eval::{fig11, tables, Scale};
+use aqks_eval::{execbench, fig11, tables, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--paper-scale") { Scale::Paper } else { Scale::Small };
     let mut reps = 21usize;
+    let mut smoke = false;
+    let mut out_file = "BENCH_exec.json".to_string();
     let mut what = "all".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--paper-scale" => {}
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out_file = match args.get(i) {
+                    Some(v) => v.to_string(),
+                    None => {
+                        eprintln!("--out needs a file name");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--reps" => {
                 i += 1;
                 reps = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(21);
@@ -26,6 +46,39 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if smoke {
+        reps = reps.min(3);
+    }
+
+    if what == "exec-bench" {
+        let rows = execbench::run_exec_bench(scale, reps);
+        let failures: Vec<&execbench::QueryExecBench> =
+            rows.iter().filter(|r| r.error.is_some()).collect();
+        for r in &rows {
+            match &r.error {
+                Some(e) => eprintln!("{}/{}: FAILED: {e}", r.workload, r.id),
+                None => eprintln!(
+                    "{}/{}: {:.1} µs, {} row(s), {} operator(s)",
+                    r.workload,
+                    r.id,
+                    r.wall_us,
+                    r.result_rows,
+                    r.ops.len()
+                ),
+            }
+        }
+        let json = execbench::render_json(&rows, scale, reps);
+        if let Err(e) = std::fs::write(&out_file, &json) {
+            eprintln!("cannot write {out_file}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {out_file} ({} queries)", rows.len());
+        if !failures.is_empty() {
+            eprintln!("exec-bench failed for {} quer(y/ies)", failures.len());
+            std::process::exit(1);
+        }
+        return;
     }
 
     let scale_name = match scale {

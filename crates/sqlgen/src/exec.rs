@@ -1,24 +1,31 @@
 //! In-memory execution of [`SelectStatement`]s.
 //!
-//! The executor is the stand-in for the RDBMS the paper ran its generated
-//! SQL on. It evaluates FROM items (materializing derived tables
-//! recursively), hash-joins them left-to-right along the statement's
-//! equi-join predicates (falling back to a cross product when no join
-//! predicate links the next item), applies the remaining selections, and
-//! finally evaluates grouping, aggregates, projection and DISTINCT.
+//! Since the planner/operator split, this module is the stable facade
+//! over the two-layer pipeline: [`execute`] lowers the statement into a
+//! physical operator tree via [`crate::plan::plan`] and runs it with
+//! [`crate::ops::run_plan`], keeping the exact signature and SQL
+//! semantics of the original single-pass interpreter. Callers that want
+//! the per-operator metrics use [`execute_with_stats`].
 //!
 //! Semantics follow SQL: aggregates skip NULLs; `SUM`/`MIN`/`MAX`/`AVG`
 //! over an empty group yield NULL while `COUNT` yields 0; `AVG` is always
 //! a float; an aggregate query without GROUP BY returns exactly one row.
+//! Additionally, results without an ORDER BY are stably sorted by row
+//! value, so answers are reproducible across runs and plan revisions.
 
-use std::collections::HashMap;
+use aqks_relational::Database;
+// The test suite predates the planner split and reaches these via
+// `use super::*`; they are not needed by the facade itself.
+#[cfg(test)]
+use aqks_relational::Value;
 
-use aqks_relational::{Database, Row, Value};
-
-use crate::ast::{AggFunc, ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
+use crate::ast::SelectStatement;
+#[cfg(test)]
+use crate::ast::{AggFunc, ColumnRef, Predicate, SelectItem, TableExpr};
+use crate::ops::ExecStats;
 use crate::result::ResultTable;
 
-/// Errors raised during execution.
+/// Errors raised during planning or execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// A FROM item names a relation that is not in the database.
@@ -44,324 +51,20 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// Rows tagged with the (alias, column) pairs that name their columns.
-struct Working {
-    /// Lowercased (alias, column) for resolution.
-    cols: Vec<(String, String)>,
-    rows: Vec<Row>,
-}
-
-impl Working {
-    fn resolve(&self, c: &ColumnRef) -> Result<usize, ExecError> {
-        let q = c.qualifier.to_lowercase();
-        let n = c.column.to_lowercase();
-        self.cols
-            .iter()
-            .position(|(a, col)| *a == q && *col == n)
-            .ok_or_else(|| ExecError::UnknownColumn(c.to_string()))
-    }
-
-    fn try_resolve(&self, c: &ColumnRef) -> Option<usize> {
-        self.resolve(c).ok()
-    }
-}
-
 /// Executes `stmt` against `db`.
 pub fn execute(stmt: &SelectStatement, db: &Database) -> Result<ResultTable, ExecError> {
-    if stmt.items.is_empty() {
-        return Err(ExecError::Unsupported("empty SELECT list".into()));
-    }
-    if stmt.from.is_empty() {
-        return Err(ExecError::Unsupported("empty FROM clause".into()));
-    }
-
-    // --- Materialize FROM items -----------------------------------------
-    let mut sources: Vec<Working> = Vec::with_capacity(stmt.from.len());
-    {
-        let mut seen_alias: Vec<String> = Vec::new();
-        for item in &stmt.from {
-            let alias = item.alias().to_lowercase();
-            if seen_alias.contains(&alias) {
-                return Err(ExecError::DuplicateAlias(item.alias().to_string()));
-            }
-            seen_alias.push(alias.clone());
-            sources.push(materialize(item, &alias, db)?);
-        }
-    }
-
-    // --- Join, preferring connected sources -------------------------------
-    // Greedy order: always join next a source that an unconsumed equi-join
-    // links to the accumulated rows; cross products only as a last resort.
-    // (A left-to-right fold would build Part x Supplier before the
-    // Lineitem that connects them — quadratic rows for nothing.)
-    let mut consumed = vec![false; stmt.predicates.len()];
-    let mut acc = sources.remove(0);
-    while !sources.is_empty() {
-        let mut pick: Option<usize> = None;
-        'scan: for (si, right) in sources.iter().enumerate() {
-            for (pi, p) in stmt.predicates.iter().enumerate() {
-                if consumed[pi] {
-                    continue;
-                }
-                if let Predicate::JoinEq(a, b) = p {
-                    let connects = (acc.try_resolve(a).is_some() && right.try_resolve(b).is_some())
-                        || (acc.try_resolve(b).is_some() && right.try_resolve(a).is_some());
-                    if connects {
-                        pick = Some(si);
-                        break 'scan;
-                    }
-                }
-            }
-        }
-        let right = sources.remove(pick.unwrap_or(0));
-
-        // Join keys: unconsumed equi-joins with one side in `acc` and the
-        // other in `right`.
-        let mut left_keys: Vec<usize> = Vec::new();
-        let mut right_keys: Vec<usize> = Vec::new();
-        for (pi, p) in stmt.predicates.iter().enumerate() {
-            if consumed[pi] {
-                continue;
-            }
-            if let Predicate::JoinEq(a, b) = p {
-                let (l, r) = match (acc.try_resolve(a), right.try_resolve(b)) {
-                    (Some(l), Some(r)) => (l, r),
-                    _ => match (acc.try_resolve(b), right.try_resolve(a)) {
-                        (Some(l), Some(r)) => (l, r),
-                        _ => continue,
-                    },
-                };
-                left_keys.push(l);
-                right_keys.push(r);
-                consumed[pi] = true;
-            }
-        }
-        acc = if left_keys.is_empty() {
-            cross_join(acc, right)
-        } else {
-            hash_join(acc, right, &left_keys, &right_keys)
-        };
-    }
-
-    // --- Residual predicates ---------------------------------------------
-    for (pi, p) in stmt.predicates.iter().enumerate() {
-        if consumed[pi] {
-            continue;
-        }
-        match p {
-            Predicate::JoinEq(a, b) => {
-                let (l, r) = (acc.resolve(a)?, acc.resolve(b)?);
-                acc.rows.retain(|row| !row[l].is_null() && row[l] == row[r]);
-            }
-            Predicate::Contains(c, text) => {
-                let i = acc.resolve(c)?;
-                let needle = text.to_lowercase();
-                acc.rows.retain(|row| row[i].contains_ci(&needle));
-            }
-            Predicate::Eq(c, v) => {
-                let i = acc.resolve(c)?;
-                acc.rows.retain(|row| row[i] == *v);
-            }
-        }
-    }
-
-    // --- Grouping / aggregation / projection ------------------------------
-    let columns: Vec<String> = stmt.items.iter().map(|i| i.output_name().to_string()).collect();
-    let mut result = ResultTable::new(columns);
-
-    if stmt.has_aggregate() || !stmt.group_by.is_empty() {
-        let key_idx: Vec<usize> =
-            stmt.group_by.iter().map(|c| acc.resolve(c)).collect::<Result<_, _>>()?;
-        // Pre-resolve aggregate arguments and plain columns.
-        let item_idx: Vec<usize> = stmt
-            .items
-            .iter()
-            .map(|item| match item {
-                SelectItem::Column { col, .. } => acc.resolve(col),
-                SelectItem::Aggregate { arg, .. } => acc.resolve(arg),
-            })
-            .collect::<Result<_, _>>()?;
-
-        let mut order: Vec<Vec<Value>> = Vec::new();
-        let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (ri, row) in acc.rows.iter().enumerate() {
-            let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
-            let entry = groups.entry(key.clone()).or_default();
-            if entry.is_empty() {
-                order.push(key);
-            }
-            entry.push(ri);
-        }
-        // A global aggregate over an empty input still yields one row.
-        if groups.is_empty() && stmt.group_by.is_empty() {
-            order.push(Vec::new());
-            groups.insert(Vec::new(), Vec::new());
-        }
-
-        for key in order {
-            let members = &groups[&key];
-            let mut out = Vec::with_capacity(stmt.items.len());
-            for (item, &idx) in stmt.items.iter().zip(&item_idx) {
-                match item {
-                    SelectItem::Column { .. } => {
-                        let v = members
-                            .first()
-                            .map(|&ri| acc.rows[ri][idx].clone())
-                            .unwrap_or(Value::Null);
-                        out.push(v);
-                    }
-                    SelectItem::Aggregate { func, distinct, .. } => {
-                        let vals = members.iter().map(|&ri| &acc.rows[ri][idx]);
-                        out.push(aggregate(*func, *distinct, vals));
-                    }
-                }
-            }
-            result.rows.push(out);
-        }
-    } else {
-        let idx: Vec<usize> = stmt
-            .items
-            .iter()
-            .map(|item| match item {
-                SelectItem::Column { col, .. } => acc.resolve(col),
-                SelectItem::Aggregate { .. } => unreachable!("guarded by has_aggregate"),
-            })
-            .collect::<Result<_, _>>()?;
-        for row in &acc.rows {
-            result.rows.push(idx.iter().map(|&i| row[i].clone()).collect());
-        }
-    }
-
-    if stmt.distinct {
-        result.dedup_rows();
-    }
-
-    // --- ORDER BY / LIMIT --------------------------------------------------
-    // Keys resolve against the output columns first (SELECT aliases), so
-    // `ORDER BY numLid DESC` works; a qualified key that is not an output
-    // column is an error (it was not projected).
-    if !stmt.order_by.is_empty() {
-        let keys: Vec<(usize, bool)> = stmt
-            .order_by
-            .iter()
-            .map(|k| {
-                result
-                    .column_index(&k.column.column)
-                    .map(|i| (i, k.desc))
-                    .ok_or_else(|| ExecError::UnknownColumn(k.column.to_string()))
-            })
-            .collect::<Result<_, _>>()?;
-        result.rows.sort_by(|a, b| {
-            for &(i, desc) in &keys {
-                let ord = a[i].cmp(&b[i]);
-                let ord = if desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-    }
-    if let Some(limit) = stmt.limit {
-        result.rows.truncate(limit);
-    }
-    Ok(result)
+    execute_with_stats(stmt, db).map(|(table, _)| table)
 }
 
-fn materialize(item: &TableExpr, alias_lower: &str, db: &Database) -> Result<Working, ExecError> {
-    match item {
-        TableExpr::Relation { name, .. } => {
-            let table = db.table(name).ok_or_else(|| ExecError::UnknownRelation(name.clone()))?;
-            let cols = table
-                .schema
-                .attr_names()
-                .map(|a| (alias_lower.to_string(), a.to_lowercase()))
-                .collect();
-            Ok(Working { cols, rows: table.rows().to_vec() })
-        }
-        TableExpr::Derived { query, .. } => {
-            let sub = execute(query, db)?;
-            let cols =
-                sub.columns.iter().map(|c| (alias_lower.to_string(), c.to_lowercase())).collect();
-            Ok(Working { cols, rows: sub.rows })
-        }
-    }
-}
-
-fn cross_join(left: Working, right: Working) -> Working {
-    let mut cols = left.cols;
-    cols.extend(right.cols);
-    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
-    for l in &left.rows {
-        for r in &right.rows {
-            let mut row = l.clone();
-            row.extend(r.iter().cloned());
-            rows.push(row);
-        }
-    }
-    Working { cols, rows }
-}
-
-fn hash_join(left: Working, right: Working, lk: &[usize], rk: &[usize]) -> Working {
-    let mut table: HashMap<Vec<&Value>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
-    for (ri, row) in right.rows.iter().enumerate() {
-        let key: Vec<&Value> = rk.iter().map(|&i| &row[i]).collect();
-        if key.iter().any(|v| v.is_null()) {
-            continue; // NULL never joins.
-        }
-        table.entry(key).or_default().push(ri);
-    }
-    let mut cols = left.cols;
-    cols.extend(right.cols.iter().cloned());
-    let mut rows = Vec::new();
-    for l in &left.rows {
-        let key: Vec<&Value> = lk.iter().map(|&i| &l[i]).collect();
-        if key.iter().any(|v| v.is_null()) {
-            continue;
-        }
-        if let Some(matches) = table.get(&key) {
-            for &ri in matches {
-                let mut row = l.clone();
-                row.extend(right.rows[ri].iter().cloned());
-                rows.push(row);
-            }
-        }
-    }
-    Working { cols, rows }
-}
-
-/// Evaluates one aggregate over a group's values (NULLs skipped).
-fn aggregate<'a, I: Iterator<Item = &'a Value>>(func: AggFunc, distinct: bool, vals: I) -> Value {
-    let mut non_null: Vec<&Value> = vals.filter(|v| !v.is_null()).collect();
-    if distinct {
-        let mut seen = std::collections::HashSet::new();
-        non_null.retain(|v| seen.insert((*v).clone()));
-    }
-    match func {
-        AggFunc::Count => Value::Int(non_null.len() as i64),
-        AggFunc::Sum => {
-            let all_int = non_null.iter().all(|v| matches!(v, Value::Int(_)));
-            let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
-            if nums.is_empty() {
-                // Empty group, or nothing numeric (SUM over text): NULL.
-                Value::Null
-            } else if all_int {
-                Value::Int(nums.iter().map(|&f| f as i64).sum())
-            } else {
-                Value::Float(nums.iter().sum())
-            }
-        }
-        AggFunc::Avg => {
-            let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
-            if nums.is_empty() {
-                Value::Null
-            } else {
-                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
-            }
-        }
-        AggFunc::Min => non_null.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
-        AggFunc::Max => non_null.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
-    }
+/// Executes `stmt` against `db`, also returning the per-operator
+/// execution metrics (rows in/out, build/probe sizes, wall time) of the
+/// physical plan that ran.
+pub fn execute_with_stats(
+    stmt: &SelectStatement,
+    db: &Database,
+) -> Result<(ResultTable, ExecStats), ExecError> {
+    let plan = crate::plan::plan(stmt, db)?;
+    crate::ops::run_plan(&plan, db)
 }
 
 #[cfg(test)]

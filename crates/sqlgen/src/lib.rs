@@ -8,7 +8,12 @@
 //!   predicates, GROUP BY, the five aggregate functions, DISTINCT, derived
 //!   tables in FROM, and nested aggregate queries);
 //! * [`render`] — pretty-printing in the paper's listing style;
-//! * [`exec`] — an in-memory executor over [`aqks_relational::Database`],
+//! * [`plan`] — a planner lowering statements into a physical operator
+//!   tree (scans with predicate pushdown, cardinality-aware hash/cross
+//!   joins, aggregation, sort/limit) with an EXPLAIN pretty-printer;
+//! * [`ops`] — a Volcano-style batch executor over the plan, recording
+//!   per-operator rows and wall time into [`ops::ExecStats`];
+//! * [`exec`] — the stable `execute(stmt, db)` facade over plan + run,
 //!   standing in for the RDBMS the paper ran on.
 //!
 //! The executor exists because the paper's experiments report *answers*,
@@ -18,10 +23,17 @@
 
 pub mod ast;
 pub mod exec;
+pub mod ops;
+pub mod plan;
 pub mod render;
 pub mod result;
 
 pub use ast::{AggFunc, ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
-pub use exec::{execute, ExecError};
+pub use exec::{execute, execute_with_stats, ExecError};
+pub use ops::{run_plan, ExecStats, OpMetrics};
+pub use plan::{
+    plan, plan_with_options, render_plan, render_plan_with_stats, PhysAggItem, PhysPred, PlanNode,
+    PlanOp, PlanOptions,
+};
 pub use render::{render, render_spanned, SpanKind, SqlSpan};
 pub use result::ResultTable;

@@ -1,0 +1,849 @@
+//! Volcano-style execution of physical plans.
+//!
+//! Every operator implements the batch-`next` [`Operator`] protocol
+//! (`open`/`next`/`close`); pipeline-friendly operators (scan with
+//! pushdown, filter, project, distinct, limit) stream batches, while
+//! pipeline breakers (hash-join build, aggregation, sort) drain their
+//! input inside `open`. Each operator is wrapped in a [`Metered`] shim
+//! that records rows in/out, batch counts and inclusive wall time into
+//! the plan-indexed [`ExecStats`], so `aqks explain --analyze` and the
+//! bench harness can attribute cost operator by operator.
+//!
+//! SQL semantics are inherited unchanged from the original interpreter:
+//! aggregates skip NULLs, `SUM`/`MIN`/`MAX`/`AVG` over an empty group
+//! yield NULL while `COUNT` yields 0, `AVG` is always a float, a global
+//! aggregate returns exactly one row, and NULL join keys never match.
+//! When the statement has no ORDER BY, output rows are stably sorted by
+//! value so results are reproducible across runs and across plans.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use aqks_relational::{Database, Row, Value};
+
+use crate::ast::AggFunc;
+use crate::exec::ExecError;
+use crate::plan::{PhysAggItem, PhysPred, PlanNode, PlanOp};
+use crate::result::ResultTable;
+
+/// Rows per batch handed between operators.
+const BATCH_SIZE: usize = 1024;
+
+/// Live metrics of one operator (indexed by [`PlanNode::id`]).
+#[derive(Debug, Clone, Default)]
+pub struct OpMetrics {
+    /// Rows received from all inputs.
+    pub rows_in: u64,
+    /// Rows emitted.
+    pub rows_out: u64,
+    /// Batches emitted.
+    pub batches: u64,
+    /// Inclusive wall time (this operator plus its inputs).
+    pub wall: Duration,
+    /// Operator-specific annotation (e.g. hash-join build/probe sizes).
+    pub note: Option<String>,
+}
+
+/// Per-operator metrics of one plan execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Metrics, indexed by [`PlanNode::id`].
+    pub ops: Vec<OpMetrics>,
+    /// End-to-end wall time of the plan run.
+    pub wall: Duration,
+}
+
+type StatsCell = Rc<RefCell<Vec<OpMetrics>>>;
+
+/// The Volcano operator protocol: `open` prepares (pipeline breakers do
+/// their work here), `next` yields owned row batches until `None`,
+/// `close` releases state and finalizes metrics annotations.
+trait Operator {
+    /// Prepares the operator (and its inputs) for iteration.
+    fn open(&mut self) -> Result<(), ExecError>;
+    /// The next batch of rows, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError>;
+    /// Releases state; called once after iteration.
+    fn close(&mut self);
+    /// Operator-specific metrics annotation, read at `close`.
+    fn note(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Shim recording metrics around an operator.
+struct Metered<'a> {
+    id: usize,
+    stats: StatsCell,
+    inner: Box<dyn Operator + 'a>,
+}
+
+impl Metered<'_> {
+    fn bump<R>(&self, f: impl FnOnce(&mut OpMetrics) -> R) -> R {
+        f(&mut self.stats.borrow_mut()[self.id])
+    }
+}
+
+impl Operator for Metered<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        let t = Instant::now();
+        let r = self.inner.open();
+        self.bump(|m| m.wall += t.elapsed());
+        r
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        let t = Instant::now();
+        let r = self.inner.next();
+        let elapsed = t.elapsed();
+        self.bump(|m| {
+            m.wall += elapsed;
+            if let Ok(Some(batch)) = &r {
+                m.rows_out += batch.len() as u64;
+                m.batches += 1;
+            }
+        });
+        r
+    }
+
+    fn close(&mut self) {
+        let t = Instant::now();
+        self.inner.close();
+        let note = self.inner.note();
+        self.bump(|m| {
+            m.wall += t.elapsed();
+            m.note = note;
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+/// Sequential scan with scan-time predicate evaluation.
+struct Scan<'a> {
+    rows: &'a [Row],
+    preds: &'a [PhysPred],
+    pos: usize,
+}
+
+impl Operator for Scan<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        let mut out = Vec::new();
+        while self.pos < self.rows.len() && out.len() < BATCH_SIZE {
+            let row = &self.rows[self.pos];
+            self.pos += 1;
+            if self.preds.iter().all(|p| p.eval(row)) {
+                out.push(row.clone());
+            }
+        }
+        if out.is_empty() && self.pos >= self.rows.len() {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }
+
+    fn close(&mut self) {}
+}
+
+/// Alias boundary over a planned subquery: forwards batches unchanged
+/// (the rename is plan metadata only).
+struct Passthrough<'a> {
+    child: Metered<'a>,
+}
+
+impl Operator for Passthrough<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        self.child.next()
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+/// Residual predicate application.
+struct Filter<'a> {
+    child: Metered<'a>,
+    preds: &'a [PhysPred],
+}
+
+impl Operator for Filter<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        while let Some(mut batch) = self.child.next()? {
+            batch.retain(|row| self.preds.iter().all(|p| p.eval(row)));
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+/// Multi-key hash equi-join. The build side (chosen by the planner from
+/// cardinality estimates) is drained into a hash table at `open`; the
+/// probe side streams. Output columns are always left then right,
+/// whichever side built. NULL keys never match on either side.
+struct HashJoin<'a> {
+    left: Metered<'a>,
+    right: Metered<'a>,
+    left_keys: &'a [usize],
+    right_keys: &'a [usize],
+    build_left: bool,
+    table: HashMap<Vec<Value>, Vec<Row>>,
+    build_rows: u64,
+    probe_rows: u64,
+}
+
+impl HashJoin<'_> {
+    fn key_of(row: &[Value], keys: &[usize]) -> Option<Vec<Value>> {
+        let key: Vec<Value> = keys.iter().map(|&i| row[i].clone()).collect();
+        if key.iter().any(Value::is_null) {
+            None // NULL never joins.
+        } else {
+            Some(key)
+        }
+    }
+}
+
+impl Operator for HashJoin<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.left.open()?;
+        self.right.open()?;
+        let (build, keys) = if self.build_left {
+            (&mut self.left, self.left_keys)
+        } else {
+            (&mut self.right, self.right_keys)
+        };
+        while let Some(batch) = build.next()? {
+            for row in batch {
+                self.build_rows += 1;
+                if let Some(key) = Self::key_of(&row, keys) {
+                    self.table.entry(key).or_default().push(row);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        let (probe, keys) = if self.build_left {
+            (&mut self.right, self.right_keys)
+        } else {
+            (&mut self.left, self.left_keys)
+        };
+        while let Some(batch) = probe.next()? {
+            let mut out = Vec::new();
+            for row in batch {
+                self.probe_rows += 1;
+                let Some(key) = Self::key_of(&row, keys) else { continue };
+                if let Some(matches) = self.table.get(&key) {
+                    for m in matches {
+                        // Output layout is left ++ right regardless of
+                        // which side built the table.
+                        let combined = if self.build_left {
+                            let mut r = m.clone();
+                            r.extend(row.iter().cloned());
+                            r
+                        } else {
+                            let mut r = row.clone();
+                            r.extend(m.iter().cloned());
+                            r
+                        };
+                        out.push(combined);
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.table.clear();
+        self.left.close();
+        self.right.close();
+    }
+
+    fn note(&self) -> Option<String> {
+        Some(format!("build rows={} probe rows={}", self.build_rows, self.probe_rows))
+    }
+}
+
+/// Cross product, used only when no equi-join connects the inputs. The
+/// right (planner-chosen smallest) side is buffered; the left streams.
+struct CrossJoin<'a> {
+    left: Metered<'a>,
+    right: Metered<'a>,
+    buffer: Vec<Row>,
+}
+
+impl Operator for CrossJoin<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.left.open()?;
+        self.right.open()?;
+        while let Some(batch) = self.right.next()? {
+            self.buffer.extend(batch);
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        if self.buffer.is_empty() {
+            return Ok(None);
+        }
+        while let Some(batch) = self.left.next()? {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut out = Vec::with_capacity(batch.len() * self.buffer.len());
+            for l in &batch {
+                for r in &self.buffer {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    out.push(row);
+                }
+            }
+            return Ok(Some(out));
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.buffer.clear();
+        self.left.close();
+        self.right.close();
+    }
+}
+
+/// Grouped/global aggregation (pipeline breaker).
+struct HashAggregate<'a> {
+    child: Metered<'a>,
+    group: &'a [usize],
+    items: &'a [PhysAggItem],
+    output: Vec<Row>,
+    emitted: usize,
+    in_rows: u64,
+    groups_out: u64,
+}
+
+impl Operator for HashAggregate<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()?;
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+        while let Some(batch) = self.child.next()? {
+            for row in batch {
+                self.in_rows += 1;
+                let key: Vec<Value> = self.group.iter().map(|&i| row[i].clone()).collect();
+                let entry = groups.entry(key.clone()).or_default();
+                if entry.is_empty() {
+                    order.push(key);
+                }
+                entry.push(row);
+            }
+        }
+        // A global aggregate over an empty input still yields one row.
+        if groups.is_empty() && self.group.is_empty() {
+            order.push(Vec::new());
+            groups.insert(Vec::new(), Vec::new());
+        }
+        self.groups_out = order.len() as u64;
+        for key in order {
+            let members = &groups[&key];
+            let mut out = Vec::with_capacity(self.items.len());
+            for item in self.items {
+                match item {
+                    PhysAggItem::Col(idx) => {
+                        let v = members.first().map(|r| r[*idx].clone()).unwrap_or(Value::Null);
+                        out.push(v);
+                    }
+                    PhysAggItem::Agg { func, arg, distinct } => {
+                        let vals = members.iter().map(|r| &r[*arg]);
+                        out.push(aggregate(*func, *distinct, vals));
+                    }
+                }
+            }
+            self.output.push(out);
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        if self.emitted >= self.output.len() {
+            return Ok(None);
+        }
+        let end = (self.emitted + BATCH_SIZE).min(self.output.len());
+        let batch = self.output[self.emitted..end].to_vec();
+        self.emitted = end;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) {
+        self.output.clear();
+        self.child.close();
+    }
+
+    fn note(&self) -> Option<String> {
+        Some(format!("groups={} from rows={}", self.groups_out, self.in_rows))
+    }
+}
+
+/// Column projection.
+struct Project<'a> {
+    child: Metered<'a>,
+    cols: &'a [usize],
+}
+
+impl Operator for Project<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        match self.child.next()? {
+            Some(batch) => Ok(Some(
+                batch
+                    .into_iter()
+                    .map(|row| self.cols.iter().map(|&i| row[i].clone()).collect())
+                    .collect(),
+            )),
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+/// Streaming duplicate elimination.
+struct Distinct<'a> {
+    child: Metered<'a>,
+    seen: HashSet<Row>,
+}
+
+impl Operator for Distinct<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        while let Some(batch) = self.child.next()? {
+            let fresh: Vec<Row> =
+                batch.into_iter().filter(|row| self.seen.insert(row.clone())).collect();
+            if !fresh.is_empty() {
+                return Ok(Some(fresh));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.seen.clear();
+        self.child.close();
+    }
+}
+
+/// ORDER BY over the output columns (pipeline breaker).
+struct Sort<'a> {
+    child: Metered<'a>,
+    keys: &'a [(usize, bool)],
+    buffer: Vec<Row>,
+    emitted: usize,
+}
+
+impl Operator for Sort<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()?;
+        while let Some(batch) = self.child.next()? {
+            self.buffer.extend(batch);
+        }
+        let keys = self.keys;
+        self.buffer.sort_by(|a, b| {
+            for &(i, desc) in keys {
+                let ord = a[i].cmp(&b[i]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        if self.emitted >= self.buffer.len() {
+            return Ok(None);
+        }
+        let end = (self.emitted + BATCH_SIZE).min(self.buffer.len());
+        let batch = self.buffer[self.emitted..end].to_vec();
+        self.emitted = end;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) {
+        self.buffer.clear();
+        self.child.close();
+    }
+}
+
+/// LIMIT: stops pulling from its input once satisfied.
+struct Limit<'a> {
+    child: Metered<'a>,
+    remaining: usize,
+}
+
+impl Operator for Limit<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.child.next()? {
+            Some(mut batch) => {
+                if batch.len() > self.remaining {
+                    batch.truncate(self.remaining);
+                }
+                self.remaining -= batch.len();
+                Ok(Some(batch))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Building and running
+// ---------------------------------------------------------------------------
+
+fn build<'a>(
+    node: &'a PlanNode,
+    db: &'a Database,
+    stats: &StatsCell,
+) -> Result<Metered<'a>, ExecError> {
+    let inner: Box<dyn Operator + 'a> = match &node.op {
+        PlanOp::Scan { relation, pushed, .. } => {
+            let table =
+                db.table(relation).ok_or_else(|| ExecError::UnknownRelation(relation.clone()))?;
+            Box::new(Scan { rows: table.rows(), preds: pushed, pos: 0 })
+        }
+        PlanOp::DerivedTable { .. } => {
+            Box::new(Passthrough { child: build(&node.children[0], db, stats)? })
+        }
+        PlanOp::Filter { preds } => {
+            Box::new(Filter { child: build(&node.children[0], db, stats)?, preds })
+        }
+        PlanOp::HashJoin { left_keys, right_keys, build_left } => Box::new(HashJoin {
+            left: build(&node.children[0], db, stats)?,
+            right: build(&node.children[1], db, stats)?,
+            left_keys,
+            right_keys,
+            build_left: *build_left,
+            table: HashMap::new(),
+            build_rows: 0,
+            probe_rows: 0,
+        }),
+        PlanOp::CrossJoin => Box::new(CrossJoin {
+            left: build(&node.children[0], db, stats)?,
+            right: build(&node.children[1], db, stats)?,
+            buffer: Vec::new(),
+        }),
+        PlanOp::HashAggregate { group, items, .. } => Box::new(HashAggregate {
+            child: build(&node.children[0], db, stats)?,
+            group,
+            items,
+            output: Vec::new(),
+            emitted: 0,
+            in_rows: 0,
+            groups_out: 0,
+        }),
+        PlanOp::Project { cols, .. } => {
+            Box::new(Project { child: build(&node.children[0], db, stats)?, cols })
+        }
+        PlanOp::Distinct => {
+            Box::new(Distinct { child: build(&node.children[0], db, stats)?, seen: HashSet::new() })
+        }
+        PlanOp::Sort { keys } => Box::new(Sort {
+            child: build(&node.children[0], db, stats)?,
+            keys,
+            buffer: Vec::new(),
+            emitted: 0,
+        }),
+        PlanOp::Limit { n } => {
+            Box::new(Limit { child: build(&node.children[0], db, stats)?, remaining: *n })
+        }
+    };
+    Ok(Metered { id: node.id, stats: stats.clone(), inner })
+}
+
+/// Executes a physical plan against `db`, returning the result table and
+/// the per-operator metrics. When the plan carries no ORDER BY the rows
+/// are stably sorted by value, so results are reproducible across runs
+/// and plan changes.
+pub fn run_plan(plan: &PlanNode, db: &Database) -> Result<(ResultTable, ExecStats), ExecError> {
+    let t0 = Instant::now();
+    let stats: StatsCell = Rc::new(RefCell::new(vec![OpMetrics::default(); plan.max_id() + 1]));
+    let mut root = build(plan, db, &stats)?;
+    root.open()?;
+    let mut rows: Vec<Row> = Vec::new();
+    while let Some(batch) = root.next()? {
+        rows.extend(batch);
+    }
+    root.close();
+    drop(root);
+    if !plan.is_ordered() {
+        rows.sort();
+    }
+    let mut table = ResultTable::new(plan.output_names());
+    table.rows = rows;
+
+    let mut ops =
+        Rc::try_unwrap(stats).map(RefCell::into_inner).unwrap_or_else(|rc| rc.borrow().clone());
+    // rows-in is the sum of each node's children's rows-out.
+    plan.visit(&mut |node| {
+        let rows_in: u64 = node.children.iter().map(|c| ops[c.id].rows_out).sum();
+        ops[node.id].rows_in = rows_in;
+    });
+    Ok((table, ExecStats { ops, wall: t0.elapsed() }))
+}
+
+/// Evaluates one aggregate over a group's values (NULLs skipped).
+pub(crate) fn aggregate<'a, I: Iterator<Item = &'a Value>>(
+    func: AggFunc,
+    distinct: bool,
+    vals: I,
+) -> Value {
+    let mut non_null: Vec<&Value> = vals.filter(|v| !v.is_null()).collect();
+    if distinct {
+        let mut seen = HashSet::new();
+        non_null.retain(|v| seen.insert((*v).clone()));
+    }
+    match func {
+        AggFunc::Count => Value::Int(non_null.len() as i64),
+        AggFunc::Sum => {
+            let all_int = non_null.iter().all(|v| matches!(v, Value::Int(_)));
+            let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                // Empty group, or nothing numeric (SUM over text): NULL.
+                Value::Null
+            } else if all_int {
+                Value::Int(nums.iter().map(|&f| f as i64).sum())
+            } else {
+                Value::Float(nums.iter().sum())
+            }
+        }
+        AggFunc::Avg => {
+            let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::Min => non_null.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Max => non_null.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
+    use crate::exec::execute_with_stats;
+    use crate::plan::plan;
+    use aqks_relational::{AttrType, RelationSchema};
+
+    fn col(q: &str, c: &str) -> ColumnRef {
+        ColumnRef::new(q, c)
+    }
+
+    /// Two relations keyed on (a, b) with NULLs in the key columns on
+    /// BOTH sides; a NULL on either side of either key must not match,
+    /// and NULL = NULL must not match either.
+    #[test]
+    fn multi_key_hash_join_skips_null_keys_on_both_sides() {
+        let mut db = Database::new("nulls");
+        let mut l = RelationSchema::new("L");
+        l.add_attr("A", AttrType::Text).add_attr("B", AttrType::Int).add_attr("X", AttrType::Text);
+        db.add_relation(l).unwrap();
+        let mut r = RelationSchema::new("R");
+        r.add_attr("A", AttrType::Text).add_attr("B", AttrType::Int).add_attr("Y", AttrType::Text);
+        db.add_relation(r).unwrap();
+        for (a, b, x) in [
+            (Value::str("k1"), Value::Int(1), "l1"),
+            (Value::str("k1"), Value::Int(2), "l2"),
+            (Value::Null, Value::Int(1), "l-null-a"),
+            (Value::str("k2"), Value::Null, "l-null-b"),
+            (Value::Null, Value::Null, "l-null-both"),
+        ] {
+            db.insert("L", vec![a, b, Value::str(x)]).unwrap();
+        }
+        for (a, b, y) in [
+            (Value::str("k1"), Value::Int(1), "r1"),
+            (Value::str("k1"), Value::Int(1), "r1bis"),
+            (Value::Null, Value::Int(1), "r-null-a"),
+            (Value::str("k2"), Value::Null, "r-null-b"),
+            (Value::Null, Value::Null, "r-null-both"),
+        ] {
+            db.insert("R", vec![a, b, Value::str(y)]).unwrap();
+        }
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("L", "X"), alias: None },
+                SelectItem::Column { col: col("R", "Y"), alias: None },
+            ],
+            from: vec![
+                TableExpr::Relation { name: "L".into(), alias: "L".into() },
+                TableExpr::Relation { name: "R".into(), alias: "R".into() },
+            ],
+            predicates: vec![
+                Predicate::JoinEq(col("L", "A"), col("R", "A")),
+                Predicate::JoinEq(col("L", "B"), col("R", "B")),
+            ],
+            ..Default::default()
+        };
+        let (t, stats) = execute_with_stats(&stmt, &db).unwrap();
+        // Only (k1, 1) matches, twice on the right.
+        assert_eq!(t.len(), 2, "{t}");
+        for row in &t.rows {
+            assert_eq!(row[0], Value::str("l1"));
+        }
+        // Both join keys were consumed by one multi-key hash join.
+        let p = plan(&stmt, &db).unwrap();
+        let mut joins = 0;
+        p.visit(&mut |n| {
+            if let crate::plan::PlanOp::HashJoin { left_keys, .. } = &n.op {
+                joins += 1;
+                assert_eq!(left_keys.len(), 2);
+            }
+        });
+        assert_eq!(joins, 1);
+        assert!(stats.ops.iter().any(|m| m.note.is_some()), "join recorded build/probe note");
+    }
+
+    /// Metrics invariants: rows_in of every operator equals the sum of
+    /// its children's rows_out, and the root's rows_out matches the
+    /// result cardinality.
+    #[test]
+    fn stats_rows_are_consistent_across_the_tree() {
+        let mut db = Database::new("t");
+        let mut s = RelationSchema::new("T");
+        s.add_attr("K", AttrType::Int).add_attr("V", AttrType::Int);
+        db.add_relation(s).unwrap();
+        for i in 0..2500i64 {
+            db.insert("T", vec![Value::Int(i % 7), Value::Int(i)]).unwrap();
+        }
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("T", "K"), alias: None },
+                SelectItem::Aggregate {
+                    func: crate::ast::AggFunc::Count,
+                    arg: col("T", "V"),
+                    distinct: false,
+                    alias: "n".into(),
+                },
+            ],
+            from: vec![TableExpr::Relation { name: "T".into(), alias: "T".into() }],
+            group_by: vec![col("T", "K")],
+            ..Default::default()
+        };
+        let p = plan(&stmt, &db).unwrap();
+        let (t, stats) = run_plan(&p, &db).unwrap();
+        assert_eq!(t.len(), 7);
+        p.visit(&mut |n| {
+            let expect: u64 = n.children.iter().map(|c| stats.ops[c.id].rows_out).sum();
+            assert_eq!(stats.ops[n.id].rows_in, expect, "node {}", n.label());
+        });
+        assert_eq!(stats.ops[p.id].rows_out, 7);
+        // 2500 rows cross the batch boundary: the scan emitted >1 batch.
+        let scan = p.children[0].id;
+        assert!(stats.ops[scan].batches >= 3, "batched scan: {}", stats.ops[scan].batches);
+        assert_eq!(stats.ops[scan].rows_out, 2500);
+    }
+
+    /// LIMIT stops pulling batches from its input once satisfied.
+    #[test]
+    fn limit_short_circuits_the_scan() {
+        let mut db = Database::new("t");
+        let mut s = RelationSchema::new("T");
+        s.add_attr("V", AttrType::Int);
+        db.add_relation(s).unwrap();
+        for i in 0..10_000i64 {
+            db.insert("T", vec![Value::Int(i)]).unwrap();
+        }
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Column { col: col("T", "V"), alias: None }],
+            from: vec![TableExpr::Relation { name: "T".into(), alias: "T".into() }],
+            limit: Some(5),
+            ..Default::default()
+        };
+        let p = plan(&stmt, &db).unwrap();
+        let (t, stats) = run_plan(&p, &db).unwrap();
+        assert_eq!(t.len(), 5);
+        let mut scan_out = 0;
+        p.visit(&mut |n| {
+            if matches!(n.op, crate::plan::PlanOp::Scan { .. }) {
+                scan_out = stats.ops[n.id].rows_out;
+            }
+        });
+        assert!(scan_out <= 1024, "scan stopped after one batch, saw {scan_out}");
+    }
+
+    /// Equal results and stable order from repeated runs (the
+    /// no-ORDER-BY canonicalization).
+    #[test]
+    fn repeated_runs_are_identical() {
+        let mut db = Database::new("t");
+        let mut s = RelationSchema::new("T");
+        s.add_attr("K", AttrType::Int).add_attr("V", AttrType::Text);
+        db.add_relation(s).unwrap();
+        for i in 0..50i64 {
+            db.insert("T", vec![Value::Int(i % 11), Value::str(format!("v{i}"))]).unwrap();
+        }
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("T", "K"), alias: None },
+                SelectItem::Column { col: col("T", "V"), alias: None },
+            ],
+            from: vec![TableExpr::Relation { name: "T".into(), alias: "T".into() }],
+            ..Default::default()
+        };
+        let first = crate::exec::execute(&stmt, &db).unwrap();
+        for _ in 0..5 {
+            assert_eq!(crate::exec::execute(&stmt, &db).unwrap().rows, first.rows);
+        }
+        assert!(first.rows.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
