@@ -84,7 +84,14 @@ impl<'a> Analyzer<'a> {
                 fds: &fds,
             };
             for pass in &self.passes {
+                // Per-pass timing and finding counts, recorded only when
+                // a trace span is ambient (the engine's `analyze` phase).
+                let span = aqks_obs::current().map(|r| r.span(format!("pass:{}", pass.name())));
+                let before = report.diagnostics.len();
                 pass.check(&cx, &mut report.diagnostics);
+                if let Some(span) = &span {
+                    span.add("findings", (report.diagnostics.len() - before) as u64);
+                }
             }
         });
         report

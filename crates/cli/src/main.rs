@@ -24,6 +24,14 @@
 //! additionally executes the plan and annotates every operator with rows
 //! in/out and wall time.
 //!
+//! Subcommand `aqks trace [--dataset NAME] [QUERY]` answers the query
+//! with the `aqks-obs` recorder enabled and prints the pipeline span
+//! tree (per-phase self/total wall times plus counters). The global
+//! `--trace[=text|json|chrome]` flag does the same for ordinary one-shot
+//! and REPL queries; `chrome` additionally writes a `trace_event` JSON
+//! file (`--trace-out FILE`, default `aqks-trace.json`) loadable in
+//! `chrome://tracing` or Perfetto.
+//!
 //! REPL commands: `\schema` (relations), `\graph` (ORM graph), `\q`.
 
 use std::io::{BufRead, Write};
@@ -34,8 +42,31 @@ use aqks_datasets::{
     denormalize_acmdl, denormalize_tpch, generate_acmdl, generate_tpch, university, AcmdlConfig,
     TpchConfig,
 };
+use aqks_obs::PipelineTrace;
 use aqks_relational::Database;
 use aqks_sqak::Sqak;
+
+/// Rendering of a collected [`PipelineTrace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TraceFormat {
+    /// Span tree as text (the default).
+    Text,
+    /// Structured JSON on stdout.
+    Json,
+    /// Text tree on stdout plus a Chrome `trace_event` file.
+    Chrome,
+}
+
+impl TraceFormat {
+    fn parse(v: &str) -> Result<TraceFormat, String> {
+        match v {
+            "text" => Ok(TraceFormat::Text),
+            "json" => Ok(TraceFormat::Json),
+            "chrome" => Ok(TraceFormat::Chrome),
+            other => Err(format!("unknown trace format `{other}` (text|json|chrome)")),
+        }
+    }
+}
 
 struct Options {
     dataset: String,
@@ -45,9 +76,19 @@ struct Options {
     explain: bool,
     check: bool,
     explain_plan: bool,
+    trace_cmd: bool,
     analyze: bool,
+    trace: Option<TraceFormat>,
+    trace_out: String,
     export: Option<String>,
     query: Option<String>,
+}
+
+impl Options {
+    /// True once one of the `check`/`explain`/`trace` subcommands is set.
+    fn subcommand(&self) -> bool {
+        self.check || self.explain_plan || self.trace_cmd
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -59,7 +100,10 @@ fn parse_args() -> Result<Options, String> {
         explain: false,
         check: false,
         explain_plan: false,
+        trace_cmd: false,
         analyze: false,
+        trace: None,
+        trace_out: "aqks-trace.json".into(),
         export: None,
         query: None,
     };
@@ -76,6 +120,14 @@ fn parse_args() -> Result<Options, String> {
             "--sqak" => opts.sqak = true,
             "--explain" => opts.explain = true,
             "--analyze" => opts.analyze = true,
+            "--trace" => opts.trace = Some(TraceFormat::Text),
+            flag if flag.starts_with("--trace=") => {
+                opts.trace = Some(TraceFormat::parse(&flag["--trace=".len()..])?);
+            }
+            "--trace-out" => {
+                i += 1;
+                opts.trace_out = args.get(i).ok_or("--trace-out needs a file")?.to_string();
+            }
             "--export" => {
                 i += 1;
                 opts.export = Some(args.get(i).ok_or("--export needs a directory")?.to_string());
@@ -85,15 +137,12 @@ fn parse_args() -> Result<Options, String> {
                 opts.k = args.get(i).and_then(|v| v.parse().ok()).ok_or("--k needs a number")?;
             }
             "--help" | "-h" => {
-                println!("usage: aqks [check|explain] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--export DIR] [QUERY]");
+                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [QUERY]");
                 std::process::exit(0);
             }
-            "check" if positional.is_empty() && !opts.check && !opts.explain_plan => {
-                opts.check = true
-            }
-            "explain" if positional.is_empty() && !opts.check && !opts.explain_plan => {
-                opts.explain_plan = true
-            }
+            "check" if positional.is_empty() && !opts.subcommand() => opts.check = true,
+            "explain" if positional.is_empty() && !opts.subcommand() => opts.explain_plan = true,
+            "trace" if positional.is_empty() && !opts.subcommand() => opts.trace_cmd = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -126,7 +175,33 @@ fn load_dataset(name: &str, paper_scale: bool) -> Result<Database, String> {
     })
 }
 
-fn run_query(engine: &Engine, sqak: Option<&Sqak>, query: &str, k: usize, explain: bool) {
+/// Prints a collected trace in the requested format; `Chrome` also
+/// writes the `trace_event` file to `out`.
+fn emit_trace(trace: &PipelineTrace, fmt: TraceFormat, out: &str) {
+    match fmt {
+        TraceFormat::Text => print!("{}", trace.render_text()),
+        TraceFormat::Json => print!("{}", trace.to_json()),
+        TraceFormat::Chrome => {
+            print!("{}", trace.render_text());
+            match std::fs::write(out, trace.to_chrome_json()) {
+                Ok(()) => {
+                    eprintln!("wrote Chrome trace to {out} (open in chrome://tracing or Perfetto)")
+                }
+                Err(e) => eprintln!("cannot write {out}: {e}"),
+            }
+        }
+    }
+}
+
+fn run_query(
+    engine: &Engine,
+    sqak: Option<&Sqak>,
+    query: &str,
+    k: usize,
+    explain: bool,
+    trace: Option<TraceFormat>,
+    trace_out: &str,
+) {
     if explain {
         match engine.explain(query) {
             Ok(ex) => {
@@ -144,8 +219,12 @@ fn run_query(engine: &Engine, sqak: Option<&Sqak>, query: &str, k: usize, explai
             Err(e) => println!("explain error: {e}"),
         }
     }
-    match engine.answer(query, k) {
-        Ok(answers) => {
+    let answered = match trace {
+        Some(_) => engine.answer_traced(query, k).map(|(a, t)| (a, Some(t))),
+        None => engine.answer(query, k).map(|a| (a, None)),
+    };
+    match answered {
+        Ok((answers, collected)) => {
             for (rank, a) in answers.iter().enumerate() {
                 println!("── interpretation #{}", rank + 1);
                 if explain {
@@ -153,6 +232,11 @@ fn run_query(engine: &Engine, sqak: Option<&Sqak>, query: &str, k: usize, explai
                 }
                 println!("{}", a.sql_text);
                 println!("{}", a.result);
+                println!("({})", a.stats);
+            }
+            if let (Some(fmt), Some(t)) = (trace, collected) {
+                println!("── pipeline trace");
+                emit_trace(&t, fmt, trace_out);
             }
         }
         Err(e) => println!("error: {e}"),
@@ -231,6 +315,42 @@ fn run_explain(engine: &Engine, queries: &[String], k: usize, analyze: bool) -> 
                 aqks_sqlgen::render_plan(&plan)
             };
             println!("{rendered}");
+        }
+    }
+    failures
+}
+
+/// Answers each query with tracing enabled and prints the pipeline span
+/// tree. Returns the number of failures (errors or empty span trees —
+/// the latter would mean the pipeline silently lost its instrumentation,
+/// which CI guards against).
+fn run_trace(
+    engine: &Engine,
+    queries: &[String],
+    k: usize,
+    fmt: TraceFormat,
+    trace_out: &str,
+) -> usize {
+    let mut failures = 0;
+    for q in queries {
+        println!("── trace `{q}`");
+        match engine.answer_traced(q, k) {
+            Ok((answers, trace)) => {
+                if trace.is_empty() {
+                    println!("  error: empty span tree");
+                    failures += 1;
+                    continue;
+                }
+                for (rank, a) in answers.iter().enumerate() {
+                    println!("interpretation #{}: {}", rank + 1, a.sql_text);
+                    println!("({})", a.stats);
+                }
+                emit_trace(&trace, fmt, trace_out);
+            }
+            Err(e) => {
+                println!("  error: {e}");
+                failures += 1;
+            }
         }
     }
     failures
@@ -338,6 +458,21 @@ fn main() {
         return;
     }
 
+    if opts.trace_cmd {
+        let queries = opts
+            .query
+            .as_ref()
+            .map(|q| vec![q.clone()])
+            .unwrap_or_else(|| check_workload(&opts.dataset));
+        let fmt = opts.trace.unwrap_or(TraceFormat::Text);
+        let failures = run_trace(&engine, &queries, opts.k, fmt, &opts.trace_out);
+        if failures > 0 {
+            eprintln!("trace failed for {failures} quer(y/ies)");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if opts.check {
         let queries = opts
             .query
@@ -354,7 +489,7 @@ fn main() {
     }
 
     if let Some(q) = &opts.query {
-        run_query(&engine, sqak.as_ref(), q, opts.k, opts.explain);
+        run_query(&engine, sqak.as_ref(), q, opts.k, opts.explain, opts.trace, &opts.trace_out);
         return;
     }
 
@@ -379,7 +514,15 @@ fn main() {
                 }
             }
             "\\graph" => println!("{}", engine.orm_graph().describe()),
-            q => run_query(&engine, sqak.as_ref(), q, opts.k, opts.explain),
+            q => run_query(
+                &engine,
+                sqak.as_ref(),
+                q,
+                opts.k,
+                opts.explain,
+                opts.trace,
+                &opts.trace_out,
+            ),
         }
     }
 }

@@ -107,6 +107,94 @@ fn explain_analyze_adds_per_operator_metrics() {
 }
 
 #[test]
+fn trace_prints_span_tree_with_phases() {
+    let out =
+        aqks().args(["trace", "--dataset", "university", "Green SUM Credit"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for phase in ["parse", "match", "pattern", "annotate", "rank", "translate", "analyze", "plan"] {
+        assert!(stdout.contains(&format!("├─ {phase}")), "{phase} missing:\n{stdout}");
+    }
+    assert!(stdout.contains("└─ exec"), "{stdout}");
+    assert!(stdout.contains("op:"), "operator spans grafted: {stdout}");
+    assert!(stdout.contains("counters:"), "{stdout}");
+}
+
+#[test]
+fn trace_chrome_writes_valid_trace_event_file() {
+    let file = std::env::temp_dir().join(format!("aqks-trace-test-{}.json", std::process::id()));
+    let out = aqks()
+        .args([
+            "trace",
+            "--trace=chrome",
+            "--trace-out",
+            file.to_str().unwrap(),
+            "--dataset",
+            "university",
+            "Green SUM Credit",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&file).expect("trace file written");
+    aqks_obs::json::validate(&json).expect("chrome trace is well-formed JSON");
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "{json}");
+    assert!(json.contains("\"name\":\"answer\""), "{json}");
+    std::fs::remove_file(&file).ok();
+}
+
+/// Replaces every wall-time token (after `total=`, `self=`, or `wall `)
+/// with `_`, leaving the structure, counters, and row counts — which are
+/// deterministic on the generated datasets — intact.
+fn normalize_times(s: &str) -> String {
+    // Leading spaces keep counter names like `matches.total=2` intact.
+    let markers = [" total=", " self=", "wall "];
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    loop {
+        let mut best: Option<(usize, &str)> = None;
+        for m in markers {
+            if let Some(i) = rest.find(m) {
+                if best.is_none_or(|(bi, _)| i < bi) {
+                    best = Some((i, m));
+                }
+            }
+        }
+        let Some((i, m)) = best else {
+            out.push_str(rest);
+            return out;
+        };
+        out.push_str(&rest[..i + m.len()]);
+        out.push('_');
+        let after = &rest[i + m.len()..];
+        let end = after.find([' ', ']', ')', '\n']).unwrap_or(after.len());
+        rest = &after[end..];
+    }
+}
+
+/// Golden-file test: the `aqks trace` text output on a fixed TPC-H′
+/// query, with wall times normalized. Regenerate with
+/// `UPDATE_GOLDEN=1 cargo test -p aqks-cli trace_text_output`.
+#[test]
+fn trace_text_output_matches_golden() {
+    let out = aqks()
+        .args(["trace", "--dataset", "tpch-prime", "COUNT order \"royal olive\""])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let normalized = normalize_times(&String::from_utf8_lossy(&out.stdout));
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_tpch_prime.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &normalized).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden file exists");
+    assert_eq!(normalized, golden, "trace text drifted; UPDATE_GOLDEN=1 to regenerate");
+}
+
+#[test]
 fn malformed_query_reports_typed_error() {
     let out = aqks().args(["--dataset", "university", "Green SUM"]).output().unwrap();
     // The engine error is printed to stdout (the REPL keeps running on

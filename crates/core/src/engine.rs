@@ -11,9 +11,10 @@
 //! Figure 11 times); [`Engine::answer`] additionally executes them.
 
 use aqks_analyze::{Analyzer, Report};
+use aqks_obs::{PipelineTrace, Recorder};
 use aqks_orm::OrmGraph;
 use aqks_relational::{Database, DatabaseSchema, NormalizedView};
-use aqks_sqlgen::{execute_with_stats, ExecStats, ResultTable, SelectStatement};
+use aqks_sqlgen::{ExecStats, ResultTable, SelectStatement};
 
 use crate::annotate::disambiguate;
 use crate::error::CoreError;
@@ -114,6 +115,9 @@ pub struct Engine {
     matcher: Matcher,
     view: Option<NormalizedView>,
     options: EngineOptions,
+    /// Pipeline tracing sink; disabled by default, so every span below
+    /// costs one atomic load until someone asks for a trace.
+    recorder: Recorder,
 }
 
 impl Engine {
@@ -139,6 +143,7 @@ impl Engine {
                 matcher,
                 view: None,
                 options,
+                recorder: Recorder::disabled(),
             })
         } else {
             let view = NormalizedView::build(&schema);
@@ -153,6 +158,7 @@ impl Engine {
                 matcher,
                 view: Some(view),
                 options,
+                recorder: Recorder::disabled(),
             })
         }
     }
@@ -177,29 +183,72 @@ impl Engine {
         &self.db
     }
 
+    /// The engine's trace recorder. Disabled (and effectively free) by
+    /// default; enable it around a call — or use
+    /// [`Engine::answer_traced`] / [`Engine::explain_traced`] — to
+    /// collect a [`PipelineTrace`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Parses, matches, generates, ranks, and translates — everything but
     /// execution. This is the work Figure 11 measures.
     pub fn generate(&self, query: &str, k: usize) -> Result<Vec<GeneratedSql>, CoreError> {
-        let query = KeywordQuery::parse(query)?;
-        let matches = self.term_matches(&query);
-        let patterns = generate_patterns(&query, &matches, &self.graph, &self.namespace)?;
-        let patterns = rank_patterns(disambiguate(patterns, &self.namespace));
+        let query = {
+            let _s = self.recorder.span("parse");
+            KeywordQuery::parse(query)?
+        };
+        let matches = {
+            let s = self.recorder.span("match");
+            let matches = self.term_matches(&query);
+            s.add("matches.total", matches.iter().map(Vec::len).sum::<usize>() as u64);
+            matches
+        };
+        let patterns = {
+            let s = self.recorder.span("pattern");
+            let patterns = generate_patterns(&query, &matches, &self.graph, &self.namespace)?;
+            s.add("patterns.generated", patterns.len() as u64);
+            patterns
+        };
+        let patterns = {
+            let _s = self.recorder.span("annotate");
+            disambiguate(patterns, &self.namespace)
+        };
+        let patterns = {
+            let s = self.recorder.span("rank");
+            let ranked = rank_patterns(patterns);
+            s.add("patterns.ranked", ranked.len() as u64);
+            ranked
+        };
 
-        let mut out = Vec::new();
-        for p in patterns.into_iter().take(k) {
-            let t = translate_ex(
-                &p,
-                &self.graph,
-                &self.namespace,
-                self.view.as_ref(),
-                &self.options.translate,
-            )?;
-            let sql = if self.view.is_some() && !self.options.skip_rewrites {
-                rewrite(&t.stmt, &t.derived_keys, &self.db.schema(), &self.options.rewrite)
-            } else {
-                t.stmt
-            };
-            let sql_text = sql.to_string();
+        // Translate all top-k patterns, then analyze all statements, so a
+        // trace shows exactly one `translate` and one `analyze` phase.
+        let translated = {
+            let s = self.recorder.span("translate");
+            let mut translated = Vec::new();
+            for p in patterns.into_iter().take(k) {
+                let t = translate_ex(
+                    &p,
+                    &self.graph,
+                    &self.namespace,
+                    self.view.as_ref(),
+                    &self.options.translate,
+                )?;
+                let sql = if self.view.is_some() && !self.options.skip_rewrites {
+                    rewrite(&t.stmt, &t.derived_keys, &self.db.schema(), &self.options.rewrite)
+                } else {
+                    t.stmt
+                };
+                let sql_text = sql.to_string();
+                translated.push((p, sql, sql_text));
+            }
+            s.add("patterns.translated", translated.len() as u64);
+            translated
+        };
+
+        let _s = self.recorder.span("analyze");
+        let mut out = Vec::with_capacity(translated.len());
+        for (p, sql, sql_text) in translated {
             let diagnostics = self.analyze(&sql);
             if cfg!(debug_assertions) && diagnostics.has_errors() {
                 return Err(CoreError::Analysis(format!(
@@ -231,10 +280,20 @@ impl Engine {
     /// Full Algorithm 2: generate the top-`k` interpretations and execute
     /// them against the database.
     pub fn answer(&self, query: &str, k: usize) -> Result<Vec<Interpretation>, CoreError> {
+        let _root = self.recorder.span("answer");
         let generated = self.generate(query, k)?;
         let mut out = Vec::with_capacity(generated.len());
         for g in generated {
-            let (result, stats) = execute_with_stats(&g.sql, &self.db)?;
+            let plan = {
+                let _s = self.recorder.span("plan");
+                aqks_sqlgen::plan(&g.sql, &self.db).map_err(CoreError::from)?
+            };
+            let (result, stats) = {
+                let s = self.recorder.span("exec");
+                let (result, stats) = aqks_sqlgen::run_plan(&plan, &self.db)?;
+                s.add("exec.rows_out", result.row_count() as u64);
+                (result, stats)
+            };
             out.push(Interpretation {
                 pattern_description: g.pattern.describe(),
                 sql: g.sql,
@@ -246,12 +305,57 @@ impl Engine {
         Ok(out)
     }
 
+    /// [`Engine::answer`] with tracing: enables the recorder for the
+    /// duration of the call and returns the collected [`PipelineTrace`]
+    /// alongside the interpretations.
+    pub fn answer_traced(
+        &self,
+        query: &str,
+        k: usize,
+    ) -> Result<(Vec<Interpretation>, PipelineTrace), CoreError> {
+        self.traced(|| self.answer(query, k))
+    }
+
+    /// [`Engine::explain`] with tracing (see [`Engine::answer_traced`]).
+    pub fn explain_traced(&self, query: &str) -> Result<(Explanation, PipelineTrace), CoreError> {
+        self.traced(|| self.explain(query))
+    }
+
+    /// Runs `f` with the recorder enabled and snapshots the trace.
+    /// Restores the previous enabled state afterwards, and drops
+    /// anything recorded before the call so the trace covers `f` only.
+    fn traced<T>(
+        &self,
+        f: impl FnOnce() -> Result<T, CoreError>,
+    ) -> Result<(T, PipelineTrace), CoreError> {
+        let was_enabled = self.recorder.is_enabled();
+        if !was_enabled {
+            self.recorder.enable();
+        }
+        let _ = self.recorder.take(); // discard stale spans
+        let result = f();
+        let trace = self.recorder.take();
+        if !was_enabled {
+            self.recorder.disable();
+        }
+        Ok((result?, trace))
+    }
+
     /// Explains how a query is interpreted: each term's matches and the
     /// ranked patterns with their scores — the trace behind
     /// [`Engine::generate`], for debugging and the CLI's `--explain`.
     pub fn explain(&self, query: &str) -> Result<Explanation, CoreError> {
-        let parsed = KeywordQuery::parse(query)?;
-        let matches = self.term_matches(&parsed);
+        let _root = self.recorder.span("explain");
+        let parsed = {
+            let _s = self.recorder.span("parse");
+            KeywordQuery::parse(query)?
+        };
+        let matches = {
+            let s = self.recorder.span("match");
+            let matches = self.term_matches(&parsed);
+            s.add("matches.total", matches.iter().map(Vec::len).sum::<usize>() as u64);
+            matches
+        };
         let term_reports = parsed
             .terms
             .iter()
@@ -284,8 +388,20 @@ impl Engine {
             })
             .collect();
 
-        let patterns = generate_patterns(&parsed, &matches, &self.graph, &self.namespace)?;
-        let ranked = rank_patterns(disambiguate(patterns, &self.namespace));
+        let patterns = {
+            let s = self.recorder.span("pattern");
+            let patterns = generate_patterns(&parsed, &matches, &self.graph, &self.namespace)?;
+            s.add("patterns.generated", patterns.len() as u64);
+            patterns
+        };
+        let annotated = {
+            let _s = self.recorder.span("annotate");
+            disambiguate(patterns, &self.namespace)
+        };
+        let ranked = {
+            let _s = self.recorder.span("rank");
+            rank_patterns(annotated)
+        };
         let pattern_reports = ranked
             .iter()
             .map(|p| PatternReport {
@@ -451,5 +567,66 @@ mod tests {
         let gen = engine.generate("COUNT Lecturer GROUPBY Course", 2).unwrap();
         assert!(!gen.is_empty());
         assert!(gen[0].sql_text.contains("COUNT"));
+    }
+
+    /// Every pipeline phase appears exactly once under the `answer` root
+    /// (k=1), operator spans graft under `exec`, analyzer pass spans
+    /// under `analyze`, and index counters flow up via the ambient stack.
+    #[test]
+    fn answer_traced_covers_every_phase_once() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let (answers, trace) = engine.answer_traced("Green SUM Credit", 1).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(trace.roots.len(), 1, "{trace:?}");
+        let root = &trace.roots[0];
+        assert_eq!(root.name, "answer");
+        for phase in [
+            "parse",
+            "match",
+            "pattern",
+            "annotate",
+            "rank",
+            "translate",
+            "analyze",
+            "plan",
+            "exec",
+        ] {
+            let n = root.children.iter().filter(|c| c.name == phase).count();
+            assert_eq!(n, 1, "phase `{phase}` appeared {n} times");
+        }
+        let exec = root.children.iter().find(|c| c.name == "exec").unwrap();
+        assert!(exec.children.iter().all(|c| c.name.starts_with("op:")), "{exec:?}");
+        assert!(!exec.children.is_empty());
+        let analyze = root.children.iter().find(|c| c.name == "analyze").unwrap();
+        assert!(analyze.children.iter().any(|c| c.name.starts_with("pass:")), "{analyze:?}");
+        // Leaf-layer counters reached the trace without API plumbing.
+        assert!(trace.counters.contains_key("index.probes"), "{:?}", trace.counters);
+        assert!(trace.counters.contains_key("exec.rows_out"), "{:?}", trace.counters);
+        // The recorder is back off afterwards.
+        assert!(!engine.recorder().is_enabled());
+    }
+
+    #[test]
+    fn explain_traced_has_interpretation_phases() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let (ex, trace) = engine.explain_traced("Green SUM Credit").unwrap();
+        assert!(!ex.patterns.is_empty());
+        let root = &trace.roots[0];
+        assert_eq!(root.name, "explain");
+        for phase in ["parse", "match", "pattern", "annotate", "rank"] {
+            assert!(root.children.iter().any(|c| c.name == phase), "{phase} missing");
+        }
+    }
+
+    /// Untraced calls leave nothing behind: the recorder stays disabled
+    /// and a later traced call sees only its own spans.
+    #[test]
+    fn untraced_answer_records_nothing() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        engine.answer("Green SUM Credit", 1).unwrap();
+        assert!(!engine.recorder().is_enabled());
+        assert!(engine.recorder().take().is_empty());
+        let (_, trace) = engine.answer_traced("Java SUM Price", 1).unwrap();
+        assert_eq!(trace.roots.len(), 1);
     }
 }

@@ -303,13 +303,21 @@ pub fn generate_patterns(
 
     let mut patterns = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    for combo in combos(&basic, matches, MAX_COMBOS) {
+    let candidates = combos(&basic, matches, MAX_COMBOS);
+    aqks_obs::counter("patterns.enumerated", candidates.len() as u64);
+    let mut pruned = 0u64;
+    for combo in candidates {
         if let Some(p) = build_pattern(query, &basic, &combo, graph, namespace) {
             if seen.insert(p.fingerprint()) {
                 patterns.push(p);
+            } else {
+                pruned += 1;
             }
+        } else {
+            pruned += 1;
         }
     }
+    aqks_obs::counter("patterns.pruned", pruned);
     if patterns.is_empty() {
         return Err(CoreError::NoPattern);
     }

@@ -1,20 +1,28 @@
 //! Executor micro-benchmark: plans and runs the Tables 5/6 workloads
 //! (T1–T8 on TPC-H, A1–A8 on ACMDL) through the physical-operator
-//! pipeline and reports per-query median wall time plus per-operator
-//! rows and timings, serialized as `BENCH_exec.json`.
+//! pipeline and reports per-query min/median/p95 wall time, a per-phase
+//! pipeline breakdown (from an `aqks-obs` trace), and per-operator rows
+//! and timings, serialized as `BENCH_exec.json`.
 //!
 //! Unlike [`crate::fig11`], which times SQL *generation*, this measures
 //! *execution* of the generated plans — the cost the Volcano operators
-//! (`aqks_sqlgen::ops`) add or save. CI runs the `--smoke` variant (few
-//! repetitions, small data) to catch regressions that break planning or
-//! execution of any workload query.
+//! (`aqks_sqlgen::ops`) add or save. One engine is built and warmed per
+//! query set; every generated plan is prepared before any timing starts.
+//! CI runs the `--smoke` variant (few repetitions, small data) to catch
+//! regressions that break planning or execution of any workload query.
 
 use std::time::Instant;
 
 use aqks_core::Engine;
 use aqks_sqlgen::{plan, run_plan, ExecStats, PlanNode};
 
+use crate::timing::TimingSummary;
 use crate::workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};
+
+/// The engine phases reported in the per-query breakdown, in pipeline
+/// order. `plan`/`exec` come from this harness; the rest are the
+/// [`Engine::answer`] generation phases.
+pub const PHASES: [&str; 7] = ["match", "pattern", "annotate", "rank", "translate", "plan", "exec"];
 
 /// Measured metrics of one operator in one benchmarked plan.
 #[derive(Debug, Clone)]
@@ -42,8 +50,11 @@ pub struct QueryExecBench {
     pub sql: String,
     /// Result cardinality.
     pub result_rows: usize,
-    /// Median end-to-end plan execution time, microseconds.
-    pub wall_us: f64,
+    /// End-to-end plan execution time over the repetitions.
+    pub wall: TimingSummary,
+    /// Per-phase wall times (microseconds) of one traced end-to-end
+    /// `answer` run, keyed by [`PHASES`] names.
+    pub phases: Vec<(String, f64)>,
     /// Per-operator metrics from the median-time run.
     pub ops: Vec<OpBenchRow>,
     /// Failure message when the query could not be planned or run.
@@ -56,9 +67,27 @@ fn failed(q: &EvalQuery, workload: &'static str, msg: String) -> QueryExecBench 
         workload,
         sql: String::new(),
         result_rows: 0,
-        wall_us: 0.0,
+        wall: TimingSummary::zero(),
+        phases: Vec::new(),
         ops: Vec::new(),
         error: Some(msg),
+    }
+}
+
+/// One query prepared for timing: its generated SQL text and plan.
+struct Prepared {
+    query: EvalQuery,
+    sql_text: String,
+    plan: PlanNode,
+}
+
+/// Extracts per-phase wall times from a traced `answer` run. Phases that
+/// occur more than once (`plan`/`exec` with k > 1) are summed.
+fn phase_breakdown(trace: &aqks_obs::PipelineTrace, out: &mut Vec<(String, f64)>) {
+    let Some(root) = trace.roots.iter().find(|r| r.name == "answer") else { return };
+    for phase in PHASES {
+        let us: f64 = root.children.iter().filter(|c| c.name == phase).map(|c| c.total_us()).sum();
+        out.push((phase.to_string(), us));
     }
 }
 
@@ -75,44 +104,67 @@ fn bench_workload(
             return queries.iter().map(|q| failed(q, workload, format!("engine: {e}"))).collect()
         }
     };
-    queries
+    // Prepare (generate + plan) the whole set on the shared warmed
+    // engine before any timing, so no timed rep pays first-touch costs.
+    let prepared: Vec<Result<Prepared, Box<QueryExecBench>>> = queries
         .into_iter()
         .map(|q| {
             let generated = match engine.generate(q.text, 1) {
                 Ok(g) if !g.is_empty() => g,
-                Ok(_) => return failed(&q, workload, "no interpretation".into()),
-                Err(e) => return failed(&q, workload, format!("generate: {e}")),
+                Ok(_) => return Err(Box::new(failed(&q, workload, "no interpretation".into()))),
+                Err(e) => return Err(Box::new(failed(&q, workload, format!("generate: {e}")))),
             };
-            let g = &generated[0];
+            let g = generated.into_iter().next().unwrap();
             let p = match plan(&g.sql, engine.database()) {
                 Ok(p) => p,
-                Err(e) => return failed(&q, workload, format!("plan: {e}")),
+                Err(e) => return Err(Box::new(failed(&q, workload, format!("plan: {e}")))),
             };
+            Ok(Prepared { query: q, sql_text: g.sql_text, plan: p })
+        })
+        .collect();
+    prepared
+        .into_iter()
+        .map(|r| {
+            let prep = match r {
+                Ok(p) => p,
+                Err(row) => return *row,
+            };
+            let q = &prep.query;
+            // One traced end-to-end run attributes wall time to pipeline
+            // phases; the timed repetitions below then run untraced.
+            let mut phases = Vec::with_capacity(PHASES.len());
+            match engine.answer_traced(q.text, 1) {
+                Ok((_, trace)) => phase_breakdown(&trace, &mut phases),
+                Err(e) => return failed(q, workload, format!("answer: {e}")),
+            }
             // Warm-up, then `reps` timed runs; keep the stats of the
             // median-time run so operator timings sum to the reported
-            // wall time.
-            if let Err(e) = run_plan(&p, engine.database()) {
-                return failed(&q, workload, format!("execute: {e}"));
+            // median wall time.
+            if let Err(e) = run_plan(&prep.plan, engine.database()) {
+                return failed(q, workload, format!("execute: {e}"));
             }
             let mut samples: Vec<(f64, usize, ExecStats)> = Vec::with_capacity(reps);
             for _ in 0..reps.max(1) {
                 let t = Instant::now();
-                match run_plan(&p, engine.database()) {
+                match run_plan(&prep.plan, engine.database()) {
                     Ok((table, stats)) => {
-                        samples.push((t.elapsed().as_secs_f64() * 1e6, table.len(), stats))
+                        samples.push((t.elapsed().as_secs_f64() * 1e6, table.row_count(), stats))
                     }
-                    Err(e) => return failed(&q, workload, format!("execute: {e}")),
+                    Err(e) => return failed(q, workload, format!("execute: {e}")),
                 }
             }
+            let wall =
+                TimingSummary::from_samples(&samples.iter().map(|s| s.0).collect::<Vec<f64>>());
             samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-            let (wall_us, result_rows, stats) = samples.swap_remove(samples.len() / 2);
+            let (_, result_rows, stats) = samples.swap_remove(samples.len() / 2);
             QueryExecBench {
                 id: q.id,
                 workload,
-                sql: g.sql_text.clone(),
+                sql: prep.sql_text.clone(),
                 result_rows,
-                wall_us,
-                ops: op_rows(&p, &stats),
+                wall,
+                phases,
+                ops: op_rows(&prep.plan, &stats),
                 error: None,
             }
         })
@@ -183,7 +235,15 @@ pub fn render_json(rows: &[QueryExecBench], scale: Scale, reps: usize) -> String
         } else {
             s.push_str(&format!("      \"sql\": \"{}\",\n", json_escape(&r.sql)));
             s.push_str(&format!("      \"result_rows\": {},\n", r.result_rows));
-            s.push_str(&format!("      \"wall_us\": {:.1},\n", r.wall_us));
+            s.push_str(&format!("      \"wall_min_us\": {:.1},\n", r.wall.min_us));
+            s.push_str(&format!("      \"wall_us\": {:.1},\n", r.wall.median_us));
+            s.push_str(&format!("      \"wall_p95_us\": {:.1},\n", r.wall.p95_us));
+            let phases: Vec<String> = r
+                .phases
+                .iter()
+                .map(|(name, us)| format!("\"{}\": {:.1}", json_escape(name), us))
+                .collect();
+            s.push_str(&format!("      \"phases_us\": {{{}}},\n", phases.join(", ")));
             s.push_str("      \"operators\": [\n");
             for (j, op) in r.ops.iter().enumerate() {
                 s.push_str(&format!(

@@ -8,13 +8,17 @@
 //! is the claim under test. Criterion benches in `aqks-bench` measure the
 //! same work with full statistical rigour; this module produces the
 //! quick paper-style series for EXPERIMENTS.md.
-
-use std::time::Instant;
+//!
+//! One engine (and one SQAK instance) is built per query set and warmed
+//! on the *whole* set before any timing starts, so no rep pays
+//! first-touch costs; each query then reports min/median/p95 over the
+//! repetitions rather than a bare mean.
 
 use aqks_core::Engine;
 use aqks_relational::Database;
 use aqks_sqak::Sqak;
 
+use crate::timing::{measure, TimingSummary};
 use crate::workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};
 
 /// One timing row of Figure 11.
@@ -22,46 +26,38 @@ use crate::workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};
 pub struct TimingRow {
     /// Query id.
     pub id: &'static str,
-    /// Median SQL-generation time of the semantic engine, microseconds.
-    pub ours_us: f64,
-    /// Median SQL-generation time of SQAK, microseconds.
-    pub sqak_us: f64,
-}
-
-fn median_us<F: FnMut()>(mut f: F, reps: usize) -> f64 {
-    let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps.max(1) {
-        let t = Instant::now();
-        f();
-        samples.push(t.elapsed().as_secs_f64() * 1e6);
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
+    /// SQL-generation time of the semantic engine.
+    pub ours: TimingSummary,
+    /// SQL-generation time of SQAK.
+    pub sqak: TimingSummary,
 }
 
 fn time_queries(db: Database, queries: Vec<EvalQuery>, reps: usize) -> Vec<TimingRow> {
     let engine = Engine::new(db.clone()).expect("engine builds");
     let sqak = Sqak::new(db);
+    // Warm both engines on the full query set up front (caches, the
+    // allocator, branch predictors) so the first timed query of the set
+    // is not penalized relative to the rest.
+    for q in &queries {
+        let _ = engine.generate(q.text, 1);
+        let _ = sqak.generate(q.text);
+    }
     queries
         .into_iter()
         .map(|q| {
-            // Warm up once (index/builds are in the constructors; this
-            // warms caches and the allocator).
-            let _ = engine.generate(q.text, 1);
-            let _ = sqak.generate(q.text);
-            let ours_us = median_us(
+            let ours = measure(
                 || {
                     let _ = std::hint::black_box(engine.generate(q.text, 1));
                 },
                 reps,
             );
-            let sqak_us = median_us(
+            let sqak_t = measure(
                 || {
                     let _ = std::hint::black_box(sqak.generate(q.text));
                 },
                 reps,
             );
-            TimingRow { id: q.id, ours_us, sqak_us }
+            TimingRow { id: q.id, ours, sqak: sqak_t }
         })
         .collect()
 }
@@ -76,13 +72,21 @@ pub fn run_fig11(scale: Scale, reps: usize) -> (Vec<TimingRow>, Vec<TimingRow>) 
 /// Renders one series as markdown.
 pub fn render_markdown(title: &str, rows: &[TimingRow]) -> String {
     let mut s = format!("## {title}\n\n");
-    s.push_str("| # | Proposed Approach (µs) | SQAK (µs) | ratio |\n");
-    s.push_str("|---|------------------------|-----------|-------|\n");
+    s.push_str("| # | Proposed min/med/p95 (µs) | SQAK min/med/p95 (µs) | median ratio |\n");
+    s.push_str("|---|---------------------------|-----------------------|--------------|\n");
     for r in rows {
-        let ratio = if r.sqak_us > 0.0 { r.ours_us / r.sqak_us } else { f64::NAN };
+        let ratio =
+            if r.sqak.median_us > 0.0 { r.ours.median_us / r.sqak.median_us } else { f64::NAN };
         s.push_str(&format!(
-            "| {} | {:.1} | {:.1} | {:.2}x |\n",
-            r.id, r.ours_us, r.sqak_us, ratio
+            "| {} | {:.1} / {:.1} / {:.1} | {:.1} / {:.1} / {:.1} | {:.2}x |\n",
+            r.id,
+            r.ours.min_us,
+            r.ours.median_us,
+            r.ours.p95_us,
+            r.sqak.min_us,
+            r.sqak.median_us,
+            r.sqak.p95_us,
+            ratio
         ));
     }
     s

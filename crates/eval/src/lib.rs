@@ -33,10 +33,12 @@ pub mod fig11;
 pub mod tables;
 #[cfg(test)]
 mod tests;
+pub mod timing;
 pub mod workload;
 
 pub use analysis::{analyze_workload, run_analysis, AnalysisRow, PlanVerdict};
 pub use execbench::{run_exec_bench, OpBenchRow, QueryExecBench};
 pub use fig11::{run_fig11, TimingRow};
 pub use tables::{run_table5, run_table6, run_table8, run_table9, ComparisonRow, EngineOutcome};
+pub use timing::TimingSummary;
 pub use workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};

@@ -59,10 +59,12 @@ fn main() {
             match &r.error {
                 Some(e) => eprintln!("{}/{}: FAILED: {e}", r.workload, r.id),
                 None => eprintln!(
-                    "{}/{}: {:.1} µs, {} row(s), {} operator(s)",
+                    "{}/{}: {:.1}/{:.1}/{:.1} µs (min/med/p95), {} row(s), {} operator(s)",
                     r.workload,
                     r.id,
-                    r.wall_us,
+                    r.wall.min_us,
+                    r.wall.median_us,
+                    r.wall.p95_us,
                     r.result_rows,
                     r.ops.len()
                 ),

@@ -21,15 +21,79 @@ fn table5_renders_all_rows() {
 }
 
 #[test]
-fn fig11_produces_positive_timings() {
+fn fig11_produces_positive_ordered_timings() {
     let (tpch, acmdl) = run_fig11(Scale::Small, 3);
     assert_eq!((tpch.len(), acmdl.len()), (8, 8));
     for r in tpch.iter().chain(&acmdl) {
-        assert!(r.ours_us > 0.0, "{}", r.id);
-        assert!(r.sqak_us >= 0.0, "{}", r.id);
+        assert!(r.ours.median_us > 0.0, "{}", r.id);
+        assert!(r.ours.min_us <= r.ours.median_us, "{}", r.id);
+        assert!(r.ours.median_us <= r.ours.p95_us, "{}", r.id);
+        assert!(r.sqak.median_us >= 0.0, "{}", r.id);
     }
     let md = fig11::render_markdown("Fig 11", &tpch);
     assert!(md.contains("| T1 |"), "{md}");
+    assert!(md.contains("min/med/p95"), "{md}");
+}
+
+/// Satellite of the observability PR: every pipeline phase shows up
+/// exactly once in the trace of each answerable workload query, across
+/// all four evaluation databases (the Tables 5/6/8/9 sweep). Guards
+/// against phases silently losing their spans as the pipeline evolves.
+#[test]
+fn every_answer_phase_traced_once_per_workload_query() {
+    use aqks_core::Engine;
+    let sweeps = [
+        (tpch_database(Scale::Small), tpch_queries()),
+        (acmdl_database(Scale::Small), acmdl_queries()),
+        (tpch_prime_database(Scale::Small), tpch_queries()),
+        (acmdl_prime_database(Scale::Small), acmdl_queries()),
+    ];
+    for (db, queries) in sweeps {
+        let name = db.name.clone();
+        let engine = Engine::new(db).expect("engine builds");
+        let mut traced = 0;
+        for q in queries {
+            // T7/T8-style unsupported queries error out before tracing
+            // matters; the sweep covers every query that answers.
+            let Ok((answers, trace)) = engine.answer_traced(q.text, 1) else { continue };
+            traced += 1;
+            assert_eq!(trace.roots.len(), 1, "{name}/{}", q.id);
+            assert_eq!(trace.roots[0].name, "answer", "{name}/{}", q.id);
+            for phase in ["parse", "match", "pattern", "annotate", "rank", "translate", "analyze"] {
+                assert_eq!(
+                    trace.span_count(phase),
+                    1,
+                    "{name}/{}: phase `{phase}` not traced exactly once",
+                    q.id
+                );
+            }
+            // One plan and one exec span per executed interpretation.
+            assert_eq!(trace.span_count("plan"), answers.len(), "{name}/{}", q.id);
+            assert_eq!(trace.span_count("exec"), answers.len(), "{name}/{}", q.id);
+        }
+        assert!(traced >= 6, "{name}: only {traced} queries answered");
+    }
+}
+
+/// The exec benchmark attributes wall time to every pipeline phase and
+/// serializes the breakdown into `BENCH_exec.json`.
+#[test]
+fn exec_bench_reports_phase_breakdowns() {
+    let rows = crate::execbench::run_exec_bench(Scale::Small, 2);
+    assert_eq!(rows.len(), 16);
+    let ok: Vec<_> = rows.iter().filter(|r| r.error.is_none()).collect();
+    assert!(ok.len() >= 12, "{rows:?}");
+    for r in &ok {
+        assert!(r.wall.min_us <= r.wall.median_us && r.wall.median_us <= r.wall.p95_us);
+        let names: Vec<&str> = r.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, crate::execbench::PHASES.to_vec(), "{}/{}", r.workload, r.id);
+        let exec_us = r.phases.iter().find(|(n, _)| n == "exec").unwrap().1;
+        assert!(exec_us > 0.0, "{}/{}", r.workload, r.id);
+    }
+    let json = crate::execbench::render_json(&rows, Scale::Small, 2);
+    aqks_obs::json::validate(&json).expect("BENCH_exec.json is well-formed");
+    assert!(json.contains("\"phases_us\""), "{json}");
+    assert!(json.contains("\"wall_p95_us\""), "{json}");
 }
 
 #[test]

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # aqks-obs
+//!
+//! A lightweight, zero-dependency observability layer for the
+//! keyword-to-SQL pipeline: hierarchical wall-time **spans**, named
+//! **counters**, and a thread-safe [`Recorder`] that snapshots both into
+//! a [`PipelineTrace`] — a span tree with self/total times that renders
+//! as text or exports as Chrome `trace_event` JSON (loadable in
+//! `chrome://tracing` and Perfetto).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled means free.** Every [`Recorder::span`] call first reads
+//!    one relaxed atomic; when recording is off it returns an inert guard
+//!    without allocating or touching any lock (verified by the
+//!    `overhead` integration test with a counting allocator). The
+//!    pipeline is therefore instrumented unconditionally and pays only
+//!    when a trace was asked for.
+//! 2. **No plumbing through layers.** A started span is pushed onto a
+//!    thread-local *ambient stack*; nested [`Recorder::span`] calls and
+//!    the free function [`counter`] attach to the innermost active span
+//!    without the intermediate layers (matcher, executor, analyzer
+//!    passes) ever seeing a recorder argument.
+//! 3. **Cross-thread handoff.** [`Span::handle`] produces a `Send`
+//!    [`SpanHandle`]; [`SpanHandle::child`] opens a child span on another
+//!    thread, parented correctly in the final tree.
+//! 4. **Externally-timed work joins the tree.** Measurements accumulated
+//!    elsewhere (the Volcano executor's per-operator `ExecStats`) are
+//!    grafted in as completed spans via [`Recorder::record_span`].
+
+pub mod json;
+pub mod recorder;
+pub mod trace;
+
+pub use recorder::{counter, current, Recorder, Span, SpanHandle};
+pub use trace::{PipelineTrace, SpanNode};

@@ -1,0 +1,62 @@
+//! Disabled-recorder overhead: instrumentation with recording off must
+//! not allocate. A counting global allocator wraps the system allocator;
+//! this file holds exactly one test so no sibling test can allocate
+//! concurrently and pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use aqks_obs::Recorder;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_and_counters_do_not_allocate() {
+    let rec = Recorder::disabled();
+    // Warm the thread-local ambient stack and any lazy runtime state.
+    {
+        let s = rec.span("warmup");
+        s.add("n", 1);
+        aqks_obs::counter("warmup", 1);
+        let _ = aqks_obs::current();
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10_000 {
+        let span = rec.span("phase");
+        span.add("counter", 1);
+        aqks_obs::counter("ambient", 1);
+        let _ = span.handle();
+        drop(span);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled instrumentation allocated {} time(s)", after - before);
+
+    // Sanity check that the counter itself works.
+    let probe = vec![1u8, 2, 3];
+    assert!(ALLOCATIONS.load(Ordering::SeqCst) > after, "allocator instrumented");
+    drop(probe);
+
+    // And the same recorder records normally once enabled.
+    rec.enable();
+    {
+        let _s = rec.span("live");
+    }
+    assert_eq!(rec.take().roots.len(), 1);
+}

@@ -105,6 +105,7 @@ impl MatchIndex {
 
     /// Metadata matches of a term: relation names first, then attributes.
     pub fn match_metadata(&self, term: &str) -> Vec<MetaMatch> {
+        aqks_obs::counter("index.meta_probes", 1);
         let mut out = Vec::new();
         for r in &self.relations {
             if r.eq_ignore_ascii_case(term) {
@@ -150,15 +151,23 @@ impl MatchIndex {
         }
 
         // Candidate columns: intersection of the tokens' column sets.
+        // Probes and hit ratios land on the ambient trace span (if any):
+        // one probe per token lookup, one hit per token found.
+        aqks_obs::counter("index.probes", tokens.len() as u64);
         let mut postings: Vec<&Postings> = Vec::with_capacity(tokens.len());
         for t in &tokens {
             match self.token_postings.get(*t) {
                 Some(p) => postings.push(p),
-                None => return Vec::new(),
+                None => {
+                    aqks_obs::counter("index.token_hits", postings.len() as u64);
+                    return Vec::new();
+                }
             }
         }
+        aqks_obs::counter("index.token_hits", postings.len() as u64);
         postings.sort_by_key(|p| p.by_column.len());
         let mut out = Vec::new();
+        let (mut verified, mut matched) = (0u64, 0u64);
         'col: for (&col, rows0) in &postings[0].by_column {
             let mut candidates: Vec<u32> = rows0.clone();
             for p in &postings[1..] {
@@ -170,11 +179,13 @@ impl MatchIndex {
             }
             // Verify phrase containment (tokens may be non-adjacent in the
             // value; `contains` semantics require the literal phrase).
+            verified += candidates.len() as u64;
             let table = &db.tables()[col.0 as usize];
             let rows: Vec<u32> = candidates
                 .into_iter()
                 .filter(|&rowid| table.rows()[rowid as usize][col.1 as usize].contains_ci(&lower))
                 .collect();
+            matched += rows.len() as u64;
             if !rows.is_empty() {
                 out.push((
                     self.relations[col.0 as usize].clone(),
@@ -183,6 +194,8 @@ impl MatchIndex {
                 ));
             }
         }
+        aqks_obs::counter("index.rows_verified", verified);
+        aqks_obs::counter("index.tuples_matched", matched);
         out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
         out
     }

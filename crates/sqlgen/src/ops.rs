@@ -55,6 +55,29 @@ pub struct ExecStats {
     pub wall: Duration,
 }
 
+impl ExecStats {
+    /// Total rows emitted across all operators (a volume proxy: each row
+    /// counted once per operator boundary it crosses).
+    pub fn rows_flowed(&self) -> u64 {
+        self.ops.iter().map(|m| m.rows_out).sum()
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    /// One-line summary — the single place execution stats are
+    /// formatted for humans (the CLIs print this instead of
+    /// hand-assembling the same fields).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} operator(s), {} row(s) flowed, wall {}",
+            self.ops.len(),
+            self.rows_flowed(),
+            crate::plan::fmt_dur(self.wall)
+        )
+    }
+}
+
 type StatsCell = Rc<RefCell<Vec<OpMetrics>>>;
 
 /// The Volcano operator protocol: `open` prepares (pipeline breakers do
@@ -636,7 +659,56 @@ pub fn run_plan(plan: &PlanNode, db: &Database) -> Result<(ResultTable, ExecStat
         let rows_in: u64 = node.children.iter().map(|c| ops[c.id].rows_out).sum();
         ops[node.id].rows_in = rows_in;
     });
+    // When an observability recorder is active on this thread (the
+    // engine's `exec` span), graft the per-operator metrics into its
+    // span tree so operator costs and pipeline phases land in one trace.
+    if let Some(rec) = aqks_obs::current() {
+        record_op_spans(&rec, plan, &ops, t0, None);
+    }
     Ok((table, ExecStats { ops, wall: t0.elapsed() }))
+}
+
+/// Short operator name for trace spans (the EXPLAIN label minus its
+/// plan-specific detail, so span names are stable across queries).
+fn op_name(op: &PlanOp) -> &'static str {
+    match op {
+        PlanOp::Scan { .. } => "Scan",
+        PlanOp::DerivedTable { .. } => "DerivedTable",
+        PlanOp::Filter { .. } => "Filter",
+        PlanOp::HashJoin { .. } => "HashJoin",
+        PlanOp::CrossJoin => "CrossJoin",
+        PlanOp::HashAggregate { .. } => "HashAggregate",
+        PlanOp::Project { .. } => "Project",
+        PlanOp::Distinct => "Distinct",
+        PlanOp::Sort { .. } => "Sort",
+        PlanOp::Limit { .. } => "Limit",
+    }
+}
+
+/// Records one completed span per plan operator, nested by plan
+/// structure. Operator wall times are *inclusive* (an operator's clock
+/// runs while it pulls from its inputs), so parent/child spans nest like
+/// an icicle graph and per-span self time is meaningful. Spans start at
+/// the plan run's `t0`: operators execute interleaved, so only the
+/// durations — not the offsets — are physical.
+fn record_op_spans(
+    rec: &aqks_obs::Recorder,
+    node: &PlanNode,
+    ops: &[OpMetrics],
+    t0: Instant,
+    parent: Option<&aqks_obs::SpanHandle>,
+) {
+    let m = &ops[node.id];
+    let handle = rec.record_span(
+        parent,
+        format!("op:{}", op_name(&node.op)),
+        t0,
+        m.wall,
+        &[("rows_in", m.rows_in), ("rows_out", m.rows_out), ("batches", m.batches)],
+    );
+    for c in &node.children {
+        record_op_spans(rec, c, ops, t0, Some(&handle));
+    }
 }
 
 /// Evaluates one aggregate over a group's values (NULLs skipped).

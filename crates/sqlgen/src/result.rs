@@ -26,6 +26,13 @@ impl ResultTable {
         self.rows.len()
     }
 
+    /// Number of result rows — the explicit-name alias of
+    /// [`ResultTable::len`], for call sites where `len` reads as byte or
+    /// column count.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
     /// True if there are no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
