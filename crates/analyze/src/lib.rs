@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! # aqks-analyze
 //!
 //! A static semantic analyzer for the `SELECT` statements the keyword

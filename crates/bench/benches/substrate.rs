@@ -58,7 +58,7 @@ fn substrate(c: &mut Criterion) {
     // Value matching through the inverted index (phrase query).
     let index = MatchIndex::build(&tpch);
     c.bench_function("index_phrase_match", |b| {
-        b.iter(|| black_box(index.match_values(&tpch, "royal olive")))
+        b.iter(|| black_box(index.match_values(&tpch, "royal olive").unwrap()))
     });
 }
 

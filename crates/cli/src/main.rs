@@ -13,6 +13,11 @@
 //! * `--k N` — show the top-N interpretations (default 1)
 //! * `--sqak` — also run the SQAK baseline for contrast
 //! * `--explain` — print the ORM schema graph and the query pattern
+//! * `--timeout-ms N`, `--max-rows N`, `--max-patterns N`,
+//!   `--max-interpretations N` — resource budget for the query; on
+//!   exhaustion the completed interpretations are printed, a one-line
+//!   `budget exhausted: …` diagnostic goes to stderr, and the process
+//!   exits with code 3
 //!
 //! Subcommand `aqks check [--dataset NAME] [--sqak] [QUERY]` runs the
 //! static analyzer (`aqks-analyze`) over the SQL both engines generate —
@@ -37,7 +42,7 @@
 use std::io::{BufRead, Write};
 
 use aqks_analyze::Analyzer;
-use aqks_core::Engine;
+use aqks_core::{Budget, Engine};
 use aqks_datasets::{
     denormalize_acmdl, denormalize_tpch, generate_acmdl, generate_tpch, university, AcmdlConfig,
     TpchConfig,
@@ -81,6 +86,10 @@ struct Options {
     trace: Option<TraceFormat>,
     trace_out: String,
     export: Option<String>,
+    timeout_ms: Option<u64>,
+    max_rows: Option<u64>,
+    max_patterns: Option<u64>,
+    max_interpretations: Option<u64>,
     query: Option<String>,
 }
 
@@ -89,7 +98,30 @@ impl Options {
     fn subcommand(&self) -> bool {
         self.check || self.explain_plan || self.trace_cmd
     }
+
+    /// The resource budget assembled from the `--timeout-ms`/`--max-*`
+    /// flags; unlimited when none were given.
+    fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.timeout_ms {
+            b = b.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_rows {
+            b = b.with_max_rows(n);
+        }
+        if let Some(n) = self.max_patterns {
+            b = b.with_max_patterns(n);
+        }
+        if let Some(n) = self.max_interpretations {
+            b = b.with_max_interpretations(n);
+        }
+        b
+    }
 }
+
+/// Exit code for a budget-exhausted query (distinct from usage errors
+/// `2` and ordinary failures `1`).
+const EXIT_EXHAUSTED: i32 = 3;
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -105,8 +137,17 @@ fn parse_args() -> Result<Options, String> {
         trace: None,
         trace_out: "aqks-trace.json".into(),
         export: None,
+        timeout_ms: None,
+        max_rows: None,
+        max_patterns: None,
+        max_interpretations: None,
         query: None,
     };
+    fn num(args: &[String], i: usize, flag: &str) -> Result<u64, String> {
+        args.get(i)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{flag} needs a non-negative number"))
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let mut positional: Vec<String> = Vec::new();
@@ -136,8 +177,24 @@ fn parse_args() -> Result<Options, String> {
                 i += 1;
                 opts.k = args.get(i).and_then(|v| v.parse().ok()).ok_or("--k needs a number")?;
             }
+            "--timeout-ms" => {
+                i += 1;
+                opts.timeout_ms = Some(num(&args, i, "--timeout-ms")?);
+            }
+            "--max-rows" => {
+                i += 1;
+                opts.max_rows = Some(num(&args, i, "--max-rows")?);
+            }
+            "--max-patterns" => {
+                i += 1;
+                opts.max_patterns = Some(num(&args, i, "--max-patterns")?);
+            }
+            "--max-interpretations" => {
+                i += 1;
+                opts.max_interpretations = Some(num(&args, i, "--max-interpretations")?);
+            }
             "--help" | "-h" => {
-                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [QUERY]");
+                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [QUERY]");
                 std::process::exit(0);
             }
             "check" if positional.is_empty() && !opts.subcommand() => opts.check = true,
@@ -193,6 +250,10 @@ fn emit_trace(trace: &PipelineTrace, fmt: TraceFormat, out: &str) {
     }
 }
 
+/// Answers one query, printing interpretations (and optionally the
+/// trace and the SQAK baseline). Returns the process exit code: `0` on
+/// success, `1` on error, [`EXIT_EXHAUSTED`] when the budget tripped.
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     engine: &Engine,
     sqak: Option<&Sqak>,
@@ -201,7 +262,8 @@ fn run_query(
     explain: bool,
     trace: Option<TraceFormat>,
     trace_out: &str,
-) {
+    budget: &Budget,
+) -> i32 {
     if explain {
         match engine.explain(query) {
             Ok(ex) => {
@@ -220,12 +282,13 @@ fn run_query(
         }
     }
     let answered = match trace {
-        Some(_) => engine.answer_traced(query, k).map(|(a, t)| (a, Some(t))),
-        None => engine.answer(query, k).map(|a| (a, None)),
+        Some(_) => engine.answer_traced_governed(query, k, budget).map(|(g, t)| (g, Some(t))),
+        None => engine.answer_governed(query, k, budget).map(|g| (g, None)),
     };
+    let mut code = 0;
     match answered {
-        Ok((answers, collected)) => {
-            for (rank, a) in answers.iter().enumerate() {
+        Ok((governed, collected)) => {
+            for (rank, a) in governed.value.iter().enumerate() {
                 println!("── interpretation #{}", rank + 1);
                 if explain {
                     println!("pattern: {}", a.pattern_description);
@@ -238,8 +301,15 @@ fn run_query(
                 println!("── pipeline trace");
                 emit_trace(&t, fmt, trace_out);
             }
+            if let Some(ex) = governed.exhaustion {
+                eprintln!("budget exhausted: {ex}");
+                code = EXIT_EXHAUSTED;
+            }
         }
-        Err(e) => println!("error: {e}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            code = 1;
+        }
     }
     if let Some(sqak) = sqak {
         println!("── SQAK baseline");
@@ -254,6 +324,7 @@ fn run_query(
             Err(e) => println!("N.A.: {e}"),
         }
     }
+    code
 }
 
 /// The built-in workload `aqks check` sweeps when no query is given.
@@ -385,7 +456,13 @@ fn run_check(engine: &Engine, sqak: Option<&Sqak>, queries: &[String], k: usize)
                 errors += 1;
                 println!("  engine: rejected\n    {}", m.replace('\n', "\n    "));
             }
-            Err(e) => println!("  engine: N.A. ({e})"),
+            // A query the engine cannot interpret at all (parse error,
+            // unmatched term) is a check failure, not a shrug — malformed
+            // input must not exit 0.
+            Err(e) => {
+                errors += 1;
+                println!("  engine: error ({e})");
+            }
         }
         if let Some(sqak) = sqak {
             match sqak.generate(q) {
@@ -409,6 +486,18 @@ fn run_check(engine: &Engine, sqak: Option<&Sqak>, queries: &[String], k: usize)
 }
 
 fn main() {
+    // One-line diagnostics instead of a backtrace dump if anything gets
+    // past the engine's panic shield; the process still exits non-zero.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = info.payload().downcast_ref::<String>() {
+            s.as_str()
+        } else {
+            "unknown panic"
+        };
+        eprintln!("error: internal panic: {msg}");
+    }));
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
@@ -488,9 +577,19 @@ fn main() {
         return;
     }
 
+    let budget = opts.budget();
     if let Some(q) = &opts.query {
-        run_query(&engine, sqak.as_ref(), q, opts.k, opts.explain, opts.trace, &opts.trace_out);
-        return;
+        let code = run_query(
+            &engine,
+            sqak.as_ref(),
+            q,
+            opts.k,
+            opts.explain,
+            opts.trace,
+            &opts.trace_out,
+            &budget,
+        );
+        std::process::exit(code);
     }
 
     // REPL.
@@ -514,15 +613,19 @@ fn main() {
                 }
             }
             "\\graph" => println!("{}", engine.orm_graph().describe()),
-            q => run_query(
-                &engine,
-                sqak.as_ref(),
-                q,
-                opts.k,
-                opts.explain,
-                opts.trace,
-                &opts.trace_out,
-            ),
+            q => {
+                // The REPL reports errors/exhaustion inline and carries on.
+                run_query(
+                    &engine,
+                    sqak.as_ref(),
+                    q,
+                    opts.k,
+                    opts.explain,
+                    opts.trace,
+                    &opts.trace_out,
+                    &budget,
+                );
+            }
         }
     }
 }

@@ -195,10 +195,102 @@ fn trace_text_output_matches_golden() {
 }
 
 #[test]
-fn malformed_query_reports_typed_error() {
+fn malformed_query_exits_nonzero_with_one_line_diagnostic() {
     let out = aqks().args(["--dataset", "university", "Green SUM"]).output().unwrap();
-    // The engine error is printed to stdout (the REPL keeps running on
-    // errors; one-shot mode reports and exits 0).
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let diag: Vec<&str> = stderr.lines().filter(|l| l.starts_with("error:")).collect();
+    assert_eq!(diag.len(), 1, "exactly one diagnostic line:\n{stderr}");
+    assert!(diag[0].contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn nonexistent_term_exits_nonzero() {
+    let out = aqks().args(["--dataset", "university", "zebra COUNT Code"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("matches nothing"));
+}
+
+#[test]
+fn bad_budget_flag_value_exits_2() {
+    let out = aqks().args(["--dataset", "university", "--max-rows", "lots", "x"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-rows"), "usage diagnostic");
+}
+
+#[test]
+fn zero_deadline_exits_3_with_exhaustion_report() {
+    let out = aqks()
+        .args(["--dataset", "university", "--timeout-ms", "0", "Green SUM Credit"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("budget exhausted: deadline budget exhausted at"), "{stderr}");
+    assert!(stderr.contains("no results completed"), "{stderr}");
+}
+
+#[test]
+fn interpretation_cap_prints_partials_and_exits_3() {
+    // "Green George COUNT Code" has 4 interpretations; cap at 1.
+    let out = aqks()
+        .args([
+            "--dataset",
+            "university",
+            "--k",
+            "3",
+            "--max-interpretations",
+            "1",
+            "Green George COUNT Code",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("parse error"), "{stdout}");
+    assert!(stdout.contains("interpretation #1"), "partial results shown: {stdout}");
+    assert!(!stdout.contains("interpretation #2"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interpretation budget exhausted at `engine.translate`"), "{stderr}");
+    assert!(stderr.contains("partial results returned"), "{stderr}");
+}
+
+#[test]
+fn check_subcommand_fails_on_malformed_query() {
+    let out = aqks().args(["check", "--dataset", "university", "Green SUM"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("parse error"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("check failed"));
+}
+
+#[test]
+fn explain_subcommand_fails_on_malformed_query() {
+    let out = aqks().args(["explain", "--dataset", "university", "Green SUM"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("explain failed"));
+}
+
+#[test]
+fn trace_subcommand_fails_on_malformed_query() {
+    let out = aqks().args(["trace", "--dataset", "university", "Green SUM"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trace failed"));
+}
+
+#[test]
+fn generous_budget_answers_normally_with_exit_0() {
+    let out = aqks()
+        .args([
+            "--dataset",
+            "university",
+            "--timeout-ms",
+            "60000",
+            "--max-rows",
+            "1000000",
+            "Green SUM Credit",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("| s2  | 5.0"), "{stdout}");
 }

@@ -89,7 +89,7 @@ mod tests {
                     } else {
                         TermRole::Free
                     };
-                    matcher.matches(&db, text, role)
+                    matcher.matches(&db, text, role).unwrap()
                 }
                 Term::Op(_) => Vec::new(),
             })

@@ -11,6 +11,7 @@
 //! Figure 11 times); [`Engine::answer`] additionally executes them.
 
 use aqks_analyze::{Analyzer, Report};
+use aqks_guard::{Budget, Exhaustion, Governor};
 use aqks_obs::{PipelineTrace, Recorder};
 use aqks_orm::OrmGraph;
 use aqks_relational::{Database, DatabaseSchema, NormalizedView};
@@ -73,6 +74,19 @@ pub struct Interpretation {
     /// Per-operator execution metrics of the physical plan that produced
     /// [`Interpretation::result`] (see [`aqks_sqlgen::render_plan_with_stats`]).
     pub stats: ExecStats,
+}
+
+/// A result produced under a [`Budget`]: the value, plus the structured
+/// [`Exhaustion`] report when a budget dimension tripped. `exhaustion`
+/// is `None` when the call completed within its budget; when set,
+/// `value` holds whatever completed before the trip (possibly nothing —
+/// see [`Exhaustion::partial`]).
+#[derive(Debug, Clone)]
+pub struct Governed<T> {
+    /// The (possibly partial) result.
+    pub value: T,
+    /// Which budget tripped, where, and whether `value` is non-empty.
+    pub exhaustion: Option<Exhaustion>,
 }
 
 /// How one query term matched the database (see [`Engine::explain`]).
@@ -193,14 +207,34 @@ impl Engine {
 
     /// Parses, matches, generates, ranks, and translates — everything but
     /// execution. This is the work Figure 11 measures.
+    ///
+    /// Library panics are caught at this boundary and surface as
+    /// [`CoreError::Internal`].
     pub fn generate(&self, query: &str, k: usize) -> Result<Vec<GeneratedSql>, CoreError> {
+        shielded(|| self.generate_inner(query, k))
+    }
+
+    /// [`Engine::generate`] under a resource [`Budget`]: interpretations
+    /// completed before a trip are returned alongside the structured
+    /// [`Exhaustion`] report. Only genuine errors — not exhaustion —
+    /// surface as `Err`.
+    pub fn generate_governed(
+        &self,
+        query: &str,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Governed<Vec<GeneratedSql>>, CoreError> {
+        self.governed(budget, || self.generate_inner(query, k))
+    }
+
+    fn generate_inner(&self, query: &str, k: usize) -> Result<Vec<GeneratedSql>, CoreError> {
         let query = {
             let _s = self.recorder.span("parse");
             KeywordQuery::parse(query)?
         };
         let matches = {
             let s = self.recorder.span("match");
-            let matches = self.term_matches(&query);
+            let matches = self.term_matches(&query)?;
             s.add("matches.total", matches.iter().map(Vec::len).sum::<usize>() as u64);
             matches
         };
@@ -227,6 +261,14 @@ impl Engine {
             let s = self.recorder.span("translate");
             let mut translated = Vec::new();
             for p in patterns.into_iter().take(k) {
+                // Each translated pattern is one interpretation charged
+                // against the budget; on a trip the interpretations
+                // finished so far are kept as partials.
+                if aqks_guard::charge_interpretations("engine.translate", 1).is_err()
+                    || aqks_guard::checkpoint("engine.translate").is_err()
+                {
+                    break;
+                }
                 let t = translate_ex(
                     &p,
                     &self.graph,
@@ -279,20 +321,56 @@ impl Engine {
 
     /// Full Algorithm 2: generate the top-`k` interpretations and execute
     /// them against the database.
+    ///
+    /// Library panics are caught at this boundary and surface as
+    /// [`CoreError::Internal`].
     pub fn answer(&self, query: &str, k: usize) -> Result<Vec<Interpretation>, CoreError> {
         let _root = self.recorder.span("answer");
-        let generated = self.generate(query, k)?;
+        shielded(|| self.answer_inner(query, k))
+    }
+
+    /// [`Engine::answer`] under a resource [`Budget`]: the engine
+    /// degrades gracefully on exhaustion, returning the interpretations
+    /// that completed before the trip plus the structured [`Exhaustion`]
+    /// report naming the budget and site that tripped. Only genuine
+    /// errors surface as `Err`.
+    pub fn answer_governed(
+        &self,
+        query: &str,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Governed<Vec<Interpretation>>, CoreError> {
+        let _root = self.recorder.span("answer");
+        self.governed(budget, || self.answer_inner(query, k))
+    }
+
+    fn answer_inner(&self, query: &str, k: usize) -> Result<Vec<Interpretation>, CoreError> {
+        let generated = self.generate_inner(query, k)?;
         let mut out = Vec::with_capacity(generated.len());
         for g in generated {
+            // Between interpretations is the natural cancellation point:
+            // answers already executed are kept as partials.
+            if aqks_guard::checkpoint("engine.answer").is_err() {
+                break;
+            }
             let plan = {
                 let _s = self.recorder.span("plan");
                 aqks_sqlgen::plan(&g.sql, &self.db).map_err(CoreError::from)?
             };
-            let (result, stats) = {
+            let run = {
                 let s = self.recorder.span("exec");
-                let (result, stats) = aqks_sqlgen::run_plan(&plan, &self.db)?;
-                s.add("exec.rows_out", result.row_count() as u64);
-                (result, stats)
+                let run = aqks_sqlgen::run_plan(&plan, &self.db);
+                if let Ok((result, _)) = &run {
+                    s.add("exec.rows_out", result.row_count() as u64);
+                }
+                run
+            };
+            let (result, stats) = match run {
+                Ok(r) => r,
+                // A budget trip mid-plan cancels this interpretation but
+                // keeps the completed ones; the governor records the site.
+                Err(aqks_sqlgen::ExecError::Budget(_)) => break,
+                Err(e) => return Err(e.into()),
             };
             out.push(Interpretation {
                 pattern_description: g.pattern.describe(),
@@ -314,6 +392,48 @@ impl Engine {
         k: usize,
     ) -> Result<(Vec<Interpretation>, PipelineTrace), CoreError> {
         self.traced(|| self.answer(query, k))
+    }
+
+    /// [`Engine::answer_governed`] with tracing: budget trips appear in
+    /// the trace as a `guard` span with `guard.trip.<site>` counters.
+    pub fn answer_traced_governed(
+        &self,
+        query: &str,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<(Governed<Vec<Interpretation>>, PipelineTrace), CoreError> {
+        self.traced(|| self.answer_governed(query, k, budget))
+    }
+
+    /// Runs `f` with a [`Governor`] for `budget` installed ambiently,
+    /// converting a budget trip into a graceful [`Governed`] result and
+    /// recording it on the trace (a `guard` span + counters). The
+    /// governor is only installed when the budget actually limits
+    /// something, so unlimited calls stay on the zero-cost path.
+    fn governed<T>(
+        &self,
+        budget: &Budget,
+        f: impl FnOnce() -> Result<Vec<T>, CoreError>,
+    ) -> Result<Governed<Vec<T>>, CoreError> {
+        let gov = Governor::new(budget);
+        let result = {
+            let _installed =
+                if budget.is_unlimited() { None } else { Some(aqks_guard::install(&gov)) };
+            shielded(f)
+        };
+        let value = match result {
+            Ok(v) => v,
+            // A trip that unwound the whole pipeline: no partials exist.
+            Err(CoreError::Budget(_)) => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let exhaustion = gov.trip().map(|t| {
+            let s = self.recorder.span("guard");
+            s.add("guard.trips", 1);
+            s.add(format!("guard.trip.{}", t.site), 1);
+            t.exhaust(!value.is_empty())
+        });
+        Ok(Governed { value, exhaustion })
     }
 
     /// [`Engine::explain`] with tracing (see [`Engine::answer_traced`]).
@@ -352,7 +472,7 @@ impl Engine {
         };
         let matches = {
             let s = self.recorder.span("match");
-            let matches = self.term_matches(&parsed);
+            let matches = self.term_matches(&parsed)?;
             s.add("matches.total", matches.iter().map(Vec::len).sum::<usize>() as u64);
             matches
         };
@@ -413,12 +533,10 @@ impl Engine {
         Ok(Explanation { terms: term_reports, patterns: pattern_reports })
     }
 
-    fn term_matches(&self, query: &KeywordQuery) -> Vec<Vec<TermMatch>> {
-        query
-            .terms
-            .iter()
-            .enumerate()
-            .map(|(i, t)| match t {
+    fn term_matches(&self, query: &KeywordQuery) -> Result<Vec<Vec<TermMatch>>, CoreError> {
+        let mut out = Vec::with_capacity(query.terms.len());
+        for (i, t) in query.terms.iter().enumerate() {
+            out.push(match t {
                 Term::Basic(text) => {
                     let role = if query.is_operand(i) {
                         match query.terms[i - 1] {
@@ -430,11 +548,32 @@ impl Engine {
                     } else {
                         TermRole::Free
                     };
-                    self.matcher.matches(&self.db, text, role)
+                    self.matcher.matches(&self.db, text, role)?
                 }
                 Term::Op(_) => Vec::new(),
-            })
-            .collect()
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Runs `f` behind a panic shield: a panic anywhere in the pipeline is
+/// caught and surfaced as [`CoreError::Internal`] instead of unwinding
+/// through the caller. The engine owns no interior mutability that a
+/// mid-panic unwind could corrupt, so `AssertUnwindSafe` is sound here.
+fn shielded<T>(f: impl FnOnce() -> Result<T, CoreError>) -> Result<T, CoreError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(CoreError::Internal(msg))
+        }
     }
 }
 
@@ -628,5 +767,124 @@ mod tests {
         assert!(engine.recorder().take().is_empty());
         let (_, trace) = engine.answer_traced("Java SUM Price", 1).unwrap();
         assert_eq!(trace.roots.len(), 1);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_ungoverned_answer() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let plain = engine.answer("Java SUM Price", 3).unwrap();
+        let governed = engine.answer_governed("Java SUM Price", 3, &Budget::unlimited()).unwrap();
+        assert!(governed.exhaustion.is_none());
+        assert_eq!(governed.value.len(), plain.len());
+        for (a, b) in plain.iter().zip(&governed.value) {
+            assert_eq!(a.sql_text, b.sql_text);
+            assert_eq!(a.result, b.result);
+        }
+    }
+
+    #[test]
+    fn pattern_cap_trips_enumeration_with_structured_report() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        // "Green George COUNT Code" enumerates 2 interpretation combos.
+        let budget = Budget::unlimited().with_max_patterns(1);
+        let g = engine.answer_governed("Green George COUNT Code", 3, &budget).unwrap();
+        let ex = g.exhaustion.expect("pattern budget should trip");
+        assert_eq!(ex.kind, aqks_guard::BudgetKind::Patterns);
+        assert_eq!(ex.site, "pattern.enumerate");
+        assert_eq!(ex.partial, !g.value.is_empty());
+    }
+
+    #[test]
+    fn interpretation_cap_keeps_completed_answers() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        // Baseline: "Green SUM Credit" yields 2 interpretations.
+        let all = engine.answer("Green SUM Credit", 3).unwrap();
+        assert!(all.len() >= 2, "fixture needs >=2 interpretations");
+        let budget = Budget::unlimited().with_max_interpretations(1);
+        let g = engine.answer_governed("Green SUM Credit", 3, &budget).unwrap();
+        assert_eq!(g.value.len(), 1, "one interpretation completed before the trip");
+        let ex = g.exhaustion.expect("interpretation budget should trip");
+        assert_eq!(ex.kind, aqks_guard::BudgetKind::Interpretations);
+        assert_eq!(ex.site, "engine.translate");
+        assert!(ex.partial);
+        // The survivor is the top-ranked interpretation.
+        assert_eq!(g.value[0].sql_text, all[0].sql_text);
+    }
+
+    #[test]
+    fn expired_deadline_reports_exhaustion_not_error() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let budget = Budget::unlimited().with_timeout(std::time::Duration::ZERO);
+        let g = engine.answer_governed("Green SUM Credit", 1, &budget).unwrap();
+        let ex = g.exhaustion.expect("deadline should trip");
+        assert_eq!(ex.kind, aqks_guard::BudgetKind::Deadline);
+        assert!(g.value.is_empty());
+        assert!(!ex.partial);
+        // Exhaustion renders a one-line human-readable report.
+        let msg = ex.to_string();
+        assert!(msg.contains("deadline budget exhausted"), "{msg}");
+    }
+
+    #[test]
+    fn row_cap_returns_partial_results_through_engine() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        // Generous pattern allowance, tiny row allowance: generation
+        // succeeds, execution trips inside an operator.
+        let budget = Budget::unlimited().with_max_rows(1);
+        let g = engine.answer_governed("Java SUM Price", 3, &budget).unwrap();
+        let ex = g.exhaustion.expect("row budget should trip");
+        assert_eq!(ex.kind, aqks_guard::BudgetKind::Rows);
+        assert!(ex.site.starts_with("ops.") || ex.site.starts_with("index."), "{}", ex.site);
+    }
+
+    /// Governance is scoped to the call: after a governed call trips,
+    /// plain `answer` on the same engine runs unrestricted.
+    #[test]
+    fn governor_does_not_leak_past_the_call() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let budget = Budget::unlimited().with_max_rows(1);
+        let g = engine.answer_governed("Green SUM Credit", 1, &budget).unwrap();
+        assert!(g.exhaustion.is_some());
+        let plain = engine.answer("Green SUM Credit", 1).unwrap();
+        assert_eq!(plain.len(), 1);
+    }
+
+    /// Budget trips show up in the pipeline trace as a `guard` span with
+    /// per-site counters.
+    #[test]
+    fn governed_trip_is_visible_in_trace() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        let budget = Budget::unlimited().with_max_patterns(1);
+        let (g, trace) =
+            engine.answer_traced_governed("Green George COUNT Code", 3, &budget).unwrap();
+        assert!(g.exhaustion.is_some());
+        let root = &trace.roots[0];
+        assert_eq!(root.name, "answer");
+        assert!(root.children.iter().any(|c| c.name == "guard"), "{trace:?}");
+        assert_eq!(trace.counters.get("guard.trips"), Some(&1));
+        assert_eq!(trace.counters.get("guard.trip.pattern.enumerate"), Some(&1));
+    }
+
+    /// The shield converts library panics into `CoreError::Internal`
+    /// instead of unwinding through the caller.
+    #[test]
+    fn shield_converts_panics_to_internal_error() {
+        let r = shielded::<()>(|| panic!("boom at {}", "site"));
+        match r {
+            Err(CoreError::Internal(m)) => assert!(m.contains("boom"), "{m}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn translate_failpoint_surfaces_typed_fault() {
+        let engine = Engine::new(university::normalized()).unwrap();
+        aqks_guard::failpoint::enable("translate");
+        let r = engine.answer("Green SUM Credit", 1);
+        aqks_guard::failpoint::disable("translate");
+        assert!(matches!(r, Err(CoreError::Fault("translate"))), "{r:?}");
+        // With the failpoint disarmed the same query succeeds.
+        assert_eq!(engine.answer("Green SUM Credit", 1).unwrap().len(), 1);
     }
 }

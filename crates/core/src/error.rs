@@ -21,6 +21,14 @@ pub enum CoreError {
     Exec(String),
     /// Schema-level problem (e.g. ORM graph construction failed).
     Schema(String),
+    /// A resource budget tripped before any result completed (partial
+    /// results are reported via `Governed::exhaustion` instead).
+    Budget(aqks_guard::Tripped),
+    /// A deterministic failpoint fired (fault-injection builds only).
+    Fault(&'static str),
+    /// A library panic was caught at the engine boundary — a bug, but one
+    /// that no longer takes the process down.
+    Internal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +41,9 @@ impl fmt::Display for CoreError {
             CoreError::Analysis(m) => write!(f, "static analysis rejected generated SQL: {m}"),
             CoreError::Exec(m) => write!(f, "execution error: {m}"),
             CoreError::Schema(m) => write!(f, "schema error: {m}"),
+            CoreError::Budget(t) => write!(f, "{t}"),
+            CoreError::Fault(site) => write!(f, "injected fault at `{site}`"),
+            CoreError::Internal(m) => write!(f, "internal error (caught panic): {m}"),
         }
     }
 }
@@ -41,12 +52,32 @@ impl std::error::Error for CoreError {}
 
 impl From<aqks_sqlgen::ExecError> for CoreError {
     fn from(e: aqks_sqlgen::ExecError) -> Self {
-        CoreError::Exec(e.to_string())
+        match e {
+            aqks_sqlgen::ExecError::Budget(t) => CoreError::Budget(t),
+            aqks_sqlgen::ExecError::Fault(site) => CoreError::Fault(site),
+            other => CoreError::Exec(other.to_string()),
+        }
     }
 }
 
 impl From<aqks_relational::Error> for CoreError {
     fn from(e: aqks_relational::Error) -> Self {
-        CoreError::Schema(e.to_string())
+        match e {
+            aqks_relational::Error::Budget(t) => CoreError::Budget(t),
+            aqks_relational::Error::Fault(site) => CoreError::Fault(site),
+            other => CoreError::Schema(other.to_string()),
+        }
+    }
+}
+
+impl From<aqks_guard::Tripped> for CoreError {
+    fn from(t: aqks_guard::Tripped) -> Self {
+        CoreError::Budget(t)
+    }
+}
+
+impl From<aqks_guard::FailpointError> for CoreError {
+    fn from(f: aqks_guard::FailpointError) -> Self {
+        CoreError::Fault(f.site)
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! # aqks-core
 //!
 //! The paper's contribution: a *semantic* engine answering keyword
@@ -42,8 +43,10 @@ pub mod rank;
 pub mod translate;
 pub mod unnormalized;
 
+pub use aqks_guard::{Budget, BudgetKind, Exhaustion, Tripped};
 pub use engine::{
-    Engine, EngineOptions, Explanation, GeneratedSql, Interpretation, PatternReport, TermReport,
+    Engine, EngineOptions, Explanation, GeneratedSql, Governed, Interpretation, PatternReport,
+    TermReport,
 };
 pub use error::CoreError;
 pub use matching::{Matcher, TermMatch, TermRole};

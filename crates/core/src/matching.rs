@@ -93,7 +93,16 @@ impl Matcher {
     }
 
     /// All admissible matches of `term` under `role`, metadata first.
-    pub fn matches(&self, db: &Database, term: &str, role: TermRole) -> Vec<TermMatch> {
+    ///
+    /// Fallible because value matching probes the term index, which
+    /// observes the ambient `aqks-guard` budget and the `index.lookup`
+    /// failpoint.
+    pub fn matches(
+        &self,
+        db: &Database,
+        term: &str,
+        role: TermRole,
+    ) -> Result<Vec<TermMatch>, aqks_relational::Error> {
         let mut out = Vec::new();
         for m in self.metadata_matches(term) {
             match (&m, role) {
@@ -103,9 +112,9 @@ impl Matcher {
             }
         }
         if role == TermRole::Free {
-            out.extend(self.value_matches(db, term));
+            out.extend(self.value_matches(db, term)?);
         }
-        out
+        Ok(out)
     }
 
     fn metadata_matches(&self, term: &str) -> Vec<TermMatch> {
@@ -134,8 +143,12 @@ impl Matcher {
         out
     }
 
-    fn value_matches(&self, db: &Database, term: &str) -> Vec<TermMatch> {
-        let hits = self.index.match_value_rows(db, term);
+    fn value_matches(
+        &self,
+        db: &Database,
+        term: &str,
+    ) -> Result<Vec<TermMatch>, aqks_relational::Error> {
+        let hits = self.index.match_value_rows(db, term)?;
         let mut out = Vec::new();
         match &self.view {
             None => {
@@ -200,7 +213,7 @@ impl Matcher {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -240,9 +253,9 @@ mod tests {
         let db = university::normalized();
         let m = Matcher::normalized(&db);
         // "Lecturer" names a relation; "George" is a value in two columns.
-        let ms = m.matches(&db, "Lecturer", TermRole::Free);
+        let ms = m.matches(&db, "Lecturer", TermRole::Free).unwrap();
         assert!(matches!(ms[0], TermMatch::RelationName { .. }));
-        let ms = m.matches(&db, "George", TermRole::Free);
+        let ms = m.matches(&db, "George", TermRole::Free).unwrap();
         assert_eq!(ms.len(), 2, "{ms:?}");
         assert!(ms.iter().all(|x| !x.is_metadata()));
     }
@@ -252,15 +265,15 @@ mod tests {
         let db = university::normalized();
         let m = Matcher::normalized(&db);
         // "Credit" as aggregate operand: attribute name only.
-        let ms = m.matches(&db, "Credit", TermRole::AggOperand);
+        let ms = m.matches(&db, "Credit", TermRole::AggOperand).unwrap();
         assert_eq!(ms.len(), 1);
         assert!(
             matches!(&ms[0], TermMatch::AttributeName { relation, .. } if relation == "Course")
         );
         // "Green" cannot be an aggregate operand.
-        assert!(m.matches(&db, "Green", TermRole::AggOperand).is_empty());
+        assert!(m.matches(&db, "Green", TermRole::AggOperand).unwrap().is_empty());
         // "Course" as COUNT operand: relation name.
-        let ms = m.matches(&db, "Course", TermRole::CountGroupByOperand);
+        let ms = m.matches(&db, "Course", TermRole::CountGroupByOperand).unwrap();
         assert!(matches!(&ms[0], TermMatch::RelationName { relation } if relation == "Course"));
     }
 
@@ -268,7 +281,7 @@ mod tests {
     fn green_counts_two_students() {
         let db = university::normalized();
         let m = Matcher::normalized(&db);
-        let ms = m.matches(&db, "Green", TermRole::Free);
+        let ms = m.matches(&db, "Green", TermRole::Free).unwrap();
         let student = ms
             .iter()
             .find_map(|x| match x {
@@ -290,6 +303,7 @@ mod tests {
         let m = Matcher::unnormalized(&db, view);
         let count_of = |term: &str| {
             m.matches(&db, term, TermRole::Free)
+                .unwrap()
                 .into_iter()
                 .find_map(|x| match x {
                     TermMatch::Value { relation, tuple_count, .. } if relation == "Student" => {
@@ -308,13 +322,13 @@ mod tests {
         let db = university::enrolment_fig8();
         let view = NormalizedView::build(&db.schema());
         let m = Matcher::unnormalized(&db, view);
-        let ms = m.matches(&db, "Student", TermRole::CountGroupByOperand);
+        let ms = m.matches(&db, "Student", TermRole::CountGroupByOperand).unwrap();
         assert!(
             matches!(&ms[0], TermMatch::RelationName { relation } if relation == "Student"),
             "{ms:?}"
         );
         // Attribute of the original maps to the derived relation.
-        let ms = m.matches(&db, "Code", TermRole::AggOperand);
+        let ms = m.matches(&db, "Code", TermRole::AggOperand).unwrap();
         assert!(
             ms.iter().any(
                 |x| matches!(x, TermMatch::AttributeName { relation, .. } if relation == "Course")
@@ -327,6 +341,6 @@ mod tests {
     fn unmatched_term_is_empty() {
         let db = university::normalized();
         let m = Matcher::normalized(&db);
-        assert!(m.matches(&db, "zebra", TermRole::Free).is_empty());
+        assert!(m.matches(&db, "zebra", TermRole::Free).unwrap().is_empty());
     }
 }

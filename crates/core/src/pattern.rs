@@ -306,7 +306,17 @@ pub fn generate_patterns(
     let candidates = combos(&basic, matches, MAX_COMBOS);
     aqks_obs::counter("patterns.enumerated", candidates.len() as u64);
     let mut pruned = 0u64;
+    let mut tripped = false;
     for combo in candidates {
+        // Cooperative cancellation: each enumerated interpretation is
+        // charged against the ambient pattern budget (and the deadline);
+        // on a trip the patterns built so far are kept as partials.
+        if aqks_guard::charge_patterns("pattern.enumerate", 1).is_err()
+            || aqks_guard::checkpoint("pattern.enumerate").is_err()
+        {
+            tripped = true;
+            break;
+        }
         if let Some(p) = build_pattern(query, &basic, &combo, graph, namespace) {
             if seen.insert(p.fingerprint()) {
                 patterns.push(p);
@@ -318,7 +328,7 @@ pub fn generate_patterns(
         }
     }
     aqks_obs::counter("patterns.pruned", pruned);
-    if patterns.is_empty() {
+    if patterns.is_empty() && !tripped {
         return Err(CoreError::NoPattern);
     }
     Ok(patterns)
@@ -400,7 +410,7 @@ fn build_pattern(
         let condition = Condition {
             relation: relation.clone(),
             attribute: attribute.clone(),
-            term: query.terms[ti].as_basic().unwrap().to_string(),
+            term: query.terms[ti].as_basic()?.to_string(),
             tuple_count: *tuple_count,
         };
         // Context merge: the immediately preceding term is a metadata term
@@ -658,7 +668,7 @@ mod tests {
                     } else {
                         TermRole::Free
                     };
-                    matcher.matches(&db, text, role)
+                    matcher.matches(&db, text, role).unwrap()
                 }
                 Term::Op(_) => Vec::new(),
             })
@@ -775,7 +785,8 @@ mod tests {
     fn sum_over_value_is_rejected() {
         let (db, graph, matcher) = setup();
         let query = KeywordQuery::parse("SUM Green").unwrap();
-        let matches = vec![Vec::new(), matcher.matches(&db, "Green", TermRole::AggOperand)];
+        let matches =
+            vec![Vec::new(), matcher.matches(&db, "Green", TermRole::AggOperand).unwrap()];
         let err = generate_patterns(&query, &matches, &graph, &db.schema()).unwrap_err();
         assert!(matches!(err, CoreError::BadOperand(_)));
     }
@@ -828,7 +839,7 @@ mod tests {
                     } else {
                         TermRole::Free
                     };
-                    matcher.matches(&db, text, role)
+                    matcher.matches(&db, text, role).unwrap()
                 }
                 Term::Op(_) => Vec::new(),
             })

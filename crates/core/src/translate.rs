@@ -79,6 +79,7 @@ pub fn translate_ex(
     view: Option<&NormalizedView>,
     opts: &TranslateOptions,
 ) -> Result<Translation, CoreError> {
+    aqks_guard::failpoint!("translate");
     let aliases = assign_aliases(pattern);
     let mut derived_keys: HashMap<String, Vec<String>> = HashMap::new();
     let mut stmt = SelectStatement::new();
@@ -552,7 +553,7 @@ mod tests {
                     } else {
                         TermRole::Free
                     };
-                    matcher.matches(&db, text, role)
+                    matcher.matches(&db, text, role).unwrap()
                 }
                 Term::Op(_) => Vec::new(),
             })

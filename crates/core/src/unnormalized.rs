@@ -411,7 +411,7 @@ mod tests {
                     } else {
                         TermRole::Free
                     };
-                    matcher.matches(&db, text, role)
+                    matcher.matches(&db, text, role).unwrap()
                 }
                 Term::Op(_) => Vec::new(),
             })

@@ -1,0 +1,109 @@
+//! Deterministic fault-injection sweep (`repro faults`).
+//!
+//! For every failpoint site in the pipeline, the sweep arms the site,
+//! pushes a known-good query through [`aqks_core::Engine::answer`], and
+//! checks two properties:
+//!
+//! 1. **Typed surfacing** — the injected fault comes back as
+//!    [`aqks_core::CoreError::Fault`] naming the exact site, not as a
+//!    panic, a stringified wrapper, or a silent empty answer;
+//! 2. **Recovery** — with the site disarmed, the *same* engine instance
+//!    answers the same query correctly: the fault left no torn state.
+//!
+//! Only compiled with the `failpoints` feature; the sites themselves are
+//! no-ops (and dead-code eliminated) in default builds.
+
+use aqks_core::{CoreError, Engine};
+use aqks_datasets::university;
+use aqks_guard::failpoint;
+
+/// The result of injecting one fault site.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// The failpoint site that was armed.
+    pub site: &'static str,
+    /// The query pushed through the engine.
+    pub query: &'static str,
+    /// What the engine returned with the site armed.
+    pub observed: String,
+    /// The fault surfaced as `CoreError::Fault(site)` with the right site.
+    pub typed: bool,
+    /// The engine answered correctly after disarming the site.
+    pub recovered: bool,
+}
+
+impl FaultOutcome {
+    /// Both properties held.
+    pub fn passed(&self) -> bool {
+        self.typed && self.recovered
+    }
+}
+
+/// The pipeline's failpoint sites, each paired with a query guaranteed
+/// to reach it on the university dataset: a value term probes the index,
+/// and an aggregate over joined relations exercises the hash join build
+/// and the aggregate finalizer.
+pub const SITES: [(&str, &str); 4] = [
+    ("index.lookup", "Green SUM Credit"),
+    ("translate", "Green SUM Credit"),
+    ("join.build", "Green SUM Credit"),
+    ("agg.finalize", "Green SUM Credit"),
+];
+
+/// Runs the full sweep on a fresh engine per site.
+pub fn run_fault_sweep() -> Vec<FaultOutcome> {
+    SITES.iter().map(|&(site, query)| inject(site, query)).collect()
+}
+
+fn inject(site: &'static str, query: &'static str) -> FaultOutcome {
+    let engine = Engine::new(university::normalized()).expect("university dataset builds");
+    failpoint::enable(site);
+    let armed = engine.answer(query, 1);
+    failpoint::disable(site);
+    let (observed, typed) = match &armed {
+        Err(CoreError::Fault(s)) => (format!("CoreError::Fault({s:?})"), *s == site),
+        Err(other) => (format!("{other}"), false),
+        Ok(answers) => (format!("Ok with {} answer(s)", answers.len()), false),
+    };
+    let recovered = matches!(&engine.answer(query, 1), Ok(a) if !a.is_empty());
+    FaultOutcome { site, query, observed, typed, recovered }
+}
+
+/// Renders the sweep as a one-line-per-site report; the bool is `true`
+/// when every site passed.
+pub fn render(outcomes: &[FaultOutcome]) -> (String, bool) {
+    let mut out = String::new();
+    let mut ok = true;
+    for o in outcomes {
+        ok &= o.passed();
+        out.push_str(&format!(
+            "{:<14} {:<24} typed={} recovered={} ({})\n",
+            o.site, o.query, o.typed, o.recovered, o.observed
+        ));
+    }
+    (out, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_site_surfaces_typed_error_and_recovers() {
+        let outcomes = run_fault_sweep();
+        assert_eq!(outcomes.len(), SITES.len());
+        for o in &outcomes {
+            assert!(o.typed, "{}: fault not typed — observed {}", o.site, o.observed);
+            assert!(o.recovered, "{}: engine did not recover", o.site);
+        }
+    }
+
+    #[test]
+    fn render_reports_all_sites() {
+        let (report, ok) = render(&run_fault_sweep());
+        assert!(ok, "{report}");
+        for (site, _) in SITES {
+            assert!(report.contains(site), "{report}");
+        }
+    }
+}

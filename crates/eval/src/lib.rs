@@ -29,6 +29,8 @@
 
 pub mod analysis;
 pub mod execbench;
+#[cfg(feature = "failpoints")]
+pub mod faults;
 pub mod fig11;
 pub mod tables;
 #[cfg(test)]
@@ -38,6 +40,8 @@ pub mod workload;
 
 pub use analysis::{analyze_workload, run_analysis, AnalysisRow, PlanVerdict};
 pub use execbench::{run_exec_bench, OpBenchRow, QueryExecBench};
+#[cfg(feature = "failpoints")]
+pub use faults::{run_fault_sweep, FaultOutcome};
 pub use fig11::{run_fig11, TimingRow};
 pub use tables::{run_table5, run_table6, run_table8, run_table9, ComparisonRow, EngineOutcome};
 pub use timing::TimingSummary;

@@ -3,6 +3,7 @@
 //! ```text
 //! repro table5|table6|table8|table9|fig11|all [--paper-scale] [--reps N]
 //! repro exec-bench [--smoke] [--out FILE] [--reps N]
+//! repro faults       # fault-injection sweep; needs --features failpoints
 //! ```
 //!
 //! `exec-bench` plans and executes the T1–T8 / A1–A8 workloads through
@@ -49,6 +50,26 @@ fn main() {
     }
     if smoke {
         reps = reps.min(3);
+    }
+
+    if what == "faults" {
+        #[cfg(feature = "failpoints")]
+        {
+            let outcomes = aqks_eval::faults::run_fault_sweep();
+            let (report, ok) = aqks_eval::faults::render(&outcomes);
+            print!("{report}");
+            if !ok {
+                eprintln!("fault sweep failed");
+                std::process::exit(1);
+            }
+            eprintln!("fault sweep passed: {} site(s)", outcomes.len());
+            return;
+        }
+        #[cfg(not(feature = "failpoints"))]
+        {
+            eprintln!("`repro faults` needs the fault-injection build: cargo run -p aqks-eval --features failpoints --bin repro -- faults");
+            std::process::exit(2);
+        }
     }
 
     if what == "exec-bench" {

@@ -1,0 +1,172 @@
+//! Deterministic fault injection.
+//!
+//! A failpoint is a named site in library code where a fault can be
+//! injected on demand:
+//!
+//! ```ignore
+//! aqks_guard::failpoint!("index.lookup");
+//! ```
+//!
+//! expands to a check that, when the site is armed, returns
+//! `Err(FailpointError { site }.into())` from the enclosing function —
+//! the fault travels the layer's *normal* typed error channel, which is
+//! exactly what fault-injection sweeps want to prove out.
+//!
+//! Without the `failpoints` cargo feature, [`should_fire`] is a constant
+//! `false` and the optimizer deletes the branch: zero cost in default
+//! builds. With the feature, a site fires when either
+//!
+//! * it appears in the `AQKS_FAILPOINTS` environment variable (a
+//!   comma/semicolon/space-separated site list, read once per process), or
+//! * it was armed on this thread via [`enable`] (thread-local, so
+//!   parallel tests do not interfere; [`disable`] / [`clear`] disarm).
+
+use std::fmt;
+
+/// Typed error produced by an armed failpoint site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailpointError {
+    /// The site that fired.
+    pub site: &'static str,
+}
+
+impl fmt::Display for FailpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at `{}`", self.site)
+    }
+}
+
+impl std::error::Error for FailpointError {}
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use std::cell::RefCell;
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+
+    thread_local! {
+        static ARMED: RefCell<HashSet<String>> = RefCell::new(HashSet::new());
+    }
+
+    static FROM_ENV: OnceLock<HashSet<String>> = OnceLock::new();
+
+    fn env_sites() -> &'static HashSet<String> {
+        FROM_ENV.get_or_init(|| {
+            std::env::var("AQKS_FAILPOINTS")
+                .map(|v| {
+                    v.split([',', ';', ' '])
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+    }
+
+    /// Arm `site` on the current thread.
+    pub fn enable(site: &str) {
+        ARMED.with(|a| a.borrow_mut().insert(site.to_string()));
+    }
+
+    /// Disarm `site` on the current thread (env-armed sites stay armed).
+    pub fn disable(site: &str) {
+        ARMED.with(|a| a.borrow_mut().remove(site));
+    }
+
+    /// Disarm every thread-locally armed site.
+    pub fn clear() {
+        ARMED.with(|a| a.borrow_mut().clear());
+    }
+
+    pub fn should_fire(site: &str) -> bool {
+        ARMED.with(|a| a.borrow().contains(site)) || env_sites().contains(site)
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::{clear, disable, enable};
+
+/// Is `site` armed? Constant `false` without the `failpoints` feature,
+/// so `failpoint!` sites vanish from default builds.
+#[inline]
+pub fn should_fire(site: &str) -> bool {
+    #[cfg(feature = "failpoints")]
+    {
+        registry::should_fire(site)
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        false
+    }
+}
+
+/// Declare a fault-injection site. When armed (see the module docs),
+/// returns `Err(FailpointError { site }.into())` from the enclosing
+/// function; otherwise compiles to nothing in default builds.
+#[macro_export]
+macro_rules! failpoint {
+    ($site:literal) => {
+        if $crate::failpoint::should_fire($site) {
+            return Err($crate::failpoint::FailpointError { site: $site }.into());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_renders_site() {
+        let e = FailpointError { site: "join.build" };
+        assert_eq!(e.to_string(), "injected fault at `join.build`");
+    }
+
+    #[cfg(not(feature = "failpoints"))]
+    #[test]
+    fn compiled_out_by_default() {
+        assert!(!should_fire("anything"));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn thread_local_arming_round_trips() {
+        assert!(!should_fire("t.site"));
+        enable("t.site");
+        assert!(should_fire("t.site"));
+        // Other threads are unaffected.
+        let other = std::thread::spawn(|| should_fire("t.site")).join().unwrap();
+        assert!(!other);
+        disable("t.site");
+        assert!(!should_fire("t.site"));
+        enable("a");
+        enable("b");
+        clear();
+        assert!(!should_fire("a") && !should_fire("b"));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn macro_returns_typed_error() {
+        #[derive(Debug, PartialEq)]
+        enum E {
+            Fault(&'static str),
+        }
+        impl From<FailpointError> for E {
+            fn from(f: FailpointError) -> Self {
+                E::Fault(f.site)
+            }
+        }
+        fn site() -> Result<u32, E> {
+            crate::failpoint!("macro.site");
+            Ok(7)
+        }
+        assert_eq!(site(), Ok(7));
+        enable("macro.site");
+        assert_eq!(site(), Err(E::Fault("macro.site")));
+        disable("macro.site");
+        assert_eq!(site(), Ok(7));
+    }
+}

@@ -1,0 +1,83 @@
+//! Disabled-guard overhead: with no governor installed, checkpoints and
+//! charges must not allocate — one thread-local read and out. A counting
+//! global allocator wraps the system allocator; only allocations made by
+//! the measuring thread are counted (the libtest harness thread can
+//! allocate at any time and must not pollute the count). Mirrors
+//! `crates/obs/tests/overhead.rs`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use aqks_guard::{Budget, Governor};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    // Const-initialized and destructor-free, so reading it inside the
+    // allocator can neither allocate nor touch torn-down TLS.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = TRACKING.try_with(|t| {
+            if t.get() {
+                ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn ungoverned_charges_do_not_allocate() {
+    // Warm the thread-local ambient stack and any lazy runtime state.
+    {
+        let gov = Governor::new(&Budget::unlimited());
+        let g = aqks_guard::install(&gov);
+        let _ = aqks_guard::charge_rows("warmup", 1);
+        let _ = aqks_guard::checkpoint("warmup");
+        drop(g);
+        let _ = aqks_guard::current();
+        let _ = aqks_guard::charge_rows("warmup", 1);
+        // With the `failpoints` feature, the first probe lazily reads
+        // `AQKS_FAILPOINTS` and initializes the thread-local registry.
+        let _ = aqks_guard::failpoint::should_fire("warmup");
+    }
+
+    TRACKING.with(|t| t.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10_000 {
+        // The hot-loop surface: a batch checkpoint plus per-dimension
+        // charges, all with no governor installed.
+        let _ = aqks_guard::checkpoint("ops.batch");
+        let _ = aqks_guard::charge_rows("ops.batch", 1024);
+        let _ = aqks_guard::charge_patterns("pattern.enumerate", 1);
+        let _ = aqks_guard::charge_interpretations("engine.answer", 1);
+        assert!(!aqks_guard::failpoint::should_fire("ops.batch"));
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled guard allocated {} time(s)", after - before);
+
+    // Sanity check that the counter itself works.
+    let probe = vec![1u8, 2, 3];
+    assert!(ALLOCATIONS.load(Ordering::SeqCst) > after, "allocator instrumented");
+    drop(probe);
+    TRACKING.with(|t| t.set(false));
+
+    // An installed governor with limits still enforces normally: the
+    // zero-cost path above did not disable anything.
+    let gov = Governor::new(&Budget::unlimited().with_max_rows(10));
+    let _g = aqks_guard::install(&gov);
+    assert!(aqks_guard::charge_rows("live", 11).is_err());
+}

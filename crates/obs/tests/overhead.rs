@@ -1,9 +1,11 @@
 //! Disabled-recorder overhead: instrumentation with recording off must
 //! not allocate. A counting global allocator wraps the system allocator;
-//! this file holds exactly one test so no sibling test can allocate
-//! concurrently and pollute the count.
+//! only allocations made by the measuring thread are counted (the
+//! libtest harness thread can allocate at any time and must not pollute
+//! the count).
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use aqks_obs::Recorder;
@@ -12,9 +14,19 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    // Const-initialized and destructor-free, so reading it inside the
+    // allocator can neither allocate nor touch torn-down TLS.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        let _ = TRACKING.try_with(|t| {
+            if t.get() {
+                ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+            }
+        });
         System.alloc(layout)
     }
 
@@ -37,6 +49,7 @@ fn disabled_spans_and_counters_do_not_allocate() {
         let _ = aqks_obs::current();
     }
 
+    TRACKING.with(|t| t.set(true));
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for _ in 0..10_000 {
         let span = rec.span("phase");
@@ -52,6 +65,7 @@ fn disabled_spans_and_counters_do_not_allocate() {
     let probe = vec![1u8, 2, 3];
     assert!(ALLOCATIONS.load(Ordering::SeqCst) > after, "allocator instrumented");
     drop(probe);
+    TRACKING.with(|t| t.set(false));
 
     // And the same recorder records normally once enabled.
     rec.enable();

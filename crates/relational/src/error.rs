@@ -55,6 +55,23 @@ pub enum Error {
     },
     /// A schema was declared inconsistently (bad PK/FK attribute, etc.).
     InvalidSchema(String),
+    /// A resource budget tripped during an index probe (cooperative
+    /// cancellation; see `aqks-guard`).
+    Budget(aqks_guard::Tripped),
+    /// A deterministic failpoint fired (fault-injection builds only).
+    Fault(&'static str),
+}
+
+impl From<aqks_guard::Tripped> for Error {
+    fn from(t: aqks_guard::Tripped) -> Self {
+        Error::Budget(t)
+    }
+}
+
+impl From<aqks_guard::FailpointError> for Error {
+    fn from(f: aqks_guard::FailpointError) -> Self {
+        Error::Fault(f.site)
+    }
 }
 
 impl fmt::Display for Error {
@@ -79,6 +96,8 @@ impl fmt::Display for Error {
                 write!(f, "foreign key violation in `{relation}`: {fk}")
             }
             Error::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            Error::Budget(t) => write!(f, "{t}"),
+            Error::Fault(site) => write!(f, "injected fault at `{site}`"),
         }
     }
 }

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use crate::database::Database;
+use crate::error::Result;
 
 /// A keyword match against metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,26 +129,37 @@ impl MatchIndex {
     /// Value matches of a (possibly multi-word) term, with per-column
     /// matching-tuple counts. `db` must be the database the index was
     /// built from.
-    pub fn match_values(&self, db: &Database, term: &str) -> Vec<ValueMatch> {
-        self.match_value_rows(db, term)
+    ///
+    /// Fallible: probe loops observe the ambient `aqks-guard` budget
+    /// (deadline + row cap), and the `index.lookup` failpoint can inject
+    /// a fault in instrumented builds.
+    pub fn match_values(&self, db: &Database, term: &str) -> Result<Vec<ValueMatch>> {
+        Ok(self
+            .match_value_rows(db, term)?
             .into_iter()
             .map(|(relation, attribute, rows)| ValueMatch {
                 relation,
                 attribute,
                 tuple_count: rows.len(),
             })
-            .collect()
+            .collect())
     }
 
     /// Like [`MatchIndex::match_values`] but returning the matching row
     /// ids per column — used by the unnormalized pipeline, which counts
     /// *distinct objects* (projections onto a derived key) rather than
     /// raw rows.
-    pub fn match_value_rows(&self, db: &Database, term: &str) -> Vec<(String, String, Vec<u32>)> {
+    pub fn match_value_rows(
+        &self,
+        db: &Database,
+        term: &str,
+    ) -> Result<Vec<(String, String, Vec<u32>)>> {
+        aqks_guard::failpoint!("index.lookup");
+        aqks_guard::checkpoint("index.lookup")?;
         let lower = term.to_lowercase();
         let tokens: Vec<&str> = tokenize(&lower).collect();
         if tokens.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
 
         // Candidate columns: intersection of the tokens' column sets.
@@ -160,7 +172,7 @@ impl MatchIndex {
                 Some(p) => postings.push(p),
                 None => {
                     aqks_obs::counter("index.token_hits", postings.len() as u64);
-                    return Vec::new();
+                    return Ok(Vec::new());
                 }
             }
         }
@@ -169,6 +181,7 @@ impl MatchIndex {
         let mut out = Vec::new();
         let (mut verified, mut matched) = (0u64, 0u64);
         'col: for (&col, rows0) in &postings[0].by_column {
+            aqks_guard::checkpoint("index.verify")?;
             let mut candidates: Vec<u32> = rows0.clone();
             for p in &postings[1..] {
                 let Some(rows) = p.by_column.get(&col) else { continue 'col };
@@ -179,6 +192,9 @@ impl MatchIndex {
             }
             // Verify phrase containment (tokens may be non-adjacent in the
             // value; `contains` semantics require the literal phrase).
+            // Each verified candidate is an intermediate row the budget
+            // pays for.
+            aqks_guard::charge_rows("index.verify", candidates.len() as u64)?;
             verified += candidates.len() as u64;
             let table = &db.tables()[col.0 as usize];
             let rows: Vec<u32> = candidates
@@ -197,7 +213,7 @@ impl MatchIndex {
         aqks_obs::counter("index.rows_verified", verified);
         aqks_obs::counter("index.tuples_matched", matched);
         out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
-        out
+        Ok(out)
     }
 
     /// Number of rows in the indexed column (test/debug aid).
@@ -268,7 +284,7 @@ mod tests {
     fn value_match_counts_tuples() {
         let db = db();
         let idx = MatchIndex::build(&db);
-        let m = idx.match_values(&db, "Green");
+        let m = idx.match_values(&db, "Green").unwrap();
         assert_eq!(m.len(), 2, "Green appears in Student.Sname and Part.pname: {m:?}");
         let sname = m.iter().find(|v| v.relation == "Student").unwrap();
         assert_eq!(sname.tuple_count, 2);
@@ -278,7 +294,7 @@ mod tests {
     fn phrase_match_requires_contiguity() {
         let db = db();
         let idx = MatchIndex::build(&db);
-        let m = idx.match_values(&db, "royal olive");
+        let m = idx.match_values(&db, "royal olive").unwrap();
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].tuple_count, 2, "'royal green peach' has both tokens but not the phrase");
     }
@@ -287,14 +303,56 @@ mod tests {
     fn no_match_returns_empty() {
         let db = db();
         let idx = MatchIndex::build(&db);
-        assert!(idx.match_values(&db, "zebra").is_empty());
-        assert!(idx.match_values(&db, "").is_empty());
+        assert!(idx.match_values(&db, "zebra").unwrap().is_empty());
+        assert!(idx.match_values(&db, "").unwrap().is_empty());
     }
 
     #[test]
     fn match_is_case_insensitive() {
         let db = db();
         let idx = MatchIndex::build(&db);
-        assert_eq!(idx.match_values(&db, "GEORGE").len(), 1);
+        assert_eq!(idx.match_values(&db, "GEORGE").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn probe_respects_ambient_row_budget() {
+        let db = db();
+        let idx = MatchIndex::build(&db);
+        let gov = aqks_guard::Governor::new(&aqks_guard::Budget::unlimited().with_max_rows(1));
+        let _g = aqks_guard::install(&gov);
+        let err = idx.match_values(&db, "Green").unwrap_err();
+        match err {
+            crate::Error::Budget(t) => {
+                assert_eq!(t.kind, aqks_guard::BudgetKind::Rows);
+                assert_eq!(t.site, "index.verify");
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_respects_expired_deadline() {
+        let db = db();
+        let idx = MatchIndex::build(&db);
+        let gov = aqks_guard::Governor::new(
+            &aqks_guard::Budget::unlimited().with_timeout(std::time::Duration::ZERO),
+        );
+        let _g = aqks_guard::install(&gov);
+        let err = idx.match_values(&db, "Green").unwrap_err();
+        assert!(
+            matches!(err, crate::Error::Budget(t) if t.kind == aqks_guard::BudgetKind::Deadline)
+        );
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn lookup_failpoint_surfaces_typed_error() {
+        let db = db();
+        let idx = MatchIndex::build(&db);
+        aqks_guard::failpoint::enable("index.lookup");
+        let err = idx.match_values(&db, "Green").unwrap_err();
+        assert_eq!(err, crate::Error::Fault("index.lookup"));
+        aqks_guard::failpoint::disable("index.lookup");
+        assert!(idx.match_values(&db, "Green").is_ok());
     }
 }

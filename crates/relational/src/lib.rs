@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! # aqks-relational
 //!
 //! The relational substrate for the `aqks` keyword-search system: an

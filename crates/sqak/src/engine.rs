@@ -295,7 +295,10 @@ impl Sqak {
                 return Ok((ri, Resolved::Attribute(attr.to_string())));
             }
         }
-        let hits = self.index.match_value_rows(&self.db, term);
+        let hits = self
+            .index
+            .match_value_rows(&self.db, term)
+            .map_err(|e| SqakError::Unsupported(format!("index probe failed: {e}")))?;
         let best = hits
             .into_iter()
             .filter_map(|(relation, attribute, rows)| {

@@ -36,6 +36,11 @@ pub enum ExecError {
     DuplicateAlias(String),
     /// Statement shape not supported (e.g. empty SELECT list).
     Unsupported(String),
+    /// A resource budget tripped while the plan was running (cooperative
+    /// cancellation; see `aqks-guard`).
+    Budget(aqks_guard::Tripped),
+    /// A deterministic failpoint fired (fault-injection builds only).
+    Fault(&'static str),
 }
 
 impl std::fmt::Display for ExecError {
@@ -45,11 +50,25 @@ impl std::fmt::Display for ExecError {
             ExecError::UnknownColumn(c) => write!(f, "unresolved column `{c}`"),
             ExecError::DuplicateAlias(a) => write!(f, "duplicate FROM alias `{a}`"),
             ExecError::Unsupported(m) => write!(f, "unsupported statement: {m}"),
+            ExecError::Budget(t) => write!(f, "{t}"),
+            ExecError::Fault(site) => write!(f, "injected fault at `{site}`"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+impl From<aqks_guard::Tripped> for ExecError {
+    fn from(t: aqks_guard::Tripped) -> Self {
+        ExecError::Budget(t)
+    }
+}
+
+impl From<aqks_guard::FailpointError> for ExecError {
+    fn from(f: aqks_guard::FailpointError) -> Self {
+        ExecError::Fault(f.site)
+    }
+}
 
 /// Executes `stmt` against `db`.
 pub fn execute(stmt: &SelectStatement, db: &Database) -> Result<ResultTable, ExecError> {

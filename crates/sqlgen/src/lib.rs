@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! # aqks-sqlgen
 //!
 //! The SQL subset shared by the semantic engine and the SQAK baseline:

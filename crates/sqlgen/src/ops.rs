@@ -142,6 +142,58 @@ impl Operator for Metered<'_> {
     }
 }
 
+/// Shim enforcing the ambient `aqks-guard` budget around an operator,
+/// mirroring [`Metered`]: a deadline checkpoint before every `next` call
+/// and a row charge for every batch emitted. Only inserted by [`build`]
+/// when a governor is installed, so ungoverned plans pay nothing.
+struct Guarded<'a> {
+    /// Charge site, e.g. `"ops.HashJoin"` — names the operator whose
+    /// output crossed the budget.
+    site: &'static str,
+    inner: Box<dyn Operator + 'a>,
+}
+
+impl Operator for Guarded<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        aqks_guard::checkpoint(self.site)?;
+        self.inner.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        aqks_guard::checkpoint(self.site)?;
+        let r = self.inner.next()?;
+        if let Some(batch) = &r {
+            aqks_guard::charge_rows(self.site, batch.len() as u64)?;
+        }
+        Ok(r)
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+
+    fn note(&self) -> Option<String> {
+        self.inner.note()
+    }
+}
+
+/// Budget charge site of an operator (static so [`aqks_guard::Tripped`]
+/// can carry it without allocating).
+fn guard_site(op: &PlanOp) -> &'static str {
+    match op {
+        PlanOp::Scan { .. } => "ops.Scan",
+        PlanOp::DerivedTable { .. } => "ops.DerivedTable",
+        PlanOp::Filter { .. } => "ops.Filter",
+        PlanOp::HashJoin { .. } => "ops.HashJoin",
+        PlanOp::CrossJoin => "ops.CrossJoin",
+        PlanOp::HashAggregate { .. } => "ops.HashAggregate",
+        PlanOp::Project { .. } => "ops.Project",
+        PlanOp::Distinct => "ops.Distinct",
+        PlanOp::Sort { .. } => "ops.Sort",
+        PlanOp::Limit { .. } => "ops.Limit",
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Operators
 // ---------------------------------------------------------------------------
@@ -252,6 +304,7 @@ impl HashJoin<'_> {
 
 impl Operator for HashJoin<'_> {
     fn open(&mut self) -> Result<(), ExecError> {
+        aqks_guard::failpoint!("join.build");
         self.left.open()?;
         self.right.open()?;
         let (build, keys) = if self.build_left {
@@ -260,6 +313,10 @@ impl Operator for HashJoin<'_> {
             (&mut self.right, self.right_keys)
         };
         while let Some(batch) = build.next()? {
+            // Retained hash-table state is charged against the budget on
+            // top of the child's streaming charge: materialized rows are
+            // the memory hazard a row cap exists to bound.
+            aqks_guard::charge_rows("ops.HashJoin.build", batch.len() as u64)?;
             for row in batch {
                 self.build_rows += 1;
                 if let Some(key) = Self::key_of(&row, keys) {
@@ -329,6 +386,7 @@ impl Operator for CrossJoin<'_> {
         self.left.open()?;
         self.right.open()?;
         while let Some(batch) = self.right.next()? {
+            aqks_guard::charge_rows("ops.CrossJoin.build", batch.len() as u64)?;
             self.buffer.extend(batch);
         }
         Ok(())
@@ -379,6 +437,9 @@ impl Operator for HashAggregate<'_> {
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
         while let Some(batch) = self.child.next()? {
+            // Grouped rows are retained until finalize; charge them like
+            // hash-join build state.
+            aqks_guard::charge_rows("ops.HashAggregate.build", batch.len() as u64)?;
             for row in batch {
                 self.in_rows += 1;
                 let key: Vec<Value> = self.group.iter().map(|&i| row[i].clone()).collect();
@@ -389,6 +450,7 @@ impl Operator for HashAggregate<'_> {
                 entry.push(row);
             }
         }
+        aqks_guard::failpoint!("agg.finalize");
         // A global aggregate over an empty input still yields one row.
         if groups.is_empty() && self.group.is_empty() {
             order.push(Vec::new());
@@ -575,6 +637,7 @@ fn build<'a>(
     node: &'a PlanNode,
     db: &'a Database,
     stats: &StatsCell,
+    governed: bool,
 ) -> Result<Metered<'a>, ExecError> {
     let inner: Box<dyn Operator + 'a> = match &node.op {
         PlanOp::Scan { relation, pushed, .. } => {
@@ -583,14 +646,14 @@ fn build<'a>(
             Box::new(Scan { rows: table.rows(), preds: pushed, pos: 0 })
         }
         PlanOp::DerivedTable { .. } => {
-            Box::new(Passthrough { child: build(&node.children[0], db, stats)? })
+            Box::new(Passthrough { child: build(&node.children[0], db, stats, governed)? })
         }
         PlanOp::Filter { preds } => {
-            Box::new(Filter { child: build(&node.children[0], db, stats)?, preds })
+            Box::new(Filter { child: build(&node.children[0], db, stats, governed)?, preds })
         }
         PlanOp::HashJoin { left_keys, right_keys, build_left } => Box::new(HashJoin {
-            left: build(&node.children[0], db, stats)?,
-            right: build(&node.children[1], db, stats)?,
+            left: build(&node.children[0], db, stats, governed)?,
+            right: build(&node.children[1], db, stats, governed)?,
             left_keys,
             right_keys,
             build_left: *build_left,
@@ -599,12 +662,12 @@ fn build<'a>(
             probe_rows: 0,
         }),
         PlanOp::CrossJoin => Box::new(CrossJoin {
-            left: build(&node.children[0], db, stats)?,
-            right: build(&node.children[1], db, stats)?,
+            left: build(&node.children[0], db, stats, governed)?,
+            right: build(&node.children[1], db, stats, governed)?,
             buffer: Vec::new(),
         }),
         PlanOp::HashAggregate { group, items, .. } => Box::new(HashAggregate {
-            child: build(&node.children[0], db, stats)?,
+            child: build(&node.children[0], db, stats, governed)?,
             group,
             items,
             output: Vec::new(),
@@ -613,21 +676,26 @@ fn build<'a>(
             groups_out: 0,
         }),
         PlanOp::Project { cols, .. } => {
-            Box::new(Project { child: build(&node.children[0], db, stats)?, cols })
+            Box::new(Project { child: build(&node.children[0], db, stats, governed)?, cols })
         }
-        PlanOp::Distinct => {
-            Box::new(Distinct { child: build(&node.children[0], db, stats)?, seen: HashSet::new() })
-        }
+        PlanOp::Distinct => Box::new(Distinct {
+            child: build(&node.children[0], db, stats, governed)?,
+            seen: HashSet::new(),
+        }),
         PlanOp::Sort { keys } => Box::new(Sort {
-            child: build(&node.children[0], db, stats)?,
+            child: build(&node.children[0], db, stats, governed)?,
             keys,
             buffer: Vec::new(),
             emitted: 0,
         }),
         PlanOp::Limit { n } => {
-            Box::new(Limit { child: build(&node.children[0], db, stats)?, remaining: *n })
+            Box::new(Limit { child: build(&node.children[0], db, stats, governed)?, remaining: *n })
         }
     };
+    // Budget enforcement sits inside the metering shim so governed wall
+    // time is attributed to the operator it bounds.
+    let inner: Box<dyn Operator + 'a> =
+        if governed { Box::new(Guarded { site: guard_site(&node.op), inner }) } else { inner };
     Ok(Metered { id: node.id, stats: stats.clone(), inner })
 }
 
@@ -638,7 +706,10 @@ fn build<'a>(
 pub fn run_plan(plan: &PlanNode, db: &Database) -> Result<(ResultTable, ExecStats), ExecError> {
     let t0 = Instant::now();
     let stats: StatsCell = Rc::new(RefCell::new(vec![OpMetrics::default(); plan.max_id() + 1]));
-    let mut root = build(plan, db, &stats)?;
+    // One ambient probe per plan: ungoverned runs skip the Guarded shims
+    // entirely, keeping the default path free.
+    let governed = aqks_guard::current().is_some();
+    let mut root = build(plan, db, &stats, governed)?;
     root.open()?;
     let mut rows: Vec<Row> = Vec::new();
     while let Some(batch) = root.next()? {
@@ -753,7 +824,7 @@ pub(crate) fn aggregate<'a, I: Iterator<Item = &'a Value>>(
 mod tests {
     use super::*;
     use crate::ast::{ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
-    use crate::exec::execute_with_stats;
+    use crate::exec::{execute, execute_with_stats};
     use crate::plan::plan;
     use aqks_relational::{AttrType, RelationSchema};
 
@@ -917,5 +988,119 @@ mod tests {
             assert_eq!(crate::exec::execute(&stmt, &db).unwrap().rows, first.rows);
         }
         assert!(first.rows.windows(2).all(|w| w[0] <= w[1]));
+    }
+    /// Helper: a Student-Enrol join statement over a fresh database with
+    /// `n` students and `2n` enrolments (Enrol is the larger side, so
+    /// the planner builds the hash table from Student).
+    fn join_fixture(n: i64) -> (Database, SelectStatement) {
+        let mut db = Database::new("gov");
+        let mut s = RelationSchema::new("Student");
+        s.add_attr("Sid", AttrType::Int).add_attr("Sname", AttrType::Text);
+        db.add_relation(s).unwrap();
+        let mut e = RelationSchema::new("Enrol");
+        e.add_attr("Sid", AttrType::Int).add_attr("Code", AttrType::Text);
+        db.add_relation(e).unwrap();
+        for i in 0..n {
+            db.insert("Student", vec![Value::Int(i), Value::str(format!("s{i}"))]).unwrap();
+            for j in 0..2 {
+                db.insert("Enrol", vec![Value::Int(i), Value::str(format!("c{j}"))]).unwrap();
+            }
+        }
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("S", "Sname"), alias: None },
+                SelectItem::Column { col: col("E", "Code"), alias: None },
+            ],
+            from: vec![
+                TableExpr::Relation { name: "Student".into(), alias: "S".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "E".into() },
+            ],
+            predicates: vec![Predicate::JoinEq(col("S", "Sid"), col("E", "Sid"))],
+            ..Default::default()
+        };
+        (db, stmt)
+    }
+
+    /// Row cap sized to survive the build-side scan but not the hash
+    /// table it feeds: the trip names `ops.HashJoin.build`, the
+    /// materialization site, not the streaming scan.
+    #[test]
+    fn row_cap_trips_inside_hash_join_build() {
+        let (db, stmt) = join_fixture(50);
+        let gov = aqks_guard::Governor::new(&aqks_guard::Budget::unlimited().with_max_rows(60));
+        let _g = aqks_guard::install(&gov);
+        let err = execute(&stmt, &db).unwrap_err();
+        match err {
+            ExecError::Budget(t) => {
+                assert_eq!(t.kind, aqks_guard::BudgetKind::Rows);
+                assert_eq!(t.site, "ops.HashJoin.build");
+            }
+            other => panic!("expected budget trip, got {other:?}"),
+        }
+        assert_eq!(gov.trip().map(|t| t.site), Some("ops.HashJoin.build"));
+    }
+
+    /// An expired deadline cancels the plan at the next per-batch
+    /// checkpoint instead of running to completion.
+    #[test]
+    fn expired_deadline_cancels_next_batch() {
+        let (db, stmt) = join_fixture(50);
+        let gov = aqks_guard::Governor::new(
+            &aqks_guard::Budget::unlimited().with_timeout(Duration::ZERO),
+        );
+        let _g = aqks_guard::install(&gov);
+        let err = execute(&stmt, &db).unwrap_err();
+        match err {
+            ExecError::Budget(t) => {
+                assert_eq!(t.kind, aqks_guard::BudgetKind::Deadline);
+                assert!(t.site.starts_with("ops."), "deadline caught in an operator: {}", t.site);
+            }
+            other => panic!("expected deadline trip, got {other:?}"),
+        }
+    }
+
+    /// Without an installed governor the same query runs to completion —
+    /// the Guarded shim is not even constructed.
+    #[test]
+    fn ungoverned_plans_are_unaffected() {
+        let (db, stmt) = join_fixture(50);
+        let t = execute(&stmt, &db).unwrap();
+        assert_eq!(t.len(), 100);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn join_build_failpoint_surfaces_typed_error() {
+        let (db, stmt) = join_fixture(5);
+        aqks_guard::failpoint::enable("join.build");
+        let err = execute(&stmt, &db).unwrap_err();
+        assert_eq!(err, ExecError::Fault("join.build"));
+        aqks_guard::failpoint::disable("join.build");
+        assert_eq!(execute(&stmt, &db).unwrap().len(), 10);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn agg_finalize_failpoint_surfaces_typed_error() {
+        let mut db = Database::new("t");
+        let mut s = RelationSchema::new("T");
+        s.add_attr("K", AttrType::Int);
+        db.add_relation(s).unwrap();
+        db.insert("T", vec![Value::Int(1)]).unwrap();
+        let stmt = SelectStatement {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: col("T", "K"),
+                distinct: false,
+                alias: "n".into(),
+            }],
+            from: vec![TableExpr::Relation { name: "T".into(), alias: "T".into() }],
+            ..Default::default()
+        };
+        aqks_guard::failpoint::enable("agg.finalize");
+        let err = execute(&stmt, &db).unwrap_err();
+        assert_eq!(err, ExecError::Fault("agg.finalize"));
+        aqks_guard::failpoint::clear();
+        assert_eq!(execute(&stmt, &db).unwrap().scalar(), Some(&Value::Int(1)));
     }
 }

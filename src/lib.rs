@@ -14,6 +14,7 @@
 //! * [`sqak`] — the SQAK baseline the paper compares against
 //! * [`datasets`] — university / TPC-H / ACM-DL datasets and denormalizers
 //! * [`analyze`] — static semantic analyzer for generated SQL plans
+//! * [`guard`] — resource budgets, cooperative cancellation, failpoints
 //!
 //! ## Quickstart
 //!
@@ -27,10 +28,31 @@
 //! assert!(!answers.is_empty());
 //! println!("{}", answers[0].sql_text);
 //! ```
+//!
+//! To keep an adversarial query inside a box, answer it under a
+//! [`guard::Budget`]: exhaustion degrades gracefully into the completed
+//! interpretations plus a structured report instead of an error.
+//!
+//! ```
+//! use aqks::core::{Budget, Engine};
+//! use aqks::datasets::university;
+//! use std::time::Duration;
+//!
+//! let engine = Engine::new(university::normalized()).unwrap();
+//! let budget = Budget::unlimited()
+//!     .with_timeout(Duration::from_millis(250))
+//!     .with_max_rows(100_000);
+//! let governed = engine.answer_governed("Green SUM Credit", 1, &budget).unwrap();
+//! match governed.exhaustion {
+//!     None => println!("{} answer(s) within budget", governed.value.len()),
+//!     Some(ex) => println!("stopped early: {ex}"),
+//! }
+//! ```
 
 pub use aqks_analyze as analyze;
 pub use aqks_core as core;
 pub use aqks_datasets as datasets;
+pub use aqks_guard as guard;
 pub use aqks_orm as orm;
 pub use aqks_relational as relational;
 pub use aqks_sqak as sqak;
