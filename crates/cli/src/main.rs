@@ -1,3 +1,5 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! `aqks` — an interactive keyword-query shell over the bundled datasets.
 //!
 //! ```text
@@ -19,15 +21,19 @@
 //!   `budget exhausted: …` diagnostic goes to stderr, and the process
 //!   exits with code 3
 //!
-//! Subcommand `aqks check [--dataset NAME] [--sqak] [QUERY]` runs the
-//! static analyzer (`aqks-analyze`) over the SQL both engines generate —
-//! for one query, or for the dataset's whole built-in workload when no
-//! query is given — and exits non-zero on error-severity findings.
+//! Subcommand `aqks check [--dataset NAME] [--sqak] [--plans] [QUERY]`
+//! runs the static analyzer (`aqks-analyze`) over the SQL both engines
+//! generate — for one query, or for the dataset's whole built-in
+//! workload when no query is given — and exits non-zero on
+//! error-severity findings. `--plans` additionally lowers every
+//! interpretation to its physical plan and runs the plan verifier
+//! (`aqks-plancheck`) on it, printing each plan's fingerprint.
 //!
 //! Subcommand `aqks explain [--analyze] [--dataset NAME] [QUERY]` prints
-//! the physical operator tree of each generated statement; `--analyze`
-//! additionally executes the plan and annotates every operator with rows
-//! in/out and wall time.
+//! the physical operator tree of each generated statement with its
+//! statically inferred properties (keys, ordering, row bounds) and its
+//! normalized fingerprint; `--analyze` additionally executes the plan
+//! and annotates every operator with rows in/out and wall time.
 //!
 //! Subcommand `aqks trace [--dataset NAME] [QUERY]` answers the query
 //! with the `aqks-obs` recorder enabled and prints the pipeline span
@@ -80,6 +86,7 @@ struct Options {
     sqak: bool,
     explain: bool,
     check: bool,
+    plans: bool,
     explain_plan: bool,
     trace_cmd: bool,
     analyze: bool,
@@ -131,6 +138,7 @@ fn parse_args() -> Result<Options, String> {
         sqak: false,
         explain: false,
         check: false,
+        plans: false,
         explain_plan: false,
         trace_cmd: false,
         analyze: false,
@@ -161,6 +169,7 @@ fn parse_args() -> Result<Options, String> {
             "--sqak" => opts.sqak = true,
             "--explain" => opts.explain = true,
             "--analyze" => opts.analyze = true,
+            "--plans" => opts.plans = true,
             "--trace" => opts.trace = Some(TraceFormat::Text),
             flag if flag.starts_with("--trace=") => {
                 opts.trace = Some(TraceFormat::parse(&flag["--trace=".len()..])?);
@@ -194,7 +203,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.max_interpretations = Some(num(&args, i, "--max-interpretations")?);
             }
             "--help" | "-h" => {
-                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [QUERY]");
+                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--plans] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [QUERY]");
                 std::process::exit(0);
             }
             "check" if positional.is_empty() && !opts.subcommand() => opts.check = true,
@@ -373,6 +382,17 @@ fn run_explain(engine: &Engine, queries: &[String], k: usize, analyze: bool) -> 
                     continue;
                 }
             };
+            // Verify first: explain output shows each operator's
+            // statically inferred keys, ordering, and row bounds.
+            let verified = match aqks_plancheck::verify(&plan, db, Some(&g.sql)) {
+                Ok(v) => v,
+                Err(e) => {
+                    println!("  plan verification error: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            println!("plan fingerprint: {}", aqks_plancheck::fingerprint_hex(&plan));
             let rendered = if analyze {
                 match aqks_sqlgen::run_plan(&plan, db) {
                     Ok((_, stats)) => aqks_sqlgen::render_plan_with_stats(&plan, &stats),
@@ -383,7 +403,7 @@ fn run_explain(engine: &Engine, queries: &[String], k: usize, analyze: bool) -> 
                     }
                 }
             } else {
-                aqks_sqlgen::render_plan(&plan)
+                aqks_plancheck::render_verified(&plan, &verified)
             };
             println!("{rendered}");
         }
@@ -428,9 +448,18 @@ fn run_trace(
 }
 
 /// Statically analyzes the SQL both engines generate for `queries`;
-/// returns the number of error-severity findings.
-fn run_check(engine: &Engine, sqak: Option<&Sqak>, queries: &[String], k: usize) -> usize {
+/// with `plans`, additionally lowers each interpretation to a physical
+/// plan and runs the plan verifier on it. Returns the number of
+/// error-severity findings.
+fn run_check(
+    engine: &Engine,
+    sqak: Option<&Sqak>,
+    queries: &[String],
+    k: usize,
+    plans: bool,
+) -> usize {
     let schema = engine.database().schema();
+    let db = engine.database();
     let mut errors = 0;
     for q in queries {
         println!("── check `{q}`");
@@ -447,6 +476,25 @@ fn run_check(engine: &Engine, sqak: Option<&Sqak>, queries: &[String], k: usize)
                     if !g.diagnostics.is_clean() {
                         for line in g.diagnostics.render(&g.sql).lines() {
                             println!("    {line}");
+                        }
+                    }
+                    if plans {
+                        match aqks_sqlgen::plan(&g.sql, db) {
+                            Ok(p) => match aqks_plancheck::verify(&p, db, Some(&g.sql)) {
+                                Ok(_) => println!(
+                                    "  plan #{}: verified (fingerprint {})",
+                                    rank + 1,
+                                    aqks_plancheck::fingerprint_hex(&p)
+                                ),
+                                Err(e) => {
+                                    errors += 1;
+                                    println!("  plan #{}: REJECTED {e}", rank + 1);
+                                }
+                            },
+                            Err(e) => {
+                                errors += 1;
+                                println!("  plan #{}: plan error: {e}", rank + 1);
+                            }
                         }
                     }
                 }
@@ -568,7 +616,7 @@ fn main() {
             .as_ref()
             .map(|q| vec![q.clone()])
             .unwrap_or_else(|| check_workload(&opts.dataset));
-        let errors = run_check(&engine, sqak.as_ref(), &queries, opts.k.max(3));
+        let errors = run_check(&engine, sqak.as_ref(), &queries, opts.k.max(3), opts.plans);
         if errors > 0 {
             eprintln!("check failed: {errors} error finding(s)");
             std::process::exit(1);

@@ -357,6 +357,22 @@ impl Engine {
                 let _s = self.recorder.span("plan");
                 aqks_sqlgen::plan(&g.sql, &self.db).map_err(CoreError::from)?
             };
+            {
+                // Debug builds statically verify every plan before it
+                // runs; release builds skip in a branch (the span keeps
+                // traces shape-stable across profiles).
+                let s = self.recorder.span("plancheck");
+                if cfg!(debug_assertions) {
+                    s.add("plancheck.checked", 1);
+                }
+                if let Err(e) = aqks_plancheck::verify_in_debug(&plan, &self.db, Some(&g.sql)) {
+                    s.add(format!("plancheck.rejected.{}", e.kind.name()), 1);
+                    return Err(CoreError::Analysis(format!(
+                        "plan verification failed: {e}\n{}",
+                        g.sql_text
+                    )));
+                }
+            }
             let run = {
                 let s = self.recorder.span("exec");
                 let run = aqks_sqlgen::run_plan(&plan, &self.db);

@@ -185,7 +185,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut db = Database::new("acmdl");
     for rel in acmdl_schema() {
-        db.add_relation(rel).unwrap();
+        db.add_relation(rel).expect("static dataset builder");
     }
 
     // --- Publisher ---------------------------------------------------------
@@ -203,7 +203,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
             "Publisher",
             vec![Value::Int(publisherid), Value::str(format!("P{publisherid}")), Value::str(name)],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     for name in words::PUBLISHERS {
         publisherid += 1;
@@ -211,7 +211,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
             "Publisher",
             vec![Value::Int(publisherid), Value::str(format!("P{publisherid}")), Value::str(*name)],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     let acm_publisher = cfg.ieee_publishers as i64 + 1; // "ACM"
     let n_publishers = publisherid;
@@ -244,7 +244,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
                     Value::Int(publisher),
                 ],
             )
-            .unwrap();
+            .expect("static dataset builder");
             procid
         };
 
@@ -288,7 +288,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
                 Value::str("Gill"),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     let mut johns = Vec::new();
     for i in 0..cfg.john_authors {
@@ -302,7 +302,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
                 Value::str(words::LAST_NAMES[i % words::LAST_NAMES.len()]),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     let mut marys = Vec::new();
     for i in 0..cfg.mary_authors {
@@ -316,7 +316,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
                 Value::str(words::LAST_NAMES[(i + 7) % words::LAST_NAMES.len()]),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     let background_author_start = authorid + 1;
     for i in 0..cfg.background_authors {
@@ -329,7 +329,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
                 Value::str(words::LAST_NAMES[(i * 5 + 2) % words::LAST_NAMES.len()]),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     let n_authors = authorid;
 
@@ -347,7 +347,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
                 Value::str("Smith"),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     let background_editor_start = editorid + 1;
     for i in 0..cfg.background_editors {
@@ -360,7 +360,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
                 Value::str(words::LAST_NAMES[(i * 11 + 4) % words::LAST_NAMES.len()]),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
 
     // --- Paper + Write -------------------------------------------------------------
@@ -368,7 +368,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
     let mut writes: HashSet<(i64, i64)> = HashSet::new();
     let proc_dates: Vec<Date> = db
         .table("Proceeding")
-        .unwrap()
+        .expect("static dataset builder")
         .rows()
         .iter()
         .map(|r| match &r[3] {
@@ -389,12 +389,12 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
             "Paper",
             vec![Value::Int(paperid), Value::Int(proc_), Value::Date(d), Value::str(ptitle)],
         )
-        .unwrap();
+        .expect("static dataset builder");
         paperid
     };
     let add_write = |db: &mut Database, writes: &mut HashSet<(i64, i64)>, p: i64, a: i64| {
         if writes.insert((p, a)) {
-            db.insert("Write", vec![Value::Int(p), Value::Int(a)]).unwrap();
+            db.insert("Write", vec![Value::Int(p), Value::Int(a)]).expect("static dataset builder");
         }
     };
 
@@ -488,7 +488,7 @@ pub fn generate_acmdl(cfg: &AcmdlConfig) -> Database {
     let mut edits: HashSet<(i64, i64)> = HashSet::new();
     let add_edit = |db: &mut Database, edits: &mut HashSet<(i64, i64)>, e: i64, p: i64| {
         if edits.insert((e, p)) {
-            db.insert("Edit", vec![Value::Int(e), Value::Int(p)]).unwrap();
+            db.insert("Edit", vec![Value::Int(e), Value::Int(p)]).expect("static dataset builder");
         }
     };
 

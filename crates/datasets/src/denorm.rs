@@ -71,7 +71,7 @@ pub fn denormalize_tpch(tpch: &Database) -> Database {
     r.name_entity(["nationkey"], "Nation");
     r.name_entity(["orderkey"], "Order");
     r.name_entity(["partkey", "suppkey", "orderkey"], "Lineitem");
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Customer");
     r.add_attr("custkey", AttrType::Int)
@@ -85,17 +85,17 @@ pub fn denormalize_tpch(tpch: &Database) -> Database {
     r.add_fd(["nationkey"], ["regionkey"]);
     r.name_entity(["custkey"], "Customer");
     r.name_entity(["nationkey"], "Nation");
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Nation");
     r.add_attr("nationkey", AttrType::Int).add_attr("nname", AttrType::Text);
     r.set_primary_key(["nationkey"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Region");
     r.add_attr("regionkey", AttrType::Int).add_attr("rname", AttrType::Text);
     r.set_primary_key(["regionkey"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     // --- Data ---------------------------------------------------------------
     let parts = index_by(tpch, "Part", &["partkey"]);
@@ -136,7 +136,7 @@ pub fn denormalize_tpch(tpch: &Database) -> Database {
                 li[3].clone(),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
 
     for c in ct.rows() {
@@ -151,13 +151,14 @@ pub fn denormalize_tpch(tpch: &Database) -> Database {
                 attr(ct, c, "mktsegment"),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     for n in nt.rows() {
-        db.insert("Nation", vec![attr(nt, n, "nationkey"), attr(nt, n, "nname")]).unwrap();
+        db.insert("Nation", vec![attr(nt, n, "nationkey"), attr(nt, n, "nname")])
+            .expect("static dataset builder");
     }
     for r in get(tpch, "Region").rows() {
-        db.insert("Region", r.clone()).unwrap();
+        db.insert("Region", r.clone()).expect("static dataset builder");
     }
 
     db.validate().expect("TPCH' is consistent");
@@ -182,7 +183,7 @@ pub fn denormalize_acmdl(acmdl: &Database) -> Database {
     r.name_entity(["paperid"], "Paper");
     r.name_entity(["authorid"], "Author");
     r.name_entity(["paperid", "authorid"], "Write");
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("EditorProceeding");
     r.add_attr("editorid", AttrType::Int)
@@ -201,14 +202,14 @@ pub fn denormalize_acmdl(acmdl: &Database) -> Database {
     r.name_entity(["editorid"], "Editor");
     r.name_entity(["procid"], "Proceeding");
     r.name_entity(["editorid", "procid"], "Edit");
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Publisher");
     r.add_attr("publisherid", AttrType::Int)
         .add_attr("code", AttrType::Text)
         .add_attr("name", AttrType::Text);
     r.set_primary_key(["publisherid"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     // --- Data ----------------------------------------------------------------
     let papers = index_by(acmdl, "Paper", &["paperid"]);
@@ -233,7 +234,7 @@ pub fn denormalize_acmdl(acmdl: &Database) -> Database {
                 attr(at, author, "lname"),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     for e in get(acmdl, "Edit").rows() {
         let editor = editors[&vec![e[0].clone()]];
@@ -252,10 +253,10 @@ pub fn denormalize_acmdl(acmdl: &Database) -> Database {
                 attr(prt, proc_, "publisherid"),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     for p in get(acmdl, "Publisher").rows() {
-        db.insert("Publisher", p.clone()).unwrap();
+        db.insert("Publisher", p.clone()).expect("static dataset builder");
     }
 
     db.validate().expect("ACMDL' is consistent");

@@ -182,19 +182,20 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Database {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut db = Database::new("tpch");
     for rel in tpch_schema() {
-        db.add_relation(rel).unwrap();
+        db.add_relation(rel).expect("static dataset builder");
     }
 
     // --- Region & Nation --------------------------------------------------
     for (i, name) in words::REGIONS.iter().enumerate() {
-        db.insert("Region", vec![Value::Int(i as i64), Value::str(*name)]).unwrap();
+        db.insert("Region", vec![Value::Int(i as i64), Value::str(*name)])
+            .expect("static dataset builder");
     }
     for (i, name) in words::NATIONS.iter().enumerate() {
         db.insert(
             "Nation",
             vec![Value::Int(i as i64), Value::str(*name), Value::Int((i % 5) as i64)],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
 
     // --- Part -------------------------------------------------------------
@@ -238,7 +239,7 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Database {
                 Value::Float(money(&mut rng, 900.0, 2000.0)),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
 
     // --- Supplier -----------------------------------------------------------
@@ -260,7 +261,7 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Database {
                 Value::Float(acctbal),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
 
     // --- Customer & Order ---------------------------------------------------
@@ -275,7 +276,7 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Database {
                 Value::str(words::MKT_SEGMENTS[rng.gen_range(0..words::MKT_SEGMENTS.len())]),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
     for i in 1..=cfg.orders {
         db.insert(
@@ -288,7 +289,7 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Database {
                 Value::str(words::PRIORITIES[rng.gen_range(0..words::PRIORITIES.len())]),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
 
     // --- Lineitem ------------------------------------------------------------
@@ -312,7 +313,7 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Database {
                 Value::Int(rng.gen_range(1..=50)),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
         true
     };
 

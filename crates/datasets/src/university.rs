@@ -22,14 +22,14 @@ pub fn normalized() -> Database {
         .add_attr("Sname", AttrType::Text)
         .add_attr("Age", AttrType::Int);
     r.set_primary_key(["Sid"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Course");
     r.add_attr("Code", AttrType::Text)
         .add_attr("Title", AttrType::Text)
         .add_attr("Credit", AttrType::Float);
     r.set_primary_key(["Code"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Enrol");
     r.add_attr("Sid", AttrType::Text)
@@ -38,7 +38,7 @@ pub fn normalized() -> Database {
     r.set_primary_key(["Sid", "Code"]);
     r.add_foreign_key(["Sid"], "Student", ["Sid"]);
     r.add_foreign_key(["Code"], "Course", ["Code"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Lecturer");
     r.add_attr("Lid", AttrType::Text)
@@ -46,7 +46,7 @@ pub fn normalized() -> Database {
         .add_attr("Did", AttrType::Text);
     r.set_primary_key(["Lid"]);
     r.add_foreign_key(["Did"], "Department", ["Did"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Teach");
     r.add_attr("Code", AttrType::Text)
@@ -56,14 +56,14 @@ pub fn normalized() -> Database {
     r.add_foreign_key(["Code"], "Course", ["Code"]);
     r.add_foreign_key(["Lid"], "Lecturer", ["Lid"]);
     r.add_foreign_key(["Bid"], "Textbook", ["Bid"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Textbook");
     r.add_attr("Bid", AttrType::Text)
         .add_attr("Tname", AttrType::Text)
         .add_attr("Price", AttrType::Int);
     r.set_primary_key(["Bid"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Department");
     r.add_attr("Did", AttrType::Text)
@@ -71,18 +71,19 @@ pub fn normalized() -> Database {
         .add_attr("Fid", AttrType::Text);
     r.set_primary_key(["Did"]);
     r.add_foreign_key(["Fid"], "Faculty", ["Fid"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Faculty");
     r.add_attr("Fid", AttrType::Text).add_attr("Fname", AttrType::Text);
     r.set_primary_key(["Fid"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     for (sid, name, age) in [("s1", "George", 22), ("s2", "Green", 24), ("s3", "Green", 21)] {
-        db.insert("Student", vec![v(sid), v(name), Value::Int(age)]).unwrap();
+        db.insert("Student", vec![v(sid), v(name), Value::Int(age)])
+            .expect("static dataset builder");
     }
     for (c, t, cr) in [("c1", "Java", 5.0), ("c2", "Database", 4.0), ("c3", "Multimedia", 3.0)] {
-        db.insert("Course", vec![v(c), v(t), Value::Float(cr)]).unwrap();
+        db.insert("Course", vec![v(c), v(t), Value::Float(cr)]).expect("static dataset builder");
     }
     for (s, c, g) in [
         ("s1", "c1", "A"),
@@ -92,10 +93,10 @@ pub fn normalized() -> Database {
         ("s3", "c1", "A"),
         ("s3", "c3", "B"),
     ] {
-        db.insert("Enrol", vec![v(s), v(c), v(g)]).unwrap();
+        db.insert("Enrol", vec![v(s), v(c), v(g)]).expect("static dataset builder");
     }
     for (l, n, d) in [("l1", "Steven", "d1"), ("l2", "George", "d1")] {
-        db.insert("Lecturer", vec![v(l), v(n), v(d)]).unwrap();
+        db.insert("Lecturer", vec![v(l), v(n), v(d)]).expect("static dataset builder");
     }
     for (c, l, b) in [
         ("c1", "l1", "b1"),
@@ -105,7 +106,7 @@ pub fn normalized() -> Database {
         ("c2", "l1", "b3"),
         ("c3", "l2", "b4"),
     ] {
-        db.insert("Teach", vec![v(c), v(l), v(b)]).unwrap();
+        db.insert("Teach", vec![v(c), v(l), v(b)]).expect("static dataset builder");
     }
     for (b, t, p) in [
         ("b1", "Programming Language", 10),
@@ -113,10 +114,10 @@ pub fn normalized() -> Database {
         ("b3", "Database Management", 12),
         ("b4", "Multimedia Technologies", 20),
     ] {
-        db.insert("Textbook", vec![v(b), v(t), Value::Int(p)]).unwrap();
+        db.insert("Textbook", vec![v(b), v(t), Value::Int(p)]).expect("static dataset builder");
     }
-    db.insert("Department", vec![v("d1"), v("CS"), v("f1")]).unwrap();
-    db.insert("Faculty", vec![v("f1"), v("Engineering")]).unwrap();
+    db.insert("Department", vec![v("d1"), v("CS"), v("f1")]).expect("static dataset builder");
+    db.insert("Faculty", vec![v("f1"), v("Engineering")]).expect("static dataset builder");
 
     db.validate().expect("figure 1 database is consistent");
     db
@@ -133,10 +134,10 @@ pub fn with_hobbies() -> Database {
     r.add_attr("Sid", AttrType::Text).add_attr("Hobby", AttrType::Text);
     r.set_primary_key(["Sid", "Hobby"]);
     r.add_foreign_key(["Sid"], "Student", ["Sid"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     for (sid, hobby) in [("s1", "chess"), ("s1", "tennis"), ("s2", "chess"), ("s3", "painting")] {
-        db.insert("StudentHobby", vec![v(sid), v(hobby)]).unwrap();
+        db.insert("StudentHobby", vec![v(sid), v(hobby)]).expect("static dataset builder");
     }
     db.validate().expect("hobby extension is consistent");
     db
@@ -159,23 +160,23 @@ pub fn unnormalized_fig2() -> Database {
     r.add_fd(["Did"], ["Fid"]);
     r.name_entity(["Lid"], "Lecturer");
     r.name_entity(["Did"], "Department");
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Department");
     r.add_attr("Did", AttrType::Text).add_attr("Dname", AttrType::Text);
     r.set_primary_key(["Did"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     let mut r = RelationSchema::new("Faculty");
     r.add_attr("Fid", AttrType::Text).add_attr("Fname", AttrType::Text);
     r.set_primary_key(["Fid"]);
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     for (l, n, d, f) in [("l1", "Steven", "d1", "f1"), ("l2", "George", "d1", "f1")] {
-        db.insert("Lecturer", vec![v(l), v(n), v(d), v(f)]).unwrap();
+        db.insert("Lecturer", vec![v(l), v(n), v(d), v(f)]).expect("static dataset builder");
     }
-    db.insert("Department", vec![v("d1"), v("CS")]).unwrap();
-    db.insert("Faculty", vec![v("f1"), v("Engineering")]).unwrap();
+    db.insert("Department", vec![v("d1"), v("CS")]).expect("static dataset builder");
+    db.insert("Faculty", vec![v("f1"), v("Engineering")]).expect("static dataset builder");
 
     db.validate().expect("figure 2 database is consistent");
     db
@@ -200,7 +201,7 @@ pub fn enrolment_fig8() -> Database {
     r.name_entity(["Sid"], "Student");
     r.name_entity(["Code"], "Course");
     r.name_entity(["Sid", "Code"], "Enrol");
-    db.add_relation(r).unwrap();
+    db.add_relation(r).expect("static dataset builder");
 
     for (sid, sname, age, code, title, credit, grade) in [
         ("s1", "George", 22, "c1", "Java", 5.0, "A"),
@@ -222,7 +223,7 @@ pub fn enrolment_fig8() -> Database {
                 v(grade),
             ],
         )
-        .unwrap();
+        .expect("static dataset builder");
     }
 
     db.validate().expect("figure 8 database is consistent");

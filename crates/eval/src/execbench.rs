@@ -114,7 +114,10 @@ fn bench_workload(
                 Ok(_) => return Err(Box::new(failed(&q, workload, "no interpretation".into()))),
                 Err(e) => return Err(Box::new(failed(&q, workload, format!("generate: {e}")))),
             };
-            let g = generated.into_iter().next().unwrap();
+            let g = generated
+                .into_iter()
+                .next()
+                .expect("generate returned at least one interpretation");
             let p = match plan(&g.sql, engine.database()) {
                 Ok(p) => p,
                 Err(e) => return Err(Box::new(failed(&q, workload, format!("plan: {e}")))),
@@ -155,7 +158,7 @@ fn bench_workload(
             }
             let wall =
                 TimingSummary::from_samples(&samples.iter().map(|s| s.0).collect::<Vec<f64>>());
-            samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("timing samples are finite"));
             let (_, result_rows, stats) = samples.swap_remove(samples.len() / 2);
             QueryExecBench {
                 id: q.id,

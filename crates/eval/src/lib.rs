@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 //! # aqks-eval
 //!
@@ -14,7 +15,11 @@
 //! * [`analysis`] — runs the `aqks-analyze` static analyzer over every
 //!   statement both engines generate for the workloads: the paper engine
 //!   must come back with zero error findings, SQAK trips `AQ-P5` where
-//!   Section 4 predicts duplicate-inflated answers.
+//!   Section 4 predicts duplicate-inflated answers;
+//! * [`plans`] — runs the `aqks-plancheck` physical-plan verifier over
+//!   every plan the engine produces for the workloads (100% must verify
+//!   clean) and checks the plan-fingerprint determinism/injectivity
+//!   contract that plan caching will rely on.
 //!
 //! The `repro` binary drives everything:
 //!
@@ -32,6 +37,7 @@ pub mod execbench;
 #[cfg(feature = "failpoints")]
 pub mod faults;
 pub mod fig11;
+pub mod plans;
 pub mod tables;
 #[cfg(test)]
 mod tests;
@@ -43,6 +49,7 @@ pub use execbench::{run_exec_bench, OpBenchRow, QueryExecBench};
 #[cfg(feature = "failpoints")]
 pub use faults::{run_fault_sweep, FaultOutcome};
 pub use fig11::{run_fig11, TimingRow};
+pub use plans::{run_plan_sweep, verify_workload_plans, PlanCheckRow, PlanSweep};
 pub use tables::{run_table5, run_table6, run_table8, run_table9, ComparisonRow, EngineOutcome};
 pub use timing::TimingSummary;
 pub use workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};

@@ -1,10 +1,16 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! `repro` — regenerates every evaluation table and figure of the paper.
 //!
 //! ```text
-//! repro table5|table6|table8|table9|fig11|all [--paper-scale] [--reps N]
+//! repro table5|table6|table8|table9|fig11|plans|all [--paper-scale] [--reps N]
 //! repro exec-bench [--smoke] [--out FILE] [--reps N]
 //! repro faults       # fault-injection sweep; needs --features failpoints
 //! ```
+//!
+//! `plans` runs the static plan-verification sweep: every interpretation
+//! of every bundled workload query is planned, verified with
+//! `aqks-plancheck`, and fingerprinted. Exits non-zero on any rejection.
 //!
 //! `exec-bench` plans and executes the T1–T8 / A1–A8 workloads through
 //! the physical-operator pipeline and writes per-query and per-operator
@@ -150,14 +156,31 @@ fn main() {
                 fig11::render_markdown("Figure 11(b): SQL generation time, ACMDL", &acmdl)
             );
         }
+        "plans" => {
+            let sweeps = aqks_eval::plans::run_plan_sweep(scale, 3);
+            println!("{}", aqks_eval::plans::render_markdown(&sweeps));
+            let rejections: Vec<String> = sweeps
+                .iter()
+                .flat_map(|s| s.rejections().into_iter().map(|r| format!("{}: {r}", s.workload)))
+                .collect();
+            for r in &rejections {
+                eprintln!("REJECTED {r}");
+            }
+            if !rejections.is_empty() {
+                eprintln!("plan sweep failed: {} rejection(s)", rejections.len());
+                std::process::exit(1);
+            }
+            let total: usize = sweeps.iter().map(|s| s.plans()).sum();
+            eprintln!("plan sweep passed: {total} plan(s) verified clean");
+        }
         other => {
-            eprintln!("unknown target `{other}`; use table5|table6|table8|table9|fig11|all");
+            eprintln!("unknown target `{other}`; use table5|table6|table8|table9|fig11|plans|all");
             std::process::exit(2);
         }
     };
 
     if what == "all" {
-        for t in ["table5", "table6", "table8", "table9", "fig11"] {
+        for t in ["table5", "table6", "table8", "table9", "fig11", "plans"] {
             run_target(t);
         }
     } else {

@@ -83,7 +83,7 @@ fn answer_values(result: &ResultTable, group_cols: usize) -> Vec<String> {
         .map(|row| {
             let aggs: Vec<String> = row.iter().skip(group_cols).map(|v| v.to_string()).collect();
             if aggs.len() == 1 {
-                aggs.into_iter().next().unwrap()
+                aggs.into_iter().next().expect("aggs is non-empty")
             } else {
                 format!("<{}>", aggs.join(", "))
             }

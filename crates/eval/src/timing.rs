@@ -29,7 +29,7 @@ impl TimingSummary {
     pub fn from_samples(samples: &[f64]) -> TimingSummary {
         assert!(!samples.is_empty(), "no timing samples");
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timing samples are finite"));
         let n = sorted.len();
         // Nearest-rank percentile: ceil(p * n) - 1.
         let p95 = (n * 95).div_ceil(100).saturating_sub(1);

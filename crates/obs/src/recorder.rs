@@ -120,7 +120,7 @@ impl Recorder {
     fn start(&self, name: Cow<'static, str>, parent: Option<u32>) -> Span {
         let start_ns = self.now_ns();
         let id = {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = self.inner.state.lock().expect("recorder state poisoned");
             let id = st.spans.len() as u32;
             st.spans.push(RawSpan { name, parent, start_ns, dur_ns: None, counters: Vec::new() });
             id
@@ -134,12 +134,12 @@ impl Recorder {
         if !self.is_enabled() {
             return;
         }
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self.inner.state.lock().expect("recorder state poisoned");
         *st.counters.entry(name.to_string()).or_default() += n;
     }
 
     fn add_to_span(&self, id: u32, name: Cow<'static, str>, n: u64) {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self.inner.state.lock().expect("recorder state poisoned");
         let Some(raw) = st.spans.get_mut(id as usize) else { return };
         match raw.counters.iter_mut().find(|(k, _)| *k == name) {
             Some(c) => c.1 += n,
@@ -171,7 +171,7 @@ impl Recorder {
         };
         let start_ns =
             start.checked_duration_since(self.inner.epoch).unwrap_or_default().as_nanos() as u64;
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self.inner.state.lock().expect("recorder state poisoned");
         let id = st.spans.len() as u32;
         st.spans.push(RawSpan {
             name: name.into(),
@@ -188,7 +188,7 @@ impl Recorder {
     /// with zero duration and its late close is ignored.
     pub fn take(&self) -> PipelineTrace {
         let (spans, counters) = {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = self.inner.state.lock().expect("recorder state poisoned");
             (std::mem::take(&mut st.spans), std::mem::take(&mut st.counters))
         };
         PipelineTrace::build(spans, counters)
@@ -228,7 +228,7 @@ impl Drop for Span {
                 st.remove(pos);
             }
         });
-        let mut st = rec.inner.state.lock().unwrap();
+        let mut st = rec.inner.state.lock().expect("recorder state poisoned");
         if let Some(raw) = st.spans.get_mut(id as usize) {
             if raw.dur_ns.is_none() {
                 raw.dur_ns = Some(end_ns.saturating_sub(raw.start_ns));

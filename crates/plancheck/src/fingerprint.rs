@@ -1,0 +1,161 @@
+//! Normalized plan fingerprints.
+//!
+//! A fingerprint is a 64-bit FNV-1a hash over a canonical pre-order
+//! encoding of the plan: operator tags, operand indices, key directions,
+//! literal values, layouts and declared names. Node ids and cardinality
+//! estimates are deliberately excluded, so the fingerprint is stable
+//! across planner runs (ids are assignment-order artifacts) and across
+//! statistics refreshes — two plans share a fingerprint exactly when
+//! they compute the same thing the same way. Plan/result caching keys
+//! on this value.
+
+use aqks_sqlgen::{PhysAggItem, PhysPred, PlanNode, PlanOp};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn bytes(&mut self, b: &[u8]) {
+        for &byte in b {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.bytes(&(v as u64).to_le_bytes());
+    }
+
+    // Length-prefixed so adjacent strings cannot alias each other.
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Computes the normalized fingerprint of a plan tree.
+pub fn fingerprint(plan: &PlanNode) -> u64 {
+    let mut h = Fnv(FNV_OFFSET);
+    hash_node(plan, &mut h);
+    h.0
+}
+
+/// The fingerprint formatted as 16 lowercase hex digits (the form shown
+/// by `aqks explain` and consumed as a cache key).
+pub fn fingerprint_hex(plan: &PlanNode) -> String {
+    format!("{:016x}", fingerprint(plan))
+}
+
+fn hash_node(node: &PlanNode, h: &mut Fnv) {
+    match &node.op {
+        PlanOp::Scan { relation, alias, pushed } => {
+            h.u8(0);
+            h.str(&relation.to_lowercase());
+            h.str(alias);
+            hash_preds(pushed, h);
+        }
+        PlanOp::DerivedTable { alias, names } => {
+            h.u8(1);
+            h.str(alias);
+            hash_names(names, h);
+        }
+        PlanOp::HashJoin { left_keys, right_keys, build_left } => {
+            h.u8(2);
+            h.usize(left_keys.len());
+            for (&l, &r) in left_keys.iter().zip(right_keys) {
+                h.usize(l);
+                h.usize(r);
+            }
+            h.u8(u8::from(*build_left));
+        }
+        PlanOp::CrossJoin => h.u8(3),
+        PlanOp::Filter { preds } => {
+            h.u8(4);
+            hash_preds(preds, h);
+        }
+        PlanOp::HashAggregate { group, items, names } => {
+            h.u8(5);
+            h.usize(group.len());
+            for &g in group {
+                h.usize(g);
+            }
+            h.usize(items.len());
+            for item in items {
+                match item {
+                    PhysAggItem::Col(i) => {
+                        h.u8(0);
+                        h.usize(*i);
+                    }
+                    PhysAggItem::Agg { func, arg, distinct } => {
+                        h.u8(1);
+                        h.str(func.keyword());
+                        h.usize(*arg);
+                        h.u8(u8::from(*distinct));
+                    }
+                }
+            }
+            hash_names(names, h);
+        }
+        PlanOp::Project { cols, names } => {
+            h.u8(6);
+            h.usize(cols.len());
+            for &c in cols {
+                h.usize(c);
+            }
+            hash_names(names, h);
+        }
+        PlanOp::Distinct => h.u8(7),
+        PlanOp::Sort { keys } => {
+            h.u8(8);
+            h.usize(keys.len());
+            for &(i, desc) in keys {
+                h.usize(i);
+                h.u8(u8::from(desc));
+            }
+        }
+        PlanOp::Limit { n } => {
+            h.u8(9);
+            h.usize(*n);
+        }
+    }
+    h.usize(node.children.len());
+    for c in &node.children {
+        hash_node(c, h);
+    }
+}
+
+fn hash_names(names: &[String], h: &mut Fnv) {
+    h.usize(names.len());
+    for n in names {
+        h.str(&n.to_lowercase());
+    }
+}
+
+fn hash_preds(preds: &[PhysPred], h: &mut Fnv) {
+    h.usize(preds.len());
+    for p in preds {
+        match p {
+            PhysPred::EqCols(l, r) => {
+                h.u8(0);
+                h.usize(*l);
+                h.usize(*r);
+            }
+            PhysPred::ContainsCi(i, s) => {
+                h.u8(1);
+                h.usize(*i);
+                h.str(s);
+            }
+            PhysPred::EqLit(i, v) => {
+                h.u8(2);
+                h.usize(*i);
+                h.str(&v.to_string());
+            }
+        }
+    }
+}

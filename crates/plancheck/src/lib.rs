@@ -1,0 +1,39 @@
+//! Static verification of physical plans.
+//!
+//! The planner in `aqks-sqlgen` lowers every generated SQL statement to
+//! a [`PlanNode`](aqks_sqlgen::PlanNode) tree that the executor runs
+//! directly — and that nothing checked until this crate. A planner bug
+//! there reproduces exactly the silently-wrong-aggregate failure class
+//! the SQL-level analyzer exists to prevent, one layer down.
+//!
+//! `aqks-plancheck` closes that gap with a bottom-up abstract
+//! interpretation over the plan tree:
+//!
+//! - [`props`] infers, per operator, the output schema with column
+//!   provenance and declared types, functional dependencies carried
+//!   across joins, row-uniqueness and minimized keys, sortedness, and a
+//!   monotone cardinality upper bound;
+//! - [`mod@verify`] checks each operator against those properties, the
+//!   catalog, and (optionally) the originating statement, failing with
+//!   a typed [`PlanError`] on the first violated invariant;
+//! - [`mod@fingerprint`] hashes a canonical, estimate-free encoding of the
+//!   tree into the stable cache key the plan/result-caching roadmap
+//!   item consumes;
+//! - [`mutate`] seeds realistic plan corruptions for tests, which the
+//!   verifier must reject with the matching diagnostic kind.
+//!
+//! Debug builds of the engine verify every plan before execution via
+//! [`verify_in_debug`]; release builds skip in a branch (pinned at zero
+//! allocations by a counting-allocator test).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod mutate;
+pub mod props;
+pub mod verify;
+
+pub use fingerprint::{fingerprint, fingerprint_hex};
+pub use props::{ColProp, NodeProps};
+pub use verify::{render_verified, verify, verify_in_debug, PlanError, PlanErrorKind, Verified};

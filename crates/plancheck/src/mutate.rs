@@ -1,0 +1,116 @@
+//! Plan-corruption seeding for verifier tests.
+//!
+//! Each [`Mutation`] applies one realistic planner-bug shape to a copy
+//! of a plan — the verifier must reject every applicable mutation with
+//! the matching diagnostic kind. This module is a test harness, not an
+//! execution feature; it lives in the library (rather than under
+//! `#[cfg(test)]`) so downstream crates' property tests can seed the
+//! same corruptions.
+
+use aqks_sqlgen::{PlanNode, PlanOp};
+
+/// A seedable plan corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Re-points one hash-join key at a neighboring column, so the join
+    /// pairs columns the interpretation never related.
+    SwapJoinKeys,
+    /// Splices the first Distinct operator out of the tree.
+    DropDistinct,
+    /// Flips a hash join's build side against the estimates.
+    FlipBuildSide,
+    /// Replaces a projected column index with one past the input arity
+    /// (a stale index surviving a layout change).
+    StaleColumnIndex,
+}
+
+impl Mutation {
+    /// All mutation kinds, in a stable order.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::SwapJoinKeys,
+        Mutation::DropDistinct,
+        Mutation::FlipBuildSide,
+        Mutation::StaleColumnIndex,
+    ];
+}
+
+/// Applies `m` to a copy of `plan`. Returns `None` when the plan has no
+/// applicable site (e.g. `DropDistinct` on a plan without Distinct).
+pub fn apply(plan: &PlanNode, m: Mutation) -> Option<PlanNode> {
+    let mut out = plan.clone();
+    let hit = match m {
+        Mutation::SwapJoinKeys => swap_join_keys(&mut out),
+        Mutation::DropDistinct => drop_distinct(&mut out),
+        Mutation::FlipBuildSide => flip_build_side(&mut out),
+        Mutation::StaleColumnIndex => stale_column_index(&mut out),
+    };
+    hit.then_some(out)
+}
+
+/// Every applicable mutation of `plan`, paired with its kind.
+pub fn all(plan: &PlanNode) -> Vec<(Mutation, PlanNode)> {
+    Mutation::ALL.iter().filter_map(|&m| apply(plan, m).map(|p| (m, p))).collect()
+}
+
+fn swap_join_keys(node: &mut PlanNode) -> bool {
+    if let PlanOp::HashJoin { left_keys, right_keys, .. } = &mut node.op {
+        // Rotate one key within its side so the pair no longer lines up;
+        // a single-column side falls back to an out-of-range index.
+        let right_arity = node.children[1].cols.len();
+        let left_arity = node.children[0].cols.len();
+        if right_arity > 1 {
+            right_keys[0] = (right_keys[0] + 1) % right_arity;
+        } else if left_arity > 1 {
+            left_keys[0] = (left_keys[0] + 1) % left_arity;
+        } else {
+            right_keys[0] = right_arity;
+        }
+        return true;
+    }
+    node.children.iter_mut().any(swap_join_keys)
+}
+
+fn drop_distinct(node: &mut PlanNode) -> bool {
+    if matches!(node.op, PlanOp::Distinct) {
+        let child = node.children.remove(0);
+        *node = child;
+        return true;
+    }
+    node.children.iter_mut().any(drop_distinct)
+}
+
+fn flip_build_side(node: &mut PlanNode) -> bool {
+    if let PlanOp::HashJoin { build_left, .. } = &mut node.op {
+        // Only a decisive flip contradicts the planner's policy: with
+        // equal estimates either side verifies.
+        if node.children[0].est_rows != node.children[1].est_rows {
+            *build_left = !*build_left;
+            return true;
+        }
+    }
+    node.children.iter_mut().any(flip_build_side)
+}
+
+fn stale_column_index(node: &mut PlanNode) -> bool {
+    let arity = node.children.first().map_or(0, |c| c.cols.len());
+    match &mut node.op {
+        PlanOp::Project { cols, .. } if !cols.is_empty() => {
+            cols[0] = arity;
+            true
+        }
+        PlanOp::HashAggregate { group, items, .. } => {
+            if let Some(g) = group.first_mut() {
+                *g = arity;
+            } else if let Some(item) = items.first_mut() {
+                match item {
+                    aqks_sqlgen::PhysAggItem::Col(i) => *i = arity,
+                    aqks_sqlgen::PhysAggItem::Agg { arg, .. } => *arg = arity,
+                }
+            } else {
+                return false;
+            }
+            true
+        }
+        _ => node.children.iter_mut().any(stale_column_index),
+    }
+}

@@ -113,6 +113,12 @@ pub enum PlanOp {
     DerivedTable {
         /// FROM alias of the subquery.
         alias: String,
+        /// Output column names (original case), captured once from the
+        /// subplan when the node is built. This is the single resolution
+        /// point for the derived table's columns: the node's `cols`
+        /// layout and [`PlanNode::output_names`] both derive from it, so
+        /// the rendered plan and the name-based APIs cannot drift.
+        names: Vec<String>,
     },
     /// Multi-key hash equi-join of child 0 (left) and child 1 (right).
     /// Output tuples are always left columns then right columns,
@@ -198,14 +204,30 @@ impl PlanNode {
     }
 
     /// Output column names (original case), in SELECT order.
+    ///
+    /// Every operator resolves through its own layout: name-declaring
+    /// operators (`Project`, `HashAggregate`, `DerivedTable`) return the
+    /// names they carry, joins concatenate both children (matching their
+    /// left-then-right tuple layout), scans expose their `cols`, and the
+    /// remaining unary operators are pure passthroughs. The result is
+    /// always parallel to [`PlanNode::cols`] — the historical fallback of
+    /// recursing into `children.first()` returned only the left side's
+    /// names for joins and skipped derived-table re-aliasing.
     pub fn output_names(&self) -> Vec<String> {
         match &self.op {
-            PlanOp::Project { names, .. } | PlanOp::HashAggregate { names, .. } => names.clone(),
-            _ => self
-                .children
-                .first()
-                .map(PlanNode::output_names)
-                .unwrap_or_else(|| self.cols.iter().map(|(_, c)| c.clone()).collect()),
+            PlanOp::Project { names, .. }
+            | PlanOp::HashAggregate { names, .. }
+            | PlanOp::DerivedTable { names, .. } => names.clone(),
+            PlanOp::HashJoin { .. } | PlanOp::CrossJoin => {
+                let mut out = self.children[0].output_names();
+                out.extend(self.children[1].output_names());
+                out
+            }
+            PlanOp::Scan { .. } => self.cols.iter().map(|(_, c)| c.clone()).collect(),
+            PlanOp::Filter { .. }
+            | PlanOp::Distinct
+            | PlanOp::Sort { .. }
+            | PlanOp::Limit { .. } => self.children[0].output_names(),
         }
     }
 
@@ -237,7 +259,9 @@ impl PlanNode {
                 }
                 s
             }
-            PlanOp::DerivedTable { alias } => format!("DerivedTable AS {alias}"),
+            PlanOp::DerivedTable { alias, names } => {
+                format!("DerivedTable AS {alias} [{}]", names.join(", "))
+            }
             PlanOp::HashJoin { left_keys, right_keys, build_left } => {
                 let (lc, rc) = (input_cols(0), input_cols(1));
                 let keys: Vec<String> = left_keys
@@ -677,15 +701,15 @@ fn plan_source(
         }
         TableExpr::Derived { query, .. } => {
             let sub = plan_stmt(query, db, opts, ids)?;
-            let cols: Vec<(String, String)> = sub
-                .output_names()
-                .iter()
-                .map(|c| (alias_lower.to_string(), c.to_lowercase()))
-                .collect();
+            // Capture the subplan's output names once; the node's layout
+            // is derived from the same vector (see PlanOp::DerivedTable).
+            let names = sub.output_names();
+            let cols: Vec<(String, String)> =
+                names.iter().map(|c| (alias_lower.to_string(), c.to_lowercase())).collect();
             let est = sub.est_rows;
             Ok(PlanNode {
                 id: ids.next(),
-                op: PlanOp::DerivedTable { alias: alias_lower.to_string() },
+                op: PlanOp::DerivedTable { alias: alias_lower.to_string(), names },
                 children: vec![sub],
                 cols,
                 est_rows: est,
@@ -1070,6 +1094,74 @@ mod tests {
         assert!(analyzed.contains("rows="), "{analyzed}");
         assert!(analyzed.contains("time="), "{analyzed}");
         assert!(analyzed.contains("total:"), "{analyzed}");
+    }
+
+    /// Regression: `output_names` must stay parallel to `cols` on every
+    /// node of a nested derived plan. The historical implementation
+    /// recursed into `children.first()` for all non-name-declaring
+    /// operators, so a join inside a derived subplan reported only its
+    /// left side's names, and a derived table leaked its inner statement's
+    /// names instead of resolving through its own (re-aliased) layout —
+    /// drift between [`render_plan`]'s labels and the name-based APIs.
+    #[test]
+    fn output_names_agree_with_layout_in_nested_derived_plans() {
+        // Innermost: a join, so the derived subplan contains a binary
+        // node whose output names must cover both sides.
+        let innermost = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("E", "Sid"), alias: None },
+                SelectItem::Column { col: col("C", "Credit"), alias: Some("Cr".into()) },
+            ],
+            from: vec![
+                TableExpr::Relation { name: "Enrol".into(), alias: "E".into() },
+                TableExpr::Relation { name: "Course".into(), alias: "C".into() },
+            ],
+            predicates: vec![Predicate::JoinEq(col("E", "Code"), col("C", "Code"))],
+            ..Default::default()
+        };
+        let middle = SelectStatement {
+            distinct: true,
+            items: vec![
+                SelectItem::Column { col: col("D2", "Sid"), alias: None },
+                SelectItem::Column { col: col("D2", "Cr"), alias: None },
+            ],
+            from: vec![TableExpr::Derived { query: Box::new(innermost), alias: "D2".into() }],
+            ..Default::default()
+        };
+        let outer = SelectStatement {
+            items: vec![count_item("D1", "Sid")],
+            from: vec![TableExpr::Derived { query: Box::new(middle), alias: "D1".into() }],
+            ..Default::default()
+        };
+        let db = db();
+        let p = plan(&outer, &db).unwrap();
+        p.visit(&mut |n| {
+            let names = n.output_names();
+            assert_eq!(
+                names.len(),
+                n.cols.len(),
+                "node {} `{}`: names {names:?} vs layout {:?}\n{}",
+                n.id,
+                n.label(),
+                n.cols,
+                render_plan(&p)
+            );
+            for (name, (_, c)) in names.iter().zip(&n.cols) {
+                assert!(
+                    name.eq_ignore_ascii_case(c),
+                    "node {} `{}`: name `{name}` vs layout column `{c}`",
+                    n.id,
+                    n.label()
+                );
+            }
+        });
+        // The derived tables resolve through their own captured names
+        // (original case preserved), and the labels show them.
+        let d2 =
+            find(&p, &|n| matches!(&n.op, PlanOp::DerivedTable { alias, .. } if alias == "d2"))
+                .expect("inner derived table");
+        assert_eq!(d2.output_names(), vec!["Sid".to_string(), "Cr".to_string()]);
+        assert!(d2.label().contains("[Sid, Cr]"), "{}", d2.label());
     }
 
     /// Planning errors mirror the executor's historical error variants.

@@ -14,6 +14,8 @@
 //! * [`sqak`] — the SQAK baseline the paper compares against
 //! * [`datasets`] — university / TPC-H / ACM-DL datasets and denormalizers
 //! * [`analyze`] — static semantic analyzer for generated SQL plans
+//! * [`plancheck`] — static verifier for physical plans (properties,
+//!   invariants, fingerprints)
 //! * [`guard`] — resource budgets, cooperative cancellation, failpoints
 //!
 //! ## Quickstart
@@ -54,6 +56,7 @@ pub use aqks_core as core;
 pub use aqks_datasets as datasets;
 pub use aqks_guard as guard;
 pub use aqks_orm as orm;
+pub use aqks_plancheck as plancheck;
 pub use aqks_relational as relational;
 pub use aqks_sqak as sqak;
 pub use aqks_sqlgen as sqlgen;
