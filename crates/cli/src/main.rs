@@ -27,13 +27,20 @@
 //! workload when no query is given — and exits non-zero on
 //! error-severity findings. `--plans` additionally lowers every
 //! interpretation to its physical plan and runs the plan verifier
-//! (`aqks-plancheck`) on it, printing each plan's fingerprint.
+//! (`aqks-plancheck`) on it, printing each plan's fingerprint. `--equiv`
+//! partitions each query's interpretations into semantic equivalence
+//! classes (`aqks-equiv`): plans with the same canonical fingerprint
+//! are duplicate work even when their structural fingerprints differ.
 //!
-//! Subcommand `aqks explain [--analyze] [--dataset NAME] [QUERY]` prints
-//! the physical operator tree of each generated statement with its
-//! statically inferred properties (keys, ordering, row bounds) and its
-//! normalized fingerprint; `--analyze` additionally executes the plan
-//! and annotates every operator with rows in/out and wall time.
+//! Subcommand `aqks explain [--analyze] [--shared] [--dataset NAME]
+//! [QUERY]` prints the physical operator tree of each generated
+//! statement with its statically inferred properties (keys, ordering,
+//! row bounds) and its normalized fingerprint; `--analyze` additionally
+//! executes the plan and annotates every operator with rows in/out and
+//! wall time. `--shared` instead prints the deduplicated execution set:
+//! one canonical plan per equivalence class, with subtrees common to
+//! two or more plans elided to numbered shared-subplan references that
+//! would be materialized once.
 //!
 //! Subcommand `aqks trace [--dataset NAME] [QUERY]` answers the query
 //! with the `aqks-obs` recorder enabled and prints the pipeline span
@@ -87,6 +94,8 @@ struct Options {
     explain: bool,
     check: bool,
     plans: bool,
+    equiv: bool,
+    shared: bool,
     explain_plan: bool,
     trace_cmd: bool,
     analyze: bool,
@@ -139,6 +148,8 @@ fn parse_args() -> Result<Options, String> {
         explain: false,
         check: false,
         plans: false,
+        equiv: false,
+        shared: false,
         explain_plan: false,
         trace_cmd: false,
         analyze: false,
@@ -170,6 +181,8 @@ fn parse_args() -> Result<Options, String> {
             "--explain" => opts.explain = true,
             "--analyze" => opts.analyze = true,
             "--plans" => opts.plans = true,
+            "--equiv" => opts.equiv = true,
+            "--shared" => opts.shared = true,
             "--trace" => opts.trace = Some(TraceFormat::Text),
             flag if flag.starts_with("--trace=") => {
                 opts.trace = Some(TraceFormat::parse(&flag["--trace=".len()..])?);
@@ -203,7 +216,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.max_interpretations = Some(num(&args, i, "--max-interpretations")?);
             }
             "--help" | "-h" => {
-                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--plans] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [QUERY]");
+                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--plans] [--equiv] [--shared] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [QUERY]");
                 std::process::exit(0);
             }
             "check" if positional.is_empty() && !opts.subcommand() => opts.check = true,
@@ -411,6 +424,64 @@ fn run_explain(engine: &Engine, queries: &[String], k: usize, analyze: bool) -> 
     failures
 }
 
+/// Plans every interpretation of every query, partitions the plans into
+/// semantic equivalence classes, and prints the deduplicated execution
+/// set: each class representative's canonical tree, with subtrees
+/// common to two or more representatives elided to numbered
+/// shared-subplan references. Returns the number of failures.
+fn run_explain_shared(engine: &Engine, queries: &[String], k: usize) -> usize {
+    let db = engine.database();
+    let mut failures = 0;
+    let mut plans = Vec::new();
+    for q in queries {
+        println!("── explain --shared `{q}`");
+        match engine.interpretation_plans(q, k) {
+            Ok(pairs) => {
+                for (rank, (g, p)) in pairs.into_iter().enumerate() {
+                    println!(
+                        "interpretation #{} (plan #{}): {}",
+                        rank + 1,
+                        plans.len(),
+                        g.sql_text
+                    );
+                    plans.push(p);
+                }
+            }
+            Err(e) => {
+                println!("  error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    match aqks_equiv::analyze(&plans, db) {
+        Ok(analysis) => {
+            println!(
+                "── shared execution set: {} plan(s) -> {} class(es), {} duplicate(s) elided",
+                plans.len(),
+                analysis.classes.len(),
+                analysis.duplicates()
+            );
+            for (ci, class) in analysis.classes.iter().enumerate() {
+                if class.members.len() > 1 {
+                    let members: Vec<String> =
+                        class.members.iter().map(|m| format!("#{m}")).collect();
+                    println!(
+                        "class {ci} [{:016x}]: plans {}",
+                        class.fingerprint,
+                        members.join(", ")
+                    );
+                }
+            }
+            print!("{}", aqks_equiv::render_shared(&aqks_equiv::shared_set(&analysis)));
+        }
+        Err(e) => {
+            println!("  equivalence analysis error: {e}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
 /// Answers each query with tracing enabled and prints the pipeline span
 /// tree. Returns the number of failures (errors or empty span trees —
 /// the latter would mean the pipeline silently lost its instrumentation,
@@ -447,6 +518,85 @@ fn run_trace(
     failures
 }
 
+/// Semantic-equivalence check for one query's interpretation set: each
+/// interpretation is planned with and without predicate pushdown and
+/// both variants are canonicalized (`aqks-equiv`) — a pair that fails
+/// to converge to one equivalence class, or a planner plan the
+/// canonicalizer cannot certify, is an error. Classes spanning several
+/// interpretations are reported as duplicate execution work. Returns
+/// the error count.
+fn check_equiv(generated: &[aqks_core::GeneratedSql], db: &Database) -> usize {
+    let mut errors = 0usize;
+    let mut flat: Vec<aqks_sqlgen::PlanNode> = Vec::new();
+    let mut owner: Vec<usize> = Vec::new(); // plan index -> interpretation rank
+    for (rank, g) in generated.iter().enumerate() {
+        let on = aqks_sqlgen::plan(&g.sql, db);
+        let off = aqks_sqlgen::plan_with_options(
+            &g.sql,
+            db,
+            &aqks_sqlgen::PlanOptions { pushdown: false },
+        );
+        match (on, off) {
+            (Ok(a), Ok(b)) => {
+                flat.push(a);
+                owner.push(rank);
+                flat.push(b);
+                owner.push(rank);
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                errors += 1;
+                println!("  equiv #{}: plan error: {e}", rank + 1);
+            }
+        }
+    }
+    let analysis = match aqks_equiv::analyze(&flat, db) {
+        Ok(a) => a,
+        Err(e) => {
+            // A planner-produced plan the canonicalizer cannot certify
+            // is a bug in one of the two.
+            errors += 1;
+            println!("  equiv: REJECTED {e}");
+            return errors;
+        }
+    };
+    let mut class_of = vec![0usize; flat.len()];
+    for (ci, class) in analysis.classes.iter().enumerate() {
+        for &m in &class.members {
+            class_of[m] = ci;
+        }
+    }
+    let mut diverged = 0usize;
+    for i in (0..flat.len()).step_by(2) {
+        if class_of[i] != class_of[i + 1] {
+            errors += 1;
+            diverged += 1;
+            println!(
+                "  equiv #{}: pushdown variants did not converge to one canonical form",
+                owner[i] + 1
+            );
+        }
+    }
+    println!(
+        "  equiv: {} interpretation(s) -> {} class(es){}",
+        generated.len(),
+        analysis.classes.len(),
+        if diverged == 0 { "; pushdown variants converge" } else { "" }
+    );
+    for (ci, class) in analysis.classes.iter().enumerate() {
+        let interps: std::collections::BTreeSet<usize> =
+            class.members.iter().map(|&m| owner[m]).collect();
+        if interps.len() > 1 {
+            let names: Vec<String> = interps.iter().map(|r| format!("#{}", r + 1)).collect();
+            println!(
+                "    class {ci} [{:016x}]: interpretations {} are semantically identical",
+                class.fingerprint,
+                names.join(", ")
+            );
+        }
+    }
+    errors
+}
+
 /// Statically analyzes the SQL both engines generate for `queries`;
 /// with `plans`, additionally lowers each interpretation to a physical
 /// plan and runs the plan verifier on it. Returns the number of
@@ -457,6 +607,7 @@ fn run_check(
     queries: &[String],
     k: usize,
     plans: bool,
+    equiv: bool,
 ) -> usize {
     let schema = engine.database().schema();
     let db = engine.database();
@@ -497,6 +648,15 @@ fn run_check(
                             }
                         }
                     }
+                }
+                // Semantic-equivalence check: each interpretation is
+                // planned with and without predicate pushdown, and the
+                // canonicalizer must prove the two variants are the same
+                // plan (one class per interpretation). Interpretations
+                // sharing a class are flagged — they are the same query
+                // in different clothes, i.e. duplicate execution work.
+                if equiv {
+                    errors += check_equiv(&generated, db);
                 }
             }
             // Debug builds reject error findings inside `generate`.
@@ -587,7 +747,11 @@ fn main() {
             .as_ref()
             .map(|q| vec![q.clone()])
             .unwrap_or_else(|| check_workload(&opts.dataset));
-        let failures = run_explain(&engine, &queries, opts.k, opts.analyze);
+        let failures = if opts.shared {
+            run_explain_shared(&engine, &queries, opts.k.max(3))
+        } else {
+            run_explain(&engine, &queries, opts.k, opts.analyze)
+        };
         if failures > 0 {
             eprintln!("explain failed for {failures} quer(y/ies)");
             std::process::exit(1);
@@ -616,7 +780,8 @@ fn main() {
             .as_ref()
             .map(|q| vec![q.clone()])
             .unwrap_or_else(|| check_workload(&opts.dataset));
-        let errors = run_check(&engine, sqak.as_ref(), &queries, opts.k.max(3), opts.plans);
+        let errors =
+            run_check(&engine, sqak.as_ref(), &queries, opts.k.max(3), opts.plans, opts.equiv);
         if errors > 0 {
             eprintln!("check failed: {errors} error finding(s)");
             std::process::exit(1);

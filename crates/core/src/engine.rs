@@ -214,6 +214,24 @@ impl Engine {
         shielded(|| self.generate_inner(query, k))
     }
 
+    /// [`Engine::generate`] with each interpretation lowered to its
+    /// physical plan — the input shape equivalence analysis
+    /// (`aqks-equiv`) and the CLI's `--equiv`/`--shared` surfaces
+    /// consume: one `(statement, plan)` pair per interpretation.
+    pub fn interpretation_plans(
+        &self,
+        query: &str,
+        k: usize,
+    ) -> Result<Vec<(GeneratedSql, aqks_sqlgen::PlanNode)>, CoreError> {
+        let generated = self.generate(query, k)?;
+        let mut out = Vec::with_capacity(generated.len());
+        for g in generated {
+            let plan = aqks_sqlgen::plan(&g.sql, &self.db)?;
+            out.push((g, plan));
+        }
+        Ok(out)
+    }
+
     /// [`Engine::generate`] under a resource [`Budget`]: interpretations
     /// completed before a trip are returned alongside the structured
     /// [`Exhaustion`] report. Only genuine errors — not exhaustion —

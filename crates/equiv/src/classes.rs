@@ -1,0 +1,61 @@
+//! Equivalence-class partitioning of an interpretation's plan set.
+//!
+//! Canonicalizes every plan ([`crate::canon`]) and groups plans whose
+//! canonical fingerprints collide: members of one class are provably
+//! equivalent (each canonicalization step was certified against
+//! inferred plan properties), so all but one representative per class
+//! are redundant work.
+
+use aqks_relational::Database;
+use aqks_sqlgen::PlanNode;
+
+use crate::canon::{canonicalize, Canonical};
+use crate::EquivError;
+
+/// One equivalence class: the canonical fingerprint and the indices
+/// (into the analyzed plan set) of its members, in input order.
+#[derive(Debug, Clone)]
+pub struct EquivClass {
+    /// Canonical fingerprint shared by every member.
+    pub fingerprint: u64,
+    /// Indices into the input plan slice.
+    pub members: Vec<usize>,
+}
+
+/// The result of [`analyze`]: canonical forms plus the class partition.
+#[derive(Debug, Clone)]
+pub struct ClassAnalysis {
+    /// Canonical form of each input plan, in input order.
+    pub canonical: Vec<Canonical>,
+    /// Equivalence classes in order of first appearance.
+    pub classes: Vec<EquivClass>,
+}
+
+impl ClassAnalysis {
+    /// Number of plans that are redundant with an earlier class member.
+    pub fn duplicates(&self) -> usize {
+        self.classes.iter().map(|c| c.members.len() - 1).sum()
+    }
+
+    /// Number of classes with more than one member.
+    pub fn nontrivial_classes(&self) -> usize {
+        self.classes.iter().filter(|c| c.members.len() > 1).count()
+    }
+}
+
+/// Canonicalizes `plans` and partitions them into equivalence classes
+/// by canonical fingerprint. Emits the `equiv.classes` observability
+/// counter when an ambient span is active.
+pub fn analyze(plans: &[PlanNode], db: &Database) -> Result<ClassAnalysis, EquivError> {
+    let canonical: Vec<Canonical> =
+        plans.iter().map(|p| canonicalize(p, db)).collect::<Result<_, _>>()?;
+    let mut classes: Vec<EquivClass> = Vec::new();
+    for (i, c) in canonical.iter().enumerate() {
+        match classes.iter_mut().find(|cl| cl.fingerprint == c.fingerprint) {
+            Some(cl) => cl.members.push(i),
+            None => classes.push(EquivClass { fingerprint: c.fingerprint, members: vec![i] }),
+        }
+    }
+    aqks_obs::counter("equiv.classes", classes.len() as u64);
+    Ok(ClassAnalysis { canonical, classes })
+}

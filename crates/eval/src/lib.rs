@@ -12,6 +12,10 @@
 //!   reproducing Figure 11's two series;
 //! * [`execbench`] — times plan *execution* through the physical-operator
 //!   pipeline, per query and per operator, writing `BENCH_exec.json`;
+//! * [`equivbench`] — measures the duplicate work `aqks-equiv` removes
+//!   from the workloads (equivalence classes, shared subtrees, and the
+//!   executed-rows reduction of deduplicated shared execution), writing
+//!   `BENCH_equiv.json`;
 //! * [`analysis`] — runs the `aqks-analyze` static analyzer over every
 //!   statement both engines generate for the workloads: the paper engine
 //!   must come back with zero error findings, SQAK trips `AQ-P5` where
@@ -33,6 +37,7 @@
 //! 36 SIGMOD proceedings, …).
 
 pub mod analysis;
+pub mod equivbench;
 pub mod execbench;
 #[cfg(feature = "failpoints")]
 pub mod faults;
@@ -45,6 +50,7 @@ pub mod timing;
 pub mod workload;
 
 pub use analysis::{analyze_workload, run_analysis, AnalysisRow, PlanVerdict};
+pub use equivbench::{run_equiv_bench, WorkloadEquivBench};
 pub use execbench::{run_exec_bench, OpBenchRow, QueryExecBench};
 #[cfg(feature = "failpoints")]
 pub use faults::{run_fault_sweep, FaultOutcome};

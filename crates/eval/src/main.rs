@@ -5,6 +5,7 @@
 //! ```text
 //! repro table5|table6|table8|table9|fig11|plans|all [--paper-scale] [--reps N]
 //! repro exec-bench [--smoke] [--out FILE] [--reps N]
+//! repro equiv-bench [--smoke] [--out FILE] [--k N]
 //! repro faults       # fault-injection sweep; needs --features failpoints
 //! ```
 //!
@@ -17,6 +18,16 @@
 //! timings to `BENCH_exec.json` (override with `--out`); `--smoke` uses
 //! 3 repetitions for a fast CI regression check. Exits non-zero if any
 //! workload query fails to plan or execute.
+//!
+//! `equiv-bench` plans the top-k interpretations of every workload query
+//! (with and without predicate pushdown), partitions the plans into
+//! semantic equivalence classes with `aqks-equiv`, executes the
+//! deduplicated shared-subplan set, and writes the class/sharing/rows
+//! statistics to `BENCH_equiv.json` (override with `--out`). Exits
+//! non-zero on any planning or differential-execution failure, when the
+//! multi-interpretation TPC-H' workload yields no nontrivial
+//! equivalence class, or when shared execution fails to move fewer rows
+//! than the per-plan baseline.
 
 use aqks_eval::{execbench, fig11, tables, Scale};
 
@@ -24,8 +35,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--paper-scale") { Scale::Paper } else { Scale::Small };
     let mut reps = 21usize;
+    let mut k = 3usize;
     let mut smoke = false;
-    let mut out_file = "BENCH_exec.json".to_string();
+    let mut out_file: Option<String> = None;
     let mut what = "all".to_string();
     let mut i = 0;
     while i < args.len() {
@@ -35,7 +47,7 @@ fn main() {
             "--out" => {
                 i += 1;
                 out_file = match args.get(i) {
-                    Some(v) => v.to_string(),
+                    Some(v) => Some(v.to_string()),
                     None => {
                         eprintln!("--out needs a file name");
                         std::process::exit(2);
@@ -45,6 +57,10 @@ fn main() {
             "--reps" => {
                 i += 1;
                 reps = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(21);
+            }
+            "--k" => {
+                i += 1;
+                k = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(3);
             }
             other if !other.starts_with("--") => what = other.to_string(),
             other => {
@@ -78,6 +94,53 @@ fn main() {
         }
     }
 
+    if what == "equiv-bench" {
+        let rows = aqks_eval::equivbench::run_equiv_bench(scale, k);
+        let mut failed = false;
+        for r in &rows {
+            eprintln!(
+                "{}: {} plan(s) -> {} class(es) ({} nontrivial, {} duplicate(s)), {} shared subtree(s), rows {} -> {} (saved {})",
+                r.workload,
+                r.plans,
+                r.classes,
+                r.nontrivial_classes,
+                r.duplicates,
+                r.shared_subtrees,
+                r.baseline_rows,
+                r.shared_rows,
+                r.rows_saved()
+            );
+            for e in &r.errors {
+                eprintln!("  FAILED: {e}");
+                failed = true;
+            }
+        }
+        // The dedup machinery must demonstrably pay for itself: the
+        // multi-interpretation TPC-H' workload has to collapse at least
+        // one pair of plans, and sharing has to move fewer rows
+        // somewhere — silent no-ops would make the analysis decorative.
+        if !rows.iter().any(|r| r.workload == "tpch-prime" && r.nontrivial_classes >= 1) {
+            eprintln!("FAILED: no nontrivial equivalence class on tpch-prime");
+            failed = true;
+        }
+        if !rows.iter().any(|r| r.shared_subtrees >= 1 && r.shared_rows < r.baseline_rows) {
+            eprintln!("FAILED: no workload saved rows through shared execution");
+            failed = true;
+        }
+        let out = out_file.unwrap_or_else(|| "BENCH_equiv.json".to_string());
+        let json = aqks_eval::equivbench::render_json(&rows, scale, k);
+        if let Err(e) = std::fs::write(&out, &json) {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {out} ({} workloads)", rows.len());
+        if failed {
+            eprintln!("equiv-bench failed");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if what == "exec-bench" {
         let rows = execbench::run_exec_bench(scale, reps);
         let failures: Vec<&execbench::QueryExecBench> =
@@ -97,12 +160,13 @@ fn main() {
                 ),
             }
         }
+        let out = out_file.unwrap_or_else(|| "BENCH_exec.json".to_string());
         let json = execbench::render_json(&rows, scale, reps);
-        if let Err(e) = std::fs::write(&out_file, &json) {
-            eprintln!("cannot write {out_file}: {e}");
+        if let Err(e) = std::fs::write(&out, &json) {
+            eprintln!("cannot write {out}: {e}");
             std::process::exit(1);
         }
-        eprintln!("wrote {out_file} ({} queries)", rows.len());
+        eprintln!("wrote {out} ({} queries)", rows.len());
         if !failures.is_empty() {
             eprintln!("exec-bench failed for {} quer(y/ies)", failures.len());
             std::process::exit(1);

@@ -18,8 +18,8 @@
 //!
 //! * it appears in the `AQKS_FAILPOINTS` environment variable (a
 //!   comma/semicolon/space-separated site list, read once per process), or
-//! * it was armed on this thread via [`enable`] (thread-local, so
-//!   parallel tests do not interfere; [`disable`] / [`clear`] disarm).
+//! * it was armed on this thread via `enable` (thread-local, so
+//!   parallel tests do not interfere; `disable` / `clear` disarm).
 
 use std::fmt;
 

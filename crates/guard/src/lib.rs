@@ -20,11 +20,11 @@
 //!   cooperatively — no panics, no torn state. The interpretation cap is
 //!   *soft*: it truncates the translation loop while letting the
 //!   already-translated interpretations finish executing.
-//! * **Failpoints** ([`failpoint!`], [`failpoint`] module) — named
+//! * **Failpoints** ([`failpoint!`], [`mod@failpoint`] module) — named
 //!   deterministic fault-injection sites, compiled out by default and
 //!   enabled per-site via the `failpoints` cargo feature plus either the
 //!   `AQKS_FAILPOINTS` environment variable or the programmatic
-//!   [`failpoint::enable`] API. Each armed site surfaces as a typed
+//!   `failpoint::enable` API. Each armed site surfaces as a typed
 //!   [`failpoint::FailpointError`] through the layer's normal error
 //!   channel, proving error paths end-to-end without hand-crafting
 //!   corrupt inputs.

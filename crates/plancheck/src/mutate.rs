@@ -22,16 +22,31 @@ pub enum Mutation {
     /// Replaces a projected column index with one past the input arity
     /// (a stale index surviving a layout change).
     StaleColumnIndex,
+    /// Swaps a hash join's inputs *soundly*: keys, build side, output
+    /// layout, and every ancestor's column references are remapped.
+    /// Unlike the corruptions above, this mutation is semantics
+    /// preserving — the verifier must accept it, the structural
+    /// fingerprint moves, and `aqks-equiv` must place the mutant in the
+    /// same equivalence class as the original (while [`SwapJoinKeys`],
+    /// which swaps only the keys, must not).
+    ///
+    /// [`SwapJoinKeys`]: Mutation::SwapJoinKeys
+    SwapJoinInputs,
 }
 
 impl Mutation {
-    /// All mutation kinds, in a stable order.
+    /// All *corrupting* mutation kinds, in a stable order. The verifier
+    /// must reject every one of these.
     pub const ALL: [Mutation; 4] = [
         Mutation::SwapJoinKeys,
         Mutation::DropDistinct,
         Mutation::FlipBuildSide,
         Mutation::StaleColumnIndex,
     ];
+
+    /// Semantics-preserving mutations: the verifier must accept them
+    /// and equivalence analysis must identify them with the original.
+    pub const BENIGN: [Mutation; 1] = [Mutation::SwapJoinInputs];
 }
 
 /// Applies `m` to a copy of `plan`. Returns `None` when the plan has no
@@ -43,6 +58,7 @@ pub fn apply(plan: &PlanNode, m: Mutation) -> Option<PlanNode> {
         Mutation::DropDistinct => drop_distinct(&mut out),
         Mutation::FlipBuildSide => flip_build_side(&mut out),
         Mutation::StaleColumnIndex => stale_column_index(&mut out),
+        Mutation::SwapJoinInputs => swap_join_inputs(&mut out).is_some(),
     };
     hit.then_some(out)
 }
@@ -89,6 +105,124 @@ fn flip_build_side(node: &mut PlanNode) -> bool {
         }
     }
     node.children.iter_mut().any(flip_build_side)
+}
+
+/// Soundly swaps the inputs of the first hash join found in pre-order.
+/// Returns the output-column permutation of the rewritten subtree (old
+/// column `i` is now column `perm[i]`); ancestors on the way back up
+/// remap their own column references through it and rebuild their
+/// layouts, so the whole plan stays consistent.
+fn swap_join_inputs(node: &mut PlanNode) -> Option<Vec<usize>> {
+    if matches!(node.op, PlanOp::HashJoin { .. }) {
+        let nl = node.children[0].cols.len();
+        let nr = node.children[1].cols.len();
+        node.children.swap(0, 1);
+        let (l_est, r_est) = (node.children[0].est_rows, node.children[1].est_rows);
+        if let PlanOp::HashJoin { left_keys, right_keys, build_left } = &mut node.op {
+            std::mem::swap(left_keys, right_keys);
+            *build_left = l_est < r_est;
+        }
+        let mut cols = node.children[0].cols.clone();
+        cols.extend(node.children[1].cols.iter().cloned());
+        node.cols = cols;
+        // Old left block lands after the (nr-wide) new left block.
+        let perm: Vec<usize> = (0..nl).map(|i| nr + i).chain(0..nr).collect();
+        return Some(perm);
+    }
+    for ci in 0..node.children.len() {
+        if let Some(p) = swap_join_inputs(&mut node.children[ci]) {
+            return Some(remap_through(node, ci, &p));
+        }
+    }
+    None
+}
+
+/// Remaps `node`'s references into child `ci` through that child's
+/// output permutation `p`, rebuilds `node.cols`, and returns `node`'s
+/// own output permutation for its parent to apply in turn.
+fn remap_through(node: &mut PlanNode, ci: usize, p: &[usize]) -> Vec<usize> {
+    use aqks_sqlgen::PhysPred;
+    let identity = |n: usize| (0..n).collect::<Vec<usize>>();
+    match &mut node.op {
+        PlanOp::Filter { preds } => {
+            for pred in preds.iter_mut() {
+                *pred = match pred {
+                    PhysPred::EqCols(l, r) => PhysPred::EqCols(p[*l], p[*r]),
+                    PhysPred::ContainsCi(i, s) => PhysPred::ContainsCi(p[*i], s.clone()),
+                    PhysPred::EqLit(i, v) => PhysPred::EqLit(p[*i], v.clone()),
+                };
+            }
+            node.cols = node.children[0].cols.clone();
+            p.to_vec()
+        }
+        PlanOp::Project { cols, .. } => {
+            for i in cols.iter_mut() {
+                *i = p[*i];
+            }
+            identity(node.cols.len())
+        }
+        PlanOp::HashAggregate { group, items, .. } => {
+            for g in group.iter_mut() {
+                *g = p[*g];
+            }
+            for item in items.iter_mut() {
+                match item {
+                    aqks_sqlgen::PhysAggItem::Col(i) => *i = p[*i],
+                    aqks_sqlgen::PhysAggItem::Agg { arg, .. } => *arg = p[*arg],
+                }
+            }
+            identity(node.cols.len())
+        }
+        PlanOp::HashJoin { left_keys, right_keys, .. } => {
+            let keys = if ci == 0 { left_keys } else { right_keys };
+            for k in keys.iter_mut() {
+                *k = p[*k];
+            }
+            let nl = node.children[0].cols.len();
+            let nr = node.children[1].cols.len();
+            let mut cols = node.children[0].cols.clone();
+            cols.extend(node.children[1].cols.iter().cloned());
+            node.cols = cols;
+            if ci == 0 {
+                p.iter().copied().chain(nl..nl + nr).collect()
+            } else {
+                (0..nl).chain(p.iter().map(|&j| nl + j)).collect()
+            }
+        }
+        PlanOp::CrossJoin => {
+            let nl = node.children[0].cols.len();
+            let nr = node.children[1].cols.len();
+            let mut cols = node.children[0].cols.clone();
+            cols.extend(node.children[1].cols.iter().cloned());
+            node.cols = cols;
+            if ci == 0 {
+                p.iter().copied().chain(nl..nl + nr).collect()
+            } else {
+                (0..nl).chain(p.iter().map(|&j| nl + j)).collect()
+            }
+        }
+        PlanOp::DerivedTable { names, .. } => {
+            let old_names = names.clone();
+            let old_cols = node.cols.clone();
+            for (i, &t) in p.iter().enumerate() {
+                names[t] = old_names[i].clone();
+                node.cols[t] = old_cols[i].clone();
+            }
+            p.to_vec()
+        }
+        PlanOp::Sort { keys } => {
+            for (i, _) in keys.iter_mut() {
+                *i = p[*i];
+            }
+            node.cols = node.children[0].cols.clone();
+            p.to_vec()
+        }
+        PlanOp::Distinct | PlanOp::Limit { .. } => {
+            node.cols = node.children[0].cols.clone();
+            p.to_vec()
+        }
+        PlanOp::Scan { .. } => identity(node.cols.len()),
+    }
 }
 
 fn stale_column_index(node: &mut PlanNode) -> bool {

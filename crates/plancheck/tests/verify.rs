@@ -94,6 +94,9 @@ fn every_seeded_mutation_is_rejected_with_a_typed_diagnostic() {
                 mutate::Mutation::DropDistinct => &[PlanErrorKind::LostDistinct],
                 mutate::Mutation::FlipBuildSide => &[PlanErrorKind::BuildSide],
                 mutate::Mutation::StaleColumnIndex => &[PlanErrorKind::UnresolvedColumn],
+                mutate::Mutation::SwapJoinInputs => {
+                    panic!("benign mutation yielded by mutate::all()")
+                }
             };
             assert!(
                 allowed.contains(&err.kind),
@@ -103,6 +106,33 @@ fn every_seeded_mutation_is_rejected_with_a_typed_diagnostic() {
         }
     }
     assert!(applied >= 8, "mutation corpus too small ({applied} applications)");
+}
+
+#[test]
+fn benign_input_swap_verifies_clean_but_moves_the_fingerprint() {
+    let db = university::normalized();
+    let mut swapped = 0usize;
+    for (stmt, p) in engine_plans(&db, UNIVERSITY_QUERIES) {
+        let Some(good) = mutate::apply(&p, mutate::Mutation::SwapJoinInputs) else {
+            continue; // no hash join in this plan
+        };
+        swapped += 1;
+        verify(&good, &db, Some(&stmt)).unwrap_or_else(|e| {
+            panic!(
+                "sound input swap rejected: {e}\noriginal:\n{}\nswapped:\n{}",
+                render_plan(&p),
+                render_plan(&good)
+            )
+        });
+        // The swap is structural, so the *structural* fingerprint moves;
+        // only the canonical fingerprint (aqks-equiv) identifies them.
+        assert_ne!(fingerprint(&p), fingerprint(&good), "input swap left fingerprint unchanged");
+        // Same rows out: the swap must not change results.
+        let (a, _) = run_plan(&p, &db).expect("original executes");
+        let (b, _) = run_plan(&good, &db).expect("mutant executes");
+        assert_eq!(a.sorted().rows, b.sorted().rows, "rows changed by input swap");
+    }
+    assert!(swapped >= 3, "too few joins exercised ({swapped})");
 }
 
 #[test]

@@ -8,8 +8,8 @@
 //!   paper's translation step emits (conjunctive equi-joins, `contains`
 //!   predicates, GROUP BY, the five aggregate functions, DISTINCT, derived
 //!   tables in FROM, and nested aggregate queries);
-//! * [`render`] — pretty-printing in the paper's listing style;
-//! * [`plan`] — a planner lowering statements into a physical operator
+//! * [`render()`] — pretty-printing in the paper's listing style;
+//! * [`plan()`] — a planner lowering statements into a physical operator
 //!   tree (scans with predicate pushdown, cardinality-aware hash/cross
 //!   joins, aggregation, sort/limit) with an EXPLAIN pretty-printer;
 //! * [`ops`] — a Volcano-style batch executor over the plan, recording
@@ -31,7 +31,7 @@ pub mod result;
 
 pub use ast::{AggFunc, ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
 pub use exec::{execute, execute_with_stats, ExecError};
-pub use ops::{run_plan, ExecStats, OpMetrics};
+pub use ops::{materialize_plan, run_plan, run_plan_with_shared, ExecStats, OpMetrics, SharedRows};
 pub use plan::{
     plan, plan_with_options, render_plan, render_plan_with_stats, PhysAggItem, PhysPred, PlanNode,
     PlanOp, PlanOptions,

@@ -1,10 +1,10 @@
 //! Volcano-style execution of physical plans.
 //!
-//! Every operator implements the batch-`next` [`Operator`] protocol
+//! Every operator implements the batch-`next` `Operator` protocol
 //! (`open`/`next`/`close`); pipeline-friendly operators (scan with
 //! pushdown, filter, project, distinct, limit) stream batches, while
 //! pipeline breakers (hash-join build, aggregation, sort) drain their
-//! input inside `open`. Each operator is wrapped in a [`Metered`] shim
+//! input inside `open`. Each operator is wrapped in a `Metered` shim
 //! that records rows in/out, batch counts and inclusive wall time into
 //! the plan-indexed [`ExecStats`], so `aqks explain --analyze` and the
 //! bench harness can attribute cost operator by operator.
@@ -174,6 +174,41 @@ impl Operator for Guarded<'_> {
 
     fn note(&self) -> Option<String> {
         self.inner.note()
+    }
+}
+
+/// Replays rows materialized once by a shared subplan (see
+/// `aqks-equiv`): the consumer site's whole subtree is replaced by this
+/// operator, so the shared work executes exactly once per set. Batches
+/// are re-emitted at the standard size, and the shim stack above
+/// (metering, budget checkpoints at the `ops.Cached` site) is
+/// preserved, so replayed rows are metered and charged like any other
+/// operator output.
+struct CachedRows {
+    rows: Rc<Vec<Row>>,
+    pos: usize,
+}
+
+impl Operator for CachedRows {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + BATCH_SIZE).min(self.rows.len());
+        let batch = self.rows[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) {}
+
+    fn note(&self) -> Option<String> {
+        Some(format!("cached rows={}", self.rows.len()))
     }
 }
 
@@ -633,12 +668,23 @@ impl Operator for Limit<'_> {
 // Building and running
 // ---------------------------------------------------------------------------
 
+/// Materialized rows substituted for plan subtrees by node id — the
+/// executor half of `aqks-equiv`'s shared-subplan DAG.
+pub type SharedRows = HashMap<usize, Rc<Vec<Row>>>;
+
 fn build<'a>(
     node: &'a PlanNode,
     db: &'a Database,
     stats: &StatsCell,
     governed: bool,
+    shared: &SharedRows,
 ) -> Result<Metered<'a>, ExecError> {
+    if let Some(rows) = shared.get(&node.id) {
+        let inner: Box<dyn Operator + 'a> = Box::new(CachedRows { rows: Rc::clone(rows), pos: 0 });
+        let inner: Box<dyn Operator + 'a> =
+            if governed { Box::new(Guarded { site: "ops.Cached", inner }) } else { inner };
+        return Ok(Metered { id: node.id, stats: stats.clone(), inner });
+    }
     let inner: Box<dyn Operator + 'a> = match &node.op {
         PlanOp::Scan { relation, pushed, .. } => {
             let table =
@@ -646,14 +692,15 @@ fn build<'a>(
             Box::new(Scan { rows: table.rows(), preds: pushed, pos: 0 })
         }
         PlanOp::DerivedTable { .. } => {
-            Box::new(Passthrough { child: build(&node.children[0], db, stats, governed)? })
+            Box::new(Passthrough { child: build(&node.children[0], db, stats, governed, shared)? })
         }
-        PlanOp::Filter { preds } => {
-            Box::new(Filter { child: build(&node.children[0], db, stats, governed)?, preds })
-        }
+        PlanOp::Filter { preds } => Box::new(Filter {
+            child: build(&node.children[0], db, stats, governed, shared)?,
+            preds,
+        }),
         PlanOp::HashJoin { left_keys, right_keys, build_left } => Box::new(HashJoin {
-            left: build(&node.children[0], db, stats, governed)?,
-            right: build(&node.children[1], db, stats, governed)?,
+            left: build(&node.children[0], db, stats, governed, shared)?,
+            right: build(&node.children[1], db, stats, governed, shared)?,
             left_keys,
             right_keys,
             build_left: *build_left,
@@ -662,12 +709,12 @@ fn build<'a>(
             probe_rows: 0,
         }),
         PlanOp::CrossJoin => Box::new(CrossJoin {
-            left: build(&node.children[0], db, stats, governed)?,
-            right: build(&node.children[1], db, stats, governed)?,
+            left: build(&node.children[0], db, stats, governed, shared)?,
+            right: build(&node.children[1], db, stats, governed, shared)?,
             buffer: Vec::new(),
         }),
         PlanOp::HashAggregate { group, items, .. } => Box::new(HashAggregate {
-            child: build(&node.children[0], db, stats, governed)?,
+            child: build(&node.children[0], db, stats, governed, shared)?,
             group,
             items,
             output: Vec::new(),
@@ -675,22 +722,24 @@ fn build<'a>(
             in_rows: 0,
             groups_out: 0,
         }),
-        PlanOp::Project { cols, .. } => {
-            Box::new(Project { child: build(&node.children[0], db, stats, governed)?, cols })
-        }
+        PlanOp::Project { cols, .. } => Box::new(Project {
+            child: build(&node.children[0], db, stats, governed, shared)?,
+            cols,
+        }),
         PlanOp::Distinct => Box::new(Distinct {
-            child: build(&node.children[0], db, stats, governed)?,
+            child: build(&node.children[0], db, stats, governed, shared)?,
             seen: HashSet::new(),
         }),
         PlanOp::Sort { keys } => Box::new(Sort {
-            child: build(&node.children[0], db, stats, governed)?,
+            child: build(&node.children[0], db, stats, governed, shared)?,
             keys,
             buffer: Vec::new(),
             emitted: 0,
         }),
-        PlanOp::Limit { n } => {
-            Box::new(Limit { child: build(&node.children[0], db, stats, governed)?, remaining: *n })
-        }
+        PlanOp::Limit { n } => Box::new(Limit {
+            child: build(&node.children[0], db, stats, governed, shared)?,
+            remaining: *n,
+        }),
     };
     // Budget enforcement sits inside the metering shim so governed wall
     // time is attributed to the operator it bounds.
@@ -704,12 +753,52 @@ fn build<'a>(
 /// are stably sorted by value, so results are reproducible across runs
 /// and plan changes.
 pub fn run_plan(plan: &PlanNode, db: &Database) -> Result<(ResultTable, ExecStats), ExecError> {
+    run_plan_with_shared(plan, db, &SharedRows::new())
+}
+
+/// [`run_plan`] with shared-subplan substitution: any node whose id
+/// appears in `shared` is executed as a cached-rows replay instead of
+/// its subtree (the subtree below it never builds or runs). The
+/// `aqks-equiv` shared-subplan DAG materializes each shared subtree
+/// once via [`materialize_plan`] and feeds the rows to every consumer
+/// through this entry point.
+pub fn run_plan_with_shared(
+    plan: &PlanNode,
+    db: &Database,
+    shared: &SharedRows,
+) -> Result<(ResultTable, ExecStats), ExecError> {
+    let (mut rows, stats) = pull_rows(plan, db, shared)?;
+    if !plan.is_ordered() {
+        rows.sort();
+    }
+    let mut table = ResultTable::new(plan.output_names());
+    table.rows = rows;
+    Ok((table, stats))
+}
+
+/// Executes a plan and returns its raw output rows, *without* the
+/// stabilizing sort or column naming of [`run_plan`] — the
+/// materialization primitive for shared subtrees, whose consumers need
+/// operator output order, not presentation order.
+pub fn materialize_plan(
+    plan: &PlanNode,
+    db: &Database,
+) -> Result<(Vec<Row>, ExecStats), ExecError> {
+    pull_rows(plan, db, &SharedRows::new())
+}
+
+/// Builds, opens and drains a plan, collecting all rows and metrics.
+fn pull_rows(
+    plan: &PlanNode,
+    db: &Database,
+    shared: &SharedRows,
+) -> Result<(Vec<Row>, ExecStats), ExecError> {
     let t0 = Instant::now();
     let stats: StatsCell = Rc::new(RefCell::new(vec![OpMetrics::default(); plan.max_id() + 1]));
     // One ambient probe per plan: ungoverned runs skip the Guarded shims
     // entirely, keeping the default path free.
     let governed = aqks_guard::current().is_some();
-    let mut root = build(plan, db, &stats, governed)?;
+    let mut root = build(plan, db, &stats, governed, shared)?;
     root.open()?;
     let mut rows: Vec<Row> = Vec::new();
     while let Some(batch) = root.next()? {
@@ -717,15 +806,11 @@ pub fn run_plan(plan: &PlanNode, db: &Database) -> Result<(ResultTable, ExecStat
     }
     root.close();
     drop(root);
-    if !plan.is_ordered() {
-        rows.sort();
-    }
-    let mut table = ResultTable::new(plan.output_names());
-    table.rows = rows;
 
     let mut ops =
         Rc::try_unwrap(stats).map(RefCell::into_inner).unwrap_or_else(|rc| rc.borrow().clone());
-    // rows-in is the sum of each node's children's rows-out.
+    // rows-in is the sum of each node's children's rows-out (zero below
+    // a cached replay: those subtrees never ran).
     plan.visit(&mut |node| {
         let rows_in: u64 = node.children.iter().map(|c| ops[c.id].rows_out).sum();
         ops[node.id].rows_in = rows_in;
@@ -736,7 +821,7 @@ pub fn run_plan(plan: &PlanNode, db: &Database) -> Result<(ResultTable, ExecStat
     if let Some(rec) = aqks_obs::current() {
         record_op_spans(&rec, plan, &ops, t0, None);
     }
-    Ok((table, ExecStats { ops, wall: t0.elapsed() }))
+    Ok((rows, ExecStats { ops, wall: t0.elapsed() }))
 }
 
 /// Short operator name for trace spans (the EXPLAIN label minus its

@@ -264,10 +264,17 @@ impl PlanNode {
             }
             PlanOp::HashJoin { left_keys, right_keys, build_left } => {
                 let (lc, rc) = (input_cols(0), input_cols(1));
-                let keys: Vec<String> = left_keys
-                    .iter()
-                    .zip(right_keys)
-                    .map(|(&l, &r)| format!("{}.{} = {}.{}", lc[l].0, lc[l].1, rc[r].0, rc[r].1))
+                // Render key pairs in canonical (left-schema) order, not
+                // the planner's accumulation order: the stored order
+                // tracks build/probe bookkeeping and would leak the
+                // build-side choice into EXPLAIN text for otherwise
+                // identical plans.
+                let mut pairs: Vec<(usize, usize)> =
+                    left_keys.iter().copied().zip(right_keys.iter().copied()).collect();
+                pairs.sort_unstable();
+                let keys: Vec<String> = pairs
+                    .into_iter()
+                    .map(|(l, r)| format!("{}.{} = {}.{}", lc[l].0, lc[l].1, rc[r].0, rc[r].1))
                     .collect();
                 format!(
                     "HashJoin on [{}] build={}",
@@ -1094,6 +1101,44 @@ mod tests {
         assert!(analyzed.contains("rows="), "{analyzed}");
         assert!(analyzed.contains("time="), "{analyzed}");
         assert!(analyzed.contains("total:"), "{analyzed}");
+    }
+
+    /// Regression: join-key pairs render in canonical (left-schema)
+    /// order no matter how the planner's accumulation order stored
+    /// them, so EXPLAIN text cannot leak the build/probe bookkeeping
+    /// into otherwise identical plans.
+    #[test]
+    fn render_plan_sorts_join_keys_canonically() {
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("S", "Sid"), alias: None },
+                SelectItem::Column { col: col("E", "Code"), alias: None },
+            ],
+            from: vec![
+                TableExpr::Relation { name: "Student".into(), alias: "S".into() },
+                TableExpr::Relation { name: "Enrol".into(), alias: "E".into() },
+            ],
+            predicates: vec![Predicate::JoinEq(col("S", "Sid"), col("E", "Sid"))],
+            ..Default::default()
+        };
+        let db = db();
+        let p = plan(&stmt, &db).unwrap();
+        let mut join = find(&p, &|n| matches!(n.op, PlanOp::HashJoin { .. })).unwrap().clone();
+        let canonical = join.label();
+        // Storing the key pairs in reverse must not change the label.
+        if let PlanOp::HashJoin { left_keys, right_keys, .. } = &mut join.op {
+            left_keys.push(0);
+            right_keys.push(1);
+            left_keys.reverse();
+            right_keys.reverse();
+            let reversed_pairs = join.label();
+            if let PlanOp::HashJoin { left_keys, right_keys, .. } = &mut join.op {
+                left_keys.reverse();
+                right_keys.reverse();
+                assert_eq!(join.label(), reversed_pairs, "pair order leaked into the label");
+            }
+        }
+        assert!(canonical.contains("s.sid = e.sid"), "{canonical}");
     }
 
     /// Regression: `output_names` must stay parallel to `cols` on every

@@ -16,6 +16,8 @@
 //! * [`analyze`] — static semantic analyzer for generated SQL plans
 //! * [`plancheck`] — static verifier for physical plans (properties,
 //!   invariants, fingerprints)
+//! * [`equiv`] — verified plan canonicalization, equivalence classes,
+//!   and shared-subplan execution
 //! * [`guard`] — resource budgets, cooperative cancellation, failpoints
 //!
 //! ## Quickstart
@@ -54,6 +56,7 @@
 pub use aqks_analyze as analyze;
 pub use aqks_core as core;
 pub use aqks_datasets as datasets;
+pub use aqks_equiv as equiv;
 pub use aqks_guard as guard;
 pub use aqks_orm as orm;
 pub use aqks_plancheck as plancheck;
