@@ -15,6 +15,8 @@
 //! * `--k N` — show the top-N interpretations (default 1)
 //! * `--sqak` — also run the SQAK baseline for contrast
 //! * `--explain` — print the ORM schema graph and the query pattern
+//! * `--threads N` — executor worker threads (default 1); results are
+//!   identical at every thread count, only wall time changes
 //! * `--timeout-ms N`, `--max-rows N`, `--max-patterns N`,
 //!   `--max-interpretations N` — resource budget for the query; on
 //!   exhaustion the completed interpretations are printed, a one-line
@@ -106,6 +108,7 @@ struct Options {
     max_rows: Option<u64>,
     max_patterns: Option<u64>,
     max_interpretations: Option<u64>,
+    threads: usize,
     query: Option<String>,
 }
 
@@ -160,6 +163,7 @@ fn parse_args() -> Result<Options, String> {
         max_rows: None,
         max_patterns: None,
         max_interpretations: None,
+        threads: 1,
         query: None,
     };
     fn num(args: &[String], i: usize, flag: &str) -> Result<u64, String> {
@@ -215,8 +219,12 @@ fn parse_args() -> Result<Options, String> {
                 i += 1;
                 opts.max_interpretations = Some(num(&args, i, "--max-interpretations")?);
             }
+            "--threads" => {
+                i += 1;
+                opts.threads = (num(&args, i, "--threads")? as usize).max(1);
+            }
             "--help" | "-h" => {
-                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--plans] [--equiv] [--shared] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [QUERY]");
+                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--plans] [--equiv] [--shared] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [--threads N] [QUERY]");
                 std::process::exit(0);
             }
             "check" if positional.is_empty() && !opts.subcommand() => opts.check = true,
@@ -372,6 +380,7 @@ fn check_workload(dataset: &str) -> Vec<String> {
 /// `analyze`, executes each plan and annotates operators with measured
 /// row counts and wall time. Returns the number of failed queries.
 fn run_explain(engine: &Engine, queries: &[String], k: usize, analyze: bool) -> usize {
+    let opts = aqks_sqlgen::ExecOptions::with_threads(engine.threads());
     let db = engine.database();
     let mut failures = 0;
     for q in queries {
@@ -407,7 +416,7 @@ fn run_explain(engine: &Engine, queries: &[String], k: usize, analyze: bool) -> 
             };
             println!("plan fingerprint: {}", aqks_plancheck::fingerprint_hex(&plan));
             let rendered = if analyze {
-                match aqks_sqlgen::run_plan(&plan, db) {
+                match aqks_sqlgen::run_plan_opts(&plan, db, &aqks_sqlgen::SharedRows::new(), opts) {
                     Ok((_, stats)) => aqks_sqlgen::render_plan_with_stats(&plan, &stats),
                     Err(e) => {
                         println!("  execution error: {e}");
@@ -730,13 +739,14 @@ fn main() {
     }
 
     let sqak = opts.sqak.then(|| Sqak::new(db.clone()));
-    let engine = match Engine::new(db) {
+    let mut engine = match Engine::new(db) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
     };
+    engine.set_threads(opts.threads);
     if engine.is_unnormalized() {
         eprintln!("(unnormalized database: querying through the normalized view)");
     }

@@ -129,6 +129,8 @@ pub struct Engine {
     matcher: Matcher,
     view: Option<NormalizedView>,
     options: EngineOptions,
+    /// Worker threads for parallel plan execution (1 = sequential).
+    threads: usize,
     /// Pipeline tracing sink; disabled by default, so every span below
     /// costs one atomic load until someone asks for a trace.
     recorder: Recorder,
@@ -157,6 +159,7 @@ impl Engine {
                 matcher,
                 view: None,
                 options,
+                threads: 1,
                 recorder: Recorder::disabled(),
             })
         } else {
@@ -172,9 +175,22 @@ impl Engine {
                 matcher,
                 view: Some(view),
                 options,
+                threads: 1,
                 recorder: Recorder::disabled(),
             })
         }
+    }
+
+    /// Sets the worker thread count for plan execution. Results are
+    /// identical at every value (the executor's merge orders are
+    /// deterministic); only wall time changes. Clamped to at least 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker thread count for plan execution.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// True when the database required a normalized view (Section 4).
@@ -393,7 +409,12 @@ impl Engine {
             }
             let run = {
                 let s = self.recorder.span("exec");
-                let run = aqks_sqlgen::run_plan(&plan, &self.db);
+                let run = aqks_sqlgen::run_plan_opts(
+                    &plan,
+                    &self.db,
+                    &aqks_sqlgen::SharedRows::new(),
+                    aqks_sqlgen::ExecOptions::with_threads(self.threads),
+                );
                 if let Ok((result, _)) = &run {
                     s.add("exec.rows_out", result.row_count() as u64);
                 }

@@ -9,12 +9,13 @@
 //! per-operator metering preserved.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aqks_plancheck::fingerprint;
-use aqks_relational::{Database, Row};
+use aqks_relational::Database;
 use aqks_sqlgen::{
-    materialize_plan, run_plan_with_shared, ExecError, ExecStats, PlanNode, ResultTable,
+    materialize_batches, run_plan_opts, ColumnBatch, ExecError, ExecOptions, ExecStats, PlanNode,
+    ResultTable, SharedRows,
 };
 
 use crate::classes::ClassAnalysis;
@@ -127,28 +128,41 @@ pub fn shared_set(analysis: &ClassAnalysis) -> SharedSet {
 }
 
 /// Executes a shared set: each shared subtree is materialized once,
-/// then every representative plan runs with the materialized rows
+/// then every representative plan runs with the materialized batches
 /// substituted at its consumer sites.
 pub fn run_shared(set: &SharedSet, db: &Database) -> Result<SharedRun, ExecError> {
-    let mut share_rows: Vec<Rc<Vec<Row>>> = Vec::with_capacity(set.shares.len());
+    run_shared_opts(set, db, ExecOptions::default())
+}
+
+/// [`run_shared`] with execution options: both the shared-subtree
+/// materializations and the consumer plans run with `opts` (worker
+/// thread count). The materialized batches are `Arc`-shared, so feeding
+/// them to N consumers costs N reference-count bumps, not N deep
+/// copies.
+pub fn run_shared_opts(
+    set: &SharedSet,
+    db: &Database,
+    opts: ExecOptions,
+) -> Result<SharedRun, ExecError> {
+    let mut share_batches: Vec<Arc<Vec<ColumnBatch>>> = Vec::with_capacity(set.shares.len());
     let mut share_stats = Vec::with_capacity(set.shares.len());
     for sp in &set.shares {
-        let (rows, stats) = materialize_plan(&sp.subtree, db)?;
-        share_rows.push(Rc::new(rows));
+        let (batches, stats) = materialize_batches(&sp.subtree, db, opts)?;
+        share_batches.push(Arc::new(batches));
         share_stats.push(stats);
     }
     let mut tables = Vec::with_capacity(set.plans.len());
     let mut plan_stats = Vec::with_capacity(set.plans.len());
     for (pi, plan) in set.plans.iter().enumerate() {
-        let mut cached: HashMap<usize, Rc<Vec<Row>>> = HashMap::new();
+        let mut cached = SharedRows::new();
         for (k, sp) in set.shares.iter().enumerate() {
             for &(p, id) in &sp.consumers {
                 if p == pi {
-                    cached.insert(id, Rc::clone(&share_rows[k]));
+                    cached.insert(id, Arc::clone(&share_batches[k]));
                 }
             }
         }
-        let (table, stats) = run_plan_with_shared(plan, db, &cached)?;
+        let (table, stats) = run_plan_opts(plan, db, &cached, opts)?;
         tables.push(table);
         plan_stats.push(stats);
     }

@@ -14,7 +14,7 @@
 use std::time::Instant;
 
 use aqks_core::Engine;
-use aqks_sqlgen::{plan, run_plan, ExecStats, PlanNode};
+use aqks_sqlgen::{plan, run_plan, run_plan_opts, ExecOptions, ExecStats, PlanNode, SharedRows};
 
 use crate::timing::TimingSummary;
 use crate::workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};
@@ -204,6 +204,202 @@ pub fn run_exec_bench(scale: Scale, reps: usize) -> Vec<QueryExecBench> {
     out
 }
 
+/// One thread count's timing of one sweep query.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Executor worker threads used for this measurement.
+    pub threads: usize,
+    /// Wall time over the repetitions at this thread count.
+    pub wall: TimingSummary,
+}
+
+/// The thread-scaling measurement of one aggregate workload query.
+#[derive(Debug, Clone)]
+pub struct ThreadSweepRow {
+    /// Paper query id (T1…T8).
+    pub id: &'static str,
+    /// The generated SQL text that was executed.
+    pub sql: String,
+    /// Result cardinality (identical at every thread count, or the row
+    /// carries a divergence error).
+    pub result_rows: usize,
+    /// Median wall times per thread count, ascending thread order.
+    pub points: Vec<SweepPoint>,
+    /// Speedup of the highest thread count over single-threaded
+    /// execution (median over median).
+    pub speedup: f64,
+    /// Planning failure or cross-thread-count result divergence.
+    pub error: Option<String>,
+}
+
+/// The full thread-scaling sweep: per-query scaling rows plus the
+/// median speedup across queries at the highest thread count.
+#[derive(Debug, Clone)]
+pub struct ThreadSweep {
+    /// Thread counts measured, ascending (always starts at 1).
+    pub threads: Vec<usize>,
+    /// CPUs available to this process — on a single-CPU host the sweep
+    /// still verifies determinism, but no wall-clock speedup is
+    /// physically possible and `median_speedup` reflects pure overhead.
+    pub host_cpus: usize,
+    /// Per-query scaling measurements.
+    pub rows: Vec<ThreadSweepRow>,
+    /// Median across queries of each query's `speedup`.
+    pub median_speedup: f64,
+}
+
+/// Power-of-two thread counts up to `max`, always including 1 and
+/// `max` itself: `thread_counts(4)` is `[1, 2, 4]`, `thread_counts(6)`
+/// is `[1, 2, 4, 6]`.
+pub fn thread_counts(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut out = vec![1];
+    let mut n = 2;
+    while n < max {
+        out.push(n);
+        n *= 2;
+    }
+    if max > 1 {
+        out.push(max);
+    }
+    out
+}
+
+/// A denormalized TPC-H' instance sized so the aggregate workload
+/// queries move tens of thousands of wide rows per plan — enough for
+/// the executor's parallel scan/join/aggregate paths to engage.
+fn sweep_database() -> aqks_relational::Database {
+    let cfg = aqks_datasets::TpchConfig {
+        seed: 42,
+        parts: 400,
+        suppliers: 300,
+        customers: 200,
+        orders: 20_000,
+        parts_per_supplier: 80,
+        max_orders_per_pair: 3,
+    };
+    aqks_datasets::denormalize_tpch(&aqks_datasets::generate_tpch(&cfg))
+}
+
+/// Runs the TPC-H' aggregate workload at every thread count in
+/// `thread_counts(max_threads)` and reports per-query scaling. Each
+/// query's stabilized result at every thread count is compared against
+/// the single-threaded result; any divergence is recorded as the row's
+/// `error` (the determinism contract is part of the benchmark).
+pub fn run_thread_sweep(max_threads: usize, reps: usize) -> ThreadSweep {
+    let threads = thread_counts(max_threads);
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let engine = match Engine::new(sweep_database()) {
+        Ok(e) => e,
+        Err(e) => {
+            let rows = tpch_queries()
+                .iter()
+                .map(|q| ThreadSweepRow {
+                    id: q.id,
+                    sql: String::new(),
+                    result_rows: 0,
+                    points: Vec::new(),
+                    speedup: 0.0,
+                    error: Some(format!("engine: {e}")),
+                })
+                .collect();
+            return ThreadSweep { threads, host_cpus, rows, median_speedup: 0.0 };
+        }
+    };
+    let db = engine.database();
+    let none = SharedRows::new();
+    let rows: Vec<ThreadSweepRow> = tpch_queries()
+        .into_iter()
+        .map(|q| {
+            let fail = |msg: String| ThreadSweepRow {
+                id: q.id,
+                sql: String::new(),
+                result_rows: 0,
+                points: Vec::new(),
+                speedup: 0.0,
+                error: Some(msg),
+            };
+            let generated = match engine.generate(q.text, 1) {
+                Ok(g) if !g.is_empty() => g,
+                Ok(_) => return fail("no interpretation".into()),
+                Err(e) => return fail(format!("generate: {e}")),
+            };
+            let g = generated.into_iter().next().expect("non-empty");
+            let p = match plan(&g.sql, db) {
+                Ok(p) => p,
+                Err(e) => return fail(format!("plan: {e}")),
+            };
+            let mut baseline = None;
+            let mut points = Vec::with_capacity(threads.len());
+            let mut result_rows = 0;
+            for &t in &threads {
+                let opts = ExecOptions::with_threads(t);
+                // Warm-up run doubles as the determinism check.
+                let table = match run_plan_opts(&p, db, &none, opts) {
+                    Ok((table, _)) => table,
+                    Err(e) => return fail(format!("execute (threads={t}): {e}")),
+                };
+                result_rows = table.row_count();
+                match &baseline {
+                    None => baseline = Some(table),
+                    Some(b) if *b != table => {
+                        return fail(format!("result at threads={t} diverges from threads=1"))
+                    }
+                    Some(_) => {}
+                }
+                let mut samples = Vec::with_capacity(reps.max(1));
+                for _ in 0..reps.max(1) {
+                    let start = Instant::now();
+                    if let Err(e) = run_plan_opts(&p, db, &none, opts) {
+                        return fail(format!("execute (threads={t}): {e}"));
+                    }
+                    samples.push(start.elapsed().as_secs_f64() * 1e6);
+                }
+                points.push(SweepPoint { threads: t, wall: TimingSummary::from_samples(&samples) });
+            }
+            let speedup = match (points.first(), points.last()) {
+                (Some(a), Some(b)) if b.wall.median_us > 0.0 => a.wall.median_us / b.wall.median_us,
+                _ => 0.0,
+            };
+            ThreadSweepRow { id: q.id, sql: g.sql_text, result_rows, points, speedup, error: None }
+        })
+        .collect();
+    let mut speedups: Vec<f64> =
+        rows.iter().filter(|r| r.error.is_none()).map(|r| r.speedup).collect();
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
+    let median_speedup = if speedups.is_empty() { 0.0 } else { speedups[speedups.len() / 2] };
+    ThreadSweep { threads, host_cpus, rows, median_speedup }
+}
+
+/// Serializes a thread sweep as the `threads_sweep` JSON object.
+pub fn render_sweep_json(sweep: &ThreadSweep) -> String {
+    let mut s = String::from("{\n");
+    let counts: Vec<String> = sweep.threads.iter().map(|t| t.to_string()).collect();
+    s.push_str(&format!("    \"threads\": [{}],\n", counts.join(", ")));
+    s.push_str(&format!("    \"host_cpus\": {},\n", sweep.host_cpus));
+    s.push_str(&format!("    \"median_speedup\": {:.3},\n", sweep.median_speedup));
+    s.push_str("    \"queries\": [\n");
+    for (i, r) in sweep.rows.iter().enumerate() {
+        s.push_str("      {");
+        s.push_str(&format!("\"id\": \"{}\", ", r.id));
+        if let Some(err) = &r.error {
+            s.push_str(&format!("\"error\": \"{}\"", json_escape(err)));
+        } else {
+            s.push_str(&format!("\"result_rows\": {}, ", r.result_rows));
+            s.push_str(&format!("\"speedup\": {:.3}, ", r.speedup));
+            let walls: Vec<String> = r
+                .points
+                .iter()
+                .map(|p| format!("\"{}\": {:.1}", p.threads, p.wall.median_us))
+                .collect();
+            s.push_str(&format!("\"wall_us\": {{{}}}", walls.join(", ")));
+        }
+        s.push_str(&format!("}}{}\n", if i + 1 < sweep.rows.len() { "," } else { "" }));
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
@@ -220,8 +416,14 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Serializes benchmark rows as the `BENCH_exec.json` document.
-pub fn render_json(rows: &[QueryExecBench], scale: Scale, reps: usize) -> String {
+/// Serializes benchmark rows as the `BENCH_exec.json` document; a
+/// thread sweep, when run, lands under the `threads_sweep` key.
+pub fn render_json(
+    rows: &[QueryExecBench],
+    scale: Scale,
+    reps: usize,
+    sweep: Option<&ThreadSweep>,
+) -> String {
     let scale_name = match scale {
         Scale::Small => "small",
         Scale::Paper => "paper-scale",
@@ -263,6 +465,10 @@ pub fn render_json(rows: &[QueryExecBench], scale: Scale, reps: usize) -> String
         }
         s.push_str(&format!("    }}{}\n", if i + 1 < rows.len() { "," } else { "" }));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ]");
+    if let Some(sweep) = sweep {
+        s.push_str(&format!(",\n  \"threads_sweep\": {}", render_sweep_json(sweep)));
+    }
+    s.push_str("\n}\n");
     s
 }

@@ -51,7 +51,10 @@ pub mod workload;
 
 pub use analysis::{analyze_workload, run_analysis, AnalysisRow, PlanVerdict};
 pub use equivbench::{run_equiv_bench, WorkloadEquivBench};
-pub use execbench::{run_exec_bench, OpBenchRow, QueryExecBench};
+pub use execbench::{
+    run_exec_bench, run_thread_sweep, OpBenchRow, QueryExecBench, SweepPoint, ThreadSweep,
+    ThreadSweepRow,
+};
 #[cfg(feature = "failpoints")]
 pub use faults::{run_fault_sweep, FaultOutcome};
 pub use fig11::{run_fig11, TimingRow};

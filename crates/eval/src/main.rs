@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro table5|table6|table8|table9|fig11|plans|all [--paper-scale] [--reps N]
-//! repro exec-bench [--smoke] [--out FILE] [--reps N]
+//! repro exec-bench [--smoke] [--out FILE] [--reps N] [--threads N]
 //! repro equiv-bench [--smoke] [--out FILE] [--k N]
 //! repro faults       # fault-injection sweep; needs --features failpoints
 //! ```
@@ -16,8 +16,12 @@
 //! `exec-bench` plans and executes the T1–T8 / A1–A8 workloads through
 //! the physical-operator pipeline and writes per-query and per-operator
 //! timings to `BENCH_exec.json` (override with `--out`); `--smoke` uses
-//! 3 repetitions for a fast CI regression check. Exits non-zero if any
-//! workload query fails to plan or execute.
+//! 3 repetitions for a fast CI regression check. `--threads N` (N > 1)
+//! additionally sweeps the TPC-H' aggregate workload over power-of-two
+//! executor thread counts up to N, verifies every thread count produces
+//! byte-identical stabilized results, and records the scaling under
+//! `threads_sweep` in the JSON. Exits non-zero if any workload query
+//! fails to plan or execute, or if any thread count diverges.
 //!
 //! `equiv-bench` plans the top-k interpretations of every workload query
 //! (with and without predicate pushdown), partitions the plans into
@@ -36,6 +40,7 @@ fn main() {
     let scale = if args.iter().any(|a| a == "--paper-scale") { Scale::Paper } else { Scale::Small };
     let mut reps = 21usize;
     let mut k = 3usize;
+    let mut threads = 1usize;
     let mut smoke = false;
     let mut out_file: Option<String> = None;
     let mut what = "all".to_string();
@@ -61,6 +66,10 @@ fn main() {
             "--k" => {
                 i += 1;
                 k = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(3);
+            }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(1);
             }
             other if !other.starts_with("--") => what = other.to_string(),
             other => {
@@ -160,8 +169,39 @@ fn main() {
                 ),
             }
         }
+        let mut sweep_failed = false;
+        let sweep = (threads > 1).then(|| {
+            let sweep = execbench::run_thread_sweep(threads, reps);
+            for r in &sweep.rows {
+                match &r.error {
+                    Some(e) => {
+                        eprintln!("tpch-prime/{}: SWEEP FAILED: {e}", r.id);
+                        sweep_failed = true;
+                    }
+                    None => {
+                        let walls: Vec<String> = r
+                            .points
+                            .iter()
+                            .map(|p| format!("{}t={:.0}µs", p.threads, p.wall.median_us))
+                            .collect();
+                        eprintln!(
+                            "tpch-prime/{}: {} (speedup x{:.2}, {} row(s))",
+                            r.id,
+                            walls.join(" "),
+                            r.speedup,
+                            r.result_rows
+                        );
+                    }
+                }
+            }
+            eprintln!(
+                "threads sweep: median speedup x{:.2} at {} thread(s) ({} host cpu(s))",
+                sweep.median_speedup, threads, sweep.host_cpus
+            );
+            sweep
+        });
         let out = out_file.unwrap_or_else(|| "BENCH_exec.json".to_string());
-        let json = execbench::render_json(&rows, scale, reps);
+        let json = execbench::render_json(&rows, scale, reps, sweep.as_ref());
         if let Err(e) = std::fs::write(&out, &json) {
             eprintln!("cannot write {out}: {e}");
             std::process::exit(1);
@@ -169,6 +209,10 @@ fn main() {
         eprintln!("wrote {out} ({} queries)", rows.len());
         if !failures.is_empty() {
             eprintln!("exec-bench failed for {} quer(y/ies)", failures.len());
+            std::process::exit(1);
+        }
+        if sweep_failed {
+            eprintln!("exec-bench threads sweep failed");
             std::process::exit(1);
         }
         return;

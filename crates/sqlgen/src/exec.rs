@@ -82,8 +82,19 @@ pub fn execute_with_stats(
     stmt: &SelectStatement,
     db: &Database,
 ) -> Result<(ResultTable, ExecStats), ExecError> {
+    execute_with_opts(stmt, db, crate::par::ExecOptions::default())
+}
+
+/// [`execute_with_stats`] with execution options (worker thread count).
+/// Results are identical at every thread count; only wall time and the
+/// per-operator `threads` stats change.
+pub fn execute_with_opts(
+    stmt: &SelectStatement,
+    db: &Database,
+    opts: crate::par::ExecOptions,
+) -> Result<(ResultTable, ExecStats), ExecError> {
     let plan = crate::plan::plan(stmt, db)?;
-    crate::ops::run_plan(&plan, db)
+    crate::ops::run_plan_opts(&plan, db, &crate::ops::SharedRows::new(), opts)
 }
 
 #[cfg(test)]

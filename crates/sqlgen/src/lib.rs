@@ -23,15 +23,22 @@
 //! is always a float, `contains` is case-insensitive substring match.
 
 pub mod ast;
+pub mod batch;
 pub mod exec;
 pub mod ops;
+mod par;
 pub mod plan;
 pub mod render;
 pub mod result;
 
 pub use ast::{AggFunc, ColumnRef, Predicate, SelectItem, SelectStatement, TableExpr};
-pub use exec::{execute, execute_with_stats, ExecError};
-pub use ops::{materialize_plan, run_plan, run_plan_with_shared, ExecStats, OpMetrics, SharedRows};
+pub use batch::{Bitmap, Column, ColumnBatch, ColumnData};
+pub use exec::{execute, execute_with_opts, execute_with_stats, ExecError};
+pub use ops::{
+    materialize_batches, materialize_plan, materialize_shared, run_plan, run_plan_opts,
+    run_plan_with_shared, ExecStats, OpMetrics, SharedRows,
+};
+pub use par::ExecOptions;
 pub use plan::{
     plan, plan_with_options, render_plan, render_plan_with_stats, PhysAggItem, PhysPred, PlanNode,
     PlanOp, PlanOptions,

@@ -1,13 +1,25 @@
-//! Volcano-style execution of physical plans.
+//! Volcano-style execution of physical plans over columnar batches.
 //!
 //! Every operator implements the batch-`next` `Operator` protocol
-//! (`open`/`next`/`close`); pipeline-friendly operators (scan with
-//! pushdown, filter, project, distinct, limit) stream batches, while
-//! pipeline breakers (hash-join build, aggregation, sort) drain their
-//! input inside `open`. Each operator is wrapped in a `Metered` shim
-//! that records rows in/out, batch counts and inclusive wall time into
-//! the plan-indexed [`ExecStats`], so `aqks explain --analyze` and the
-//! bench harness can attribute cost operator by operator.
+//! (`open`/`next`/`close`) over [`ColumnBatch`]es; pipeline-friendly
+//! operators (scan with pushdown, filter, project, distinct, limit)
+//! stream batches, while pipeline breakers (hash-join build,
+//! aggregation, sort) drain their input inside `open`. Each operator is
+//! wrapped in a `Metered` shim that records rows in/out, batch counts
+//! and inclusive wall time into the plan-indexed [`ExecStats`], so
+//! `aqks explain --analyze` and the bench harness can attribute cost
+//! operator by operator.
+//!
+//! With [`ExecOptions::threads`] > 1 the heavy operators go parallel:
+//! the scan filters fixed-size morsels on a scoped worker pool, the
+//! hash-join build radix-partitions its keys and builds per-partition
+//! tables concurrently, and the aggregate folds contiguous input chunks
+//! into per-chunk partial states merged deterministically at finalize.
+//! Results are *identical* at every thread count: morsel/chunk results
+//! are re-assembled in input order, per-key join match lists stay in
+//! global build order, and group output keeps first-appearance order.
+//! `threads == 1` (the default) takes the exact sequential legacy code
+//! paths, including the lazy scan and streaming join probe.
 //!
 //! SQL semantics are inherited unchanged from the original interpreter:
 //! aggregates skip NULLs, `SUM`/`MIN`/`MAX`/`AVG` over an empty group
@@ -16,20 +28,28 @@
 //! When the statement has no ORDER BY, output rows are stably sorted by
 //! value so results are reproducible across runs and across plans.
 
-use std::cell::RefCell;
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use aqks_relational::{Database, Row, Value};
 
 use crate::ast::AggFunc;
+use crate::batch::{ColumnBatch, ColumnData};
 use crate::exec::ExecError;
+use crate::par::{self, ExecOptions, MORSEL_SIZE, PAR_THRESHOLD};
 use crate::plan::{PhysAggItem, PhysPred, PlanNode, PlanOp};
 use crate::result::ResultTable;
 
 /// Rows per batch handed between operators.
 const BATCH_SIZE: usize = 1024;
+
+/// Rows between cooperative deadline re-checks inside a parallel
+/// section (workers have no ambient thread-local governor, so they poll
+/// a captured handle mid-morsel).
+const CHECK_EVERY: usize = 512;
 
 /// Live metrics of one operator (indexed by [`PlanNode::id`]).
 #[derive(Debug, Clone, Default)]
@@ -42,8 +62,25 @@ pub struct OpMetrics {
     pub batches: u64,
     /// Inclusive wall time (this operator plus its inputs).
     pub wall: Duration,
+    /// Worker threads used by this operator's parallel sections
+    /// (1 = fully sequential).
+    pub threads: u32,
+    /// Inclusive wall time spent inside parallel sections.
+    pub parallel_wall: Duration,
     /// Operator-specific annotation (e.g. hash-join build/probe sizes).
     pub note: Option<String>,
+}
+
+impl OpMetrics {
+    /// Fraction of this operator's inclusive wall time spent in
+    /// parallel sections, in `0.0..=1.0`.
+    pub fn parallel_fraction(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            (self.parallel_wall.as_secs_f64() / self.wall.as_secs_f64()).clamp(0.0, 1.0)
+        }
+    }
 }
 
 /// Per-operator metrics of one plan execution.
@@ -61,6 +98,17 @@ impl ExecStats {
     pub fn rows_flowed(&self) -> u64 {
         self.ops.iter().map(|m| m.rows_out).sum()
     }
+
+    /// The widest worker-pool any operator used (1 = the whole plan ran
+    /// sequentially).
+    pub fn max_threads(&self) -> u32 {
+        self.ops.iter().map(|m| m.threads.max(1)).max().unwrap_or(1)
+    }
+
+    /// How many operators actually executed a parallel section.
+    pub fn parallel_ops(&self) -> usize {
+        self.ops.iter().filter(|m| m.threads > 1).count()
+    }
 }
 
 impl std::fmt::Display for ExecStats {
@@ -74,24 +122,33 @@ impl std::fmt::Display for ExecStats {
             self.ops.len(),
             self.rows_flowed(),
             crate::plan::fmt_dur(self.wall)
-        )
+        )?;
+        if self.max_threads() > 1 {
+            write!(f, ", {} parallel op(s) x{}", self.parallel_ops(), self.max_threads())?;
+        }
+        Ok(())
     }
 }
 
-type StatsCell = Rc<RefCell<Vec<OpMetrics>>>;
+type StatsCell = Arc<Mutex<Vec<OpMetrics>>>;
 
 /// The Volcano operator protocol: `open` prepares (pipeline breakers do
-/// their work here), `next` yields owned row batches until `None`,
+/// their work here), `next` yields owned column batches until `None`,
 /// `close` releases state and finalizes metrics annotations.
 trait Operator {
     /// Prepares the operator (and its inputs) for iteration.
     fn open(&mut self) -> Result<(), ExecError>;
     /// The next batch of rows, or `None` when exhausted.
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError>;
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError>;
     /// Releases state; called once after iteration.
     fn close(&mut self);
     /// Operator-specific metrics annotation, read at `close`.
     fn note(&self) -> Option<String> {
+        None
+    }
+    /// `(threads, parallel wall)` when a parallel section ran, read at
+    /// `close` like [`Operator::note`].
+    fn parallel_info(&self) -> Option<(u32, Duration)> {
         None
     }
 }
@@ -105,7 +162,7 @@ struct Metered<'a> {
 
 impl Metered<'_> {
     fn bump<R>(&self, f: impl FnOnce(&mut OpMetrics) -> R) -> R {
-        f(&mut self.stats.borrow_mut()[self.id])
+        f(&mut par::relock(&self.stats)[self.id])
     }
 }
 
@@ -117,7 +174,7 @@ impl Operator for Metered<'_> {
         r
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
         let t = Instant::now();
         let r = self.inner.next();
         let elapsed = t.elapsed();
@@ -135,9 +192,14 @@ impl Operator for Metered<'_> {
         let t = Instant::now();
         self.inner.close();
         let note = self.inner.note();
+        let par_info = self.inner.parallel_info();
         self.bump(|m| {
             m.wall += t.elapsed();
             m.note = note;
+            if let Some((threads, pw)) = par_info {
+                m.threads = threads;
+                m.parallel_wall = pw;
+            }
         });
     }
 }
@@ -145,7 +207,10 @@ impl Operator for Metered<'_> {
 /// Shim enforcing the ambient `aqks-guard` budget around an operator,
 /// mirroring [`Metered`]: a deadline checkpoint before every `next` call
 /// and a row charge for every batch emitted. Only inserted by [`build`]
-/// when a governor is installed, so ungoverned plans pay nothing.
+/// when a governor is installed, so ungoverned plans pay nothing. Row
+/// charging always happens here on the plan's thread, never inside
+/// worker pools, so budget accounting is byte-identical across thread
+/// counts.
 struct Guarded<'a> {
     /// Charge site, e.g. `"ops.HashJoin"` — names the operator whose
     /// output crossed the budget.
@@ -159,7 +224,7 @@ impl Operator for Guarded<'_> {
         self.inner.open()
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
         aqks_guard::checkpoint(self.site)?;
         let r = self.inner.next()?;
         if let Some(batch) = &r {
@@ -175,17 +240,23 @@ impl Operator for Guarded<'_> {
     fn note(&self) -> Option<String> {
         self.inner.note()
     }
+
+    fn parallel_info(&self) -> Option<(u32, Duration)> {
+        self.inner.parallel_info()
+    }
 }
 
-/// Replays rows materialized once by a shared subplan (see
+/// Replays batches materialized once by a shared subplan (see
 /// `aqks-equiv`): the consumer site's whole subtree is replaced by this
-/// operator, so the shared work executes exactly once per set. Batches
-/// are re-emitted at the standard size, and the shim stack above
-/// (metering, budget checkpoints at the `ops.Cached` site) is
-/// preserved, so replayed rows are metered and charged like any other
-/// operator output.
+/// operator, so the shared work executes exactly once per set. Because
+/// batches share their columns behind `Arc`s, re-emitting them is a
+/// handful of reference-count bumps per consumer — O(consumers), not
+/// O(consumers x rows). The shim stack above (metering, budget
+/// checkpoints at the `ops.Cached` site) is preserved, so replayed rows
+/// are metered and charged like any other operator output.
 struct CachedRows {
-    rows: Rc<Vec<Row>>,
+    batches: Arc<Vec<ColumnBatch>>,
+    rows: u64,
     pos: usize,
 }
 
@@ -195,20 +266,19 @@ impl Operator for CachedRows {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
-        if self.pos >= self.rows.len() {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
+        if self.pos >= self.batches.len() {
             return Ok(None);
         }
-        let end = (self.pos + BATCH_SIZE).min(self.rows.len());
-        let batch = self.rows[self.pos..end].to_vec();
-        self.pos = end;
+        let batch = self.batches[self.pos].clone();
+        self.pos += 1;
         Ok(Some(batch))
     }
 
     fn close(&mut self) {}
 
     fn note(&self) -> Option<String> {
-        Some(format!("cached rows={}", self.rows.len()))
+        Some(format!("cached rows={}", self.rows))
     }
 }
 
@@ -230,39 +300,155 @@ fn guard_site(op: &PlanOp) -> &'static str {
 }
 
 // ---------------------------------------------------------------------------
+// Columnar predicate evaluation
+// ---------------------------------------------------------------------------
+
+/// Indices of the rows in `batch` satisfying every predicate, with
+/// typed fast paths where the column representation makes them exact.
+/// Fast paths are restricted to same-typed comparisons: `Value`
+/// equality compares `Int`/`Float` numerically, so mixed-type columns
+/// go through the generic per-value path.
+fn filter_indices(batch: &ColumnBatch, preds: &[PhysPred]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..batch.len() as u32).collect();
+    for p in preds {
+        filter_pred(batch, p, &mut idx);
+    }
+    idx
+}
+
+fn filter_pred(batch: &ColumnBatch, pred: &PhysPred, idx: &mut Vec<u32>) {
+    match pred {
+        PhysPred::EqCols(l, r) => {
+            let (lc, rc) = (batch.column(*l), batch.column(*r));
+            match (lc.data(), rc.data()) {
+                (ColumnData::Int(a), ColumnData::Int(b)) => idx.retain(|&i| {
+                    let i = i as usize;
+                    lc.is_valid(i) && rc.is_valid(i) && a[i] == b[i]
+                }),
+                (ColumnData::Str(a), ColumnData::Str(b)) => idx.retain(|&i| {
+                    let i = i as usize;
+                    lc.is_valid(i) && rc.is_valid(i) && a[i] == b[i]
+                }),
+                _ => idx.retain(|&i| {
+                    let v = lc.value(i as usize);
+                    !v.is_null() && v == rc.value(i as usize)
+                }),
+            }
+        }
+        PhysPred::ContainsCi(c, needle) => {
+            let col = batch.column(*c);
+            match col.data() {
+                ColumnData::Str(s) => idx.retain(|&i| {
+                    col.is_valid(i as usize)
+                        && s[i as usize].to_lowercase().contains(needle.as_str())
+                }),
+                _ => idx.retain(|&i| col.value(i as usize).contains_ci(needle)),
+            }
+        }
+        PhysPred::EqLit(c, v) => {
+            let col = batch.column(*c);
+            match (col.data(), v) {
+                (ColumnData::Int(a), Value::Int(want)) => {
+                    idx.retain(|&i| col.is_valid(i as usize) && a[i as usize] == *want)
+                }
+                (ColumnData::Str(a), Value::Str(want)) => {
+                    idx.retain(|&i| col.is_valid(i as usize) && a[i as usize] == *want)
+                }
+                _ => idx.retain(|&i| col.value(i as usize) == *v),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Operators
 // ---------------------------------------------------------------------------
 
-/// Sequential scan with scan-time predicate evaluation.
+/// Sequential or morsel-parallel scan with scan-time predicate
+/// evaluation. At `threads == 1` (or under [`PAR_THRESHOLD`] rows) the
+/// scan stays lazy, pulling [`BATCH_SIZE`] rows per `next` so `LIMIT`
+/// can short-circuit it. The parallel path filters [`MORSEL_SIZE`]-row
+/// morsels on the worker pool at `open` and emits the surviving batches
+/// in morsel order, so output order matches the sequential path.
 struct Scan<'a> {
     rows: &'a [Row],
     preds: &'a [PhysPred],
+    threads: usize,
+    width: usize,
     pos: usize,
+    batches: Option<Vec<ColumnBatch>>,
+    emitted: usize,
+    par_threads: u32,
+    par_wall: Duration,
 }
 
 impl Operator for Scan<'_> {
     fn open(&mut self) -> Result<(), ExecError> {
         self.pos = 0;
+        self.emitted = 0;
+        self.width = self.rows.first().map_or(0, Vec::len);
+        if self.threads > 1 && self.rows.len() >= PAR_THRESHOLD {
+            let (rows, preds, width) = (self.rows, self.preds, self.width);
+            let n_morsels = rows.len().div_ceil(MORSEL_SIZE);
+            let gov = aqks_guard::current();
+            let t = Instant::now();
+            let out = par::run_tasks(self.threads, n_morsels, "ops.Scan", |m| {
+                let start = m * MORSEL_SIZE;
+                let end = (start + MORSEL_SIZE).min(rows.len());
+                let mut keep: Vec<&Row> = Vec::new();
+                for (off, row) in rows[start..end].iter().enumerate() {
+                    if off % CHECK_EVERY == CHECK_EVERY - 1 {
+                        if let Some(g) = &gov {
+                            g.check_deadline("ops.Scan")?;
+                        }
+                    }
+                    if preds.iter().all(|p| p.eval(row)) {
+                        keep.push(row);
+                    }
+                }
+                Ok(if keep.is_empty() {
+                    None
+                } else {
+                    Some(ColumnBatch::from_row_refs(width, &keep))
+                })
+            })?;
+            self.par_wall = t.elapsed();
+            self.par_threads = self.threads.min(n_morsels) as u32;
+            self.batches = Some(out.into_iter().flatten().collect());
+        }
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
-        let mut out = Vec::new();
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
+        if let Some(batches) = &self.batches {
+            if self.emitted >= batches.len() {
+                return Ok(None);
+            }
+            self.emitted += 1;
+            return Ok(Some(batches[self.emitted - 1].clone()));
+        }
+        let mut out: Vec<&Row> = Vec::new();
         while self.pos < self.rows.len() && out.len() < BATCH_SIZE {
             let row = &self.rows[self.pos];
             self.pos += 1;
             if self.preds.iter().all(|p| p.eval(row)) {
-                out.push(row.clone());
+                out.push(row);
             }
         }
         if out.is_empty() && self.pos >= self.rows.len() {
             Ok(None)
         } else {
-            Ok(Some(out))
+            Ok(Some(ColumnBatch::from_row_refs(self.width, &out)))
         }
     }
 
-    fn close(&mut self) {}
+    fn close(&mut self) {
+        self.batches = None;
+    }
+
+    fn parallel_info(&self) -> Option<(u32, Duration)> {
+        (self.par_threads > 1).then_some((self.par_threads, self.par_wall))
+    }
 }
 
 /// Alias boundary over a planned subquery: forwards batches unchanged
@@ -276,7 +462,7 @@ impl Operator for Passthrough<'_> {
         self.child.open()
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
         self.child.next()
     }
 
@@ -285,7 +471,7 @@ impl Operator for Passthrough<'_> {
     }
 }
 
-/// Residual predicate application.
+/// Residual predicate application over columnar batches.
 struct Filter<'a> {
     child: Metered<'a>,
     preds: &'a [PhysPred],
@@ -296,11 +482,14 @@ impl Operator for Filter<'_> {
         self.child.open()
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
-        while let Some(mut batch) = self.child.next()? {
-            batch.retain(|row| self.preds.iter().all(|p| p.eval(row)));
-            if !batch.is_empty() {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
+        while let Some(batch) = self.child.next()? {
+            let keep = filter_indices(&batch, self.preds);
+            if keep.len() == batch.len() && !keep.is_empty() {
                 return Ok(Some(batch));
+            }
+            if !keep.is_empty() {
+                return Ok(Some(batch.gather(&keep)));
             }
         }
         Ok(None)
@@ -311,30 +500,141 @@ impl Operator for Filter<'_> {
     }
 }
 
+/// Hash of a join key, used only to pick a radix partition; partition
+/// assignment never affects output order, but `DefaultHasher` with
+/// fixed keys is deterministic anyway.
+fn part_of(key: &[Value], mask: u64) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() & mask) as usize
+}
+
+/// Join key at row `i` of `batch`, or `None` when any component is NULL
+/// (NULL never joins).
+fn key_at(batch: &ColumnBatch, keys: &[usize], i: usize) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(keys.len());
+    for &k in keys {
+        let v = batch.value(k, i);
+        if v.is_null() {
+            return None;
+        }
+        key.push(v);
+    }
+    Some(key)
+}
+
+/// `(key, build-row-index)` pairs routed to one radix partition.
+type KeyedIdx = Vec<(Vec<Value>, u32)>;
+
+/// Partition-indexed hash table over build-side row indices. Per-key
+/// index lists are in ascending global build order, which pins the
+/// probe-output match order to what the sequential build produces.
+#[derive(Default)]
+struct JoinTable {
+    partitions: Vec<HashMap<Vec<Value>, Vec<u32>>>,
+    mask: u64,
+}
+
+impl JoinTable {
+    fn get(&self, key: &[Value]) -> Option<&Vec<u32>> {
+        if self.partitions.is_empty() {
+            return None;
+        }
+        let p = if self.partitions.len() == 1 { 0 } else { part_of(key, self.mask) };
+        self.partitions[p].get(key)
+    }
+}
+
+/// Builds the join table over `data`'s key columns. Sequential at
+/// `workers <= 1`; otherwise radix-partitioned in two parallel phases:
+/// morsels route `(key, index)` pairs into per-morsel partition
+/// buckets, then one task per partition folds the buckets *in morsel
+/// order* into its hash map — every per-key index list comes out in
+/// ascending global row order, exactly like the sequential build.
+fn build_join_table(
+    data: &ColumnBatch,
+    keys: &[usize],
+    threads: usize,
+) -> Result<(JoinTable, u32, Duration), ExecError> {
+    let n = data.len();
+    let workers = if threads > 1 && n >= PAR_THRESHOLD { threads } else { 1 };
+    if workers <= 1 {
+        let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        for i in 0..n {
+            if let Some(key) = key_at(data, keys, i) {
+                map.entry(key).or_default().push(i as u32);
+            }
+        }
+        return Ok((JoinTable { partitions: vec![map], mask: 0 }, 1, Duration::ZERO));
+    }
+    /// Radix fan-out: enough partitions to keep 8-16 workers busy
+    /// without fragmenting small builds.
+    const PARTITIONS: usize = 32;
+    let mask = (PARTITIONS - 1) as u64;
+    let gov = aqks_guard::current();
+    let t = Instant::now();
+    let n_morsels = n.div_ceil(MORSEL_SIZE);
+    let morsels = par::run_tasks(workers, n_morsels, "ops.HashJoin", |mi| {
+        let start = mi * MORSEL_SIZE;
+        let end = (start + MORSEL_SIZE).min(n);
+        let mut buckets: Vec<KeyedIdx> = (0..PARTITIONS).map(|_| Vec::new()).collect();
+        for i in start..end {
+            if (i - start) % CHECK_EVERY == CHECK_EVERY - 1 {
+                if let Some(g) = &gov {
+                    g.check_deadline("ops.HashJoin")?;
+                }
+            }
+            if let Some(key) = key_at(data, keys, i) {
+                let p = part_of(&key, mask);
+                buckets[p].push((key, i as u32));
+            }
+        }
+        Ok(buckets)
+    })?;
+    // Route each morsel's buckets to its partition slot (cheap Vec
+    // moves), preserving morsel order per partition.
+    let slots: Vec<Mutex<Vec<KeyedIdx>>> =
+        (0..PARTITIONS).map(|_| Mutex::new(Vec::with_capacity(morsels.len()))).collect();
+    for mut morsel in morsels {
+        for (p, bucket) in morsel.drain(..).enumerate() {
+            par::relock(&slots[p]).push(bucket);
+        }
+    }
+    let partitions = par::run_tasks(workers, PARTITIONS, "ops.HashJoin", |p| {
+        let chunks = std::mem::take(&mut *par::relock(&slots[p]));
+        let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        for chunk in chunks {
+            for (key, i) in chunk {
+                map.entry(key).or_default().push(i);
+            }
+        }
+        Ok(map)
+    })?;
+    Ok((JoinTable { partitions, mask }, workers.min(n_morsels) as u32, t.elapsed()))
+}
+
 /// Multi-key hash equi-join. The build side (chosen by the planner from
-/// cardinality estimates) is drained into a hash table at `open`; the
-/// probe side streams. Output columns are always left then right,
-/// whichever side built. NULL keys never match on either side.
+/// cardinality estimates) is drained and indexed at `open` (radix-
+/// partitioned in parallel when threads allow); the probe side streams
+/// at `threads == 1` and is probed batch-parallel otherwise. Output
+/// columns are always left then right, whichever side built, and match
+/// order within a probe row follows global build order at every thread
+/// count. NULL keys never match on either side.
 struct HashJoin<'a> {
     left: Metered<'a>,
     right: Metered<'a>,
     left_keys: &'a [usize],
     right_keys: &'a [usize],
     build_left: bool,
-    table: HashMap<Vec<Value>, Vec<Row>>,
+    threads: usize,
+    build_data: Option<ColumnBatch>,
+    table: JoinTable,
+    out: Option<Vec<ColumnBatch>>,
+    emitted: usize,
     build_rows: u64,
     probe_rows: u64,
-}
-
-impl HashJoin<'_> {
-    fn key_of(row: &[Value], keys: &[usize]) -> Option<Vec<Value>> {
-        let key: Vec<Value> = keys.iter().map(|&i| row[i].clone()).collect();
-        if key.iter().any(Value::is_null) {
-            None // NULL never joins.
-        } else {
-            Some(key)
-        }
-    }
+    par_threads: u32,
+    par_wall: Duration,
 }
 
 impl Operator for HashJoin<'_> {
@@ -347,64 +647,140 @@ impl Operator for HashJoin<'_> {
         } else {
             (&mut self.right, self.right_keys)
         };
+        let mut batches = Vec::new();
         while let Some(batch) = build.next()? {
             // Retained hash-table state is charged against the budget on
             // top of the child's streaming charge: materialized rows are
-            // the memory hazard a row cap exists to bound.
+            // the memory hazard a row cap exists to bound. Charged here
+            // on the plan's thread, identically at every thread count.
             aqks_guard::charge_rows("ops.HashJoin.build", batch.len() as u64)?;
-            for row in batch {
-                self.build_rows += 1;
-                if let Some(key) = Self::key_of(&row, keys) {
-                    self.table.entry(key).or_default().push(row);
-                }
+            self.build_rows += batch.len() as u64;
+            if !batch.is_empty() {
+                batches.push(batch);
             }
+        }
+        if !batches.is_empty() {
+            let data = ColumnBatch::concat(batches[0].width(), &batches);
+            let (table, threads, wall) = build_join_table(&data, keys, self.threads)?;
+            self.table = table;
+            self.par_threads = threads;
+            self.par_wall = wall;
+            self.build_data = Some(data);
         }
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
         let (probe, keys) = if self.build_left {
             (&mut self.right, self.right_keys)
         } else {
             (&mut self.left, self.left_keys)
         };
+        if self.threads > 1 {
+            // Parallel mode: drain the probe side once, probe every
+            // batch on the pool, emit outputs in probe-batch order.
+            if self.out.is_none() {
+                let mut probe_batches = Vec::new();
+                while let Some(batch) = probe.next()? {
+                    self.probe_rows += batch.len() as u64;
+                    if !batch.is_empty() {
+                        probe_batches.push(batch);
+                    }
+                }
+                let produced = if let Some(data) = &self.build_data {
+                    let (table, build_left) = (&self.table, self.build_left);
+                    let gov = aqks_guard::current();
+                    let t = Instant::now();
+                    let res =
+                        par::run_tasks(self.threads, probe_batches.len(), "ops.HashJoin", |bi| {
+                            let batch = &probe_batches[bi];
+                            let mut bidx: Vec<u32> = Vec::new();
+                            let mut pidx: Vec<u32> = Vec::new();
+                            for i in 0..batch.len() {
+                                if i % CHECK_EVERY == CHECK_EVERY - 1 {
+                                    if let Some(g) = &gov {
+                                        g.check_deadline("ops.HashJoin")?;
+                                    }
+                                }
+                                let Some(key) = key_at(batch, keys, i) else { continue };
+                                if let Some(matches) = table.get(&key) {
+                                    for &m in matches {
+                                        bidx.push(m);
+                                        pidx.push(i as u32);
+                                    }
+                                }
+                            }
+                            if bidx.is_empty() {
+                                return Ok(None);
+                            }
+                            let bside = data.gather(&bidx);
+                            let pside = batch.gather(&pidx);
+                            Ok(Some(if build_left {
+                                ColumnBatch::hcat(&bside, &pside)
+                            } else {
+                                ColumnBatch::hcat(&pside, &bside)
+                            }))
+                        })?;
+                    self.par_wall += t.elapsed();
+                    self.par_threads =
+                        self.par_threads.max(self.threads.min(probe_batches.len()) as u32);
+                    res.into_iter().flatten().collect()
+                } else {
+                    Vec::new()
+                };
+                self.out = Some(produced);
+                self.emitted = 0;
+            }
+            let out = self.out.as_ref().map_or(&[][..], Vec::as_slice);
+            if self.emitted >= out.len() {
+                return Ok(None);
+            }
+            self.emitted += 1;
+            return Ok(Some(out[self.emitted - 1].clone()));
+        }
+        // Sequential mode: stream the probe side.
         while let Some(batch) = probe.next()? {
-            let mut out = Vec::new();
-            for row in batch {
-                self.probe_rows += 1;
-                let Some(key) = Self::key_of(&row, keys) else { continue };
+            self.probe_rows += batch.len() as u64;
+            let mut bidx: Vec<u32> = Vec::new();
+            let mut pidx: Vec<u32> = Vec::new();
+            for i in 0..batch.len() {
+                let Some(key) = key_at(&batch, keys, i) else { continue };
                 if let Some(matches) = self.table.get(&key) {
-                    for m in matches {
-                        // Output layout is left ++ right regardless of
-                        // which side built the table.
-                        let combined = if self.build_left {
-                            let mut r = m.clone();
-                            r.extend(row.iter().cloned());
-                            r
-                        } else {
-                            let mut r = row.clone();
-                            r.extend(m.iter().cloned());
-                            r
-                        };
-                        out.push(combined);
+                    for &m in matches {
+                        bidx.push(m);
+                        pidx.push(i as u32);
                     }
                 }
             }
-            if !out.is_empty() {
-                return Ok(Some(out));
+            if bidx.is_empty() {
+                continue;
             }
+            let Some(data) = &self.build_data else { continue };
+            let bside = data.gather(&bidx);
+            let pside = batch.gather(&pidx);
+            return Ok(Some(if self.build_left {
+                ColumnBatch::hcat(&bside, &pside)
+            } else {
+                ColumnBatch::hcat(&pside, &bside)
+            }));
         }
         Ok(None)
     }
 
     fn close(&mut self) {
-        self.table.clear();
+        self.table = JoinTable::default();
+        self.build_data = None;
+        self.out = None;
         self.left.close();
         self.right.close();
     }
 
     fn note(&self) -> Option<String> {
         Some(format!("build rows={} probe rows={}", self.build_rows, self.probe_rows))
+    }
+
+    fn parallel_info(&self) -> Option<(u32, Duration)> {
+        (self.par_threads > 1).then_some((self.par_threads, self.par_wall))
     }
 }
 
@@ -413,111 +789,333 @@ impl Operator for HashJoin<'_> {
 struct CrossJoin<'a> {
     left: Metered<'a>,
     right: Metered<'a>,
-    buffer: Vec<Row>,
+    buffer: Option<ColumnBatch>,
 }
 
 impl Operator for CrossJoin<'_> {
     fn open(&mut self) -> Result<(), ExecError> {
         self.left.open()?;
         self.right.open()?;
+        let mut batches = Vec::new();
         while let Some(batch) = self.right.next()? {
             aqks_guard::charge_rows("ops.CrossJoin.build", batch.len() as u64)?;
-            self.buffer.extend(batch);
+            if !batch.is_empty() {
+                batches.push(batch);
+            }
+        }
+        if !batches.is_empty() {
+            self.buffer = Some(ColumnBatch::concat(batches[0].width(), &batches));
         }
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
-        if self.buffer.is_empty() {
-            return Ok(None);
-        }
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
+        let Some(buf) = &self.buffer else { return Ok(None) };
         while let Some(batch) = self.left.next()? {
             if batch.is_empty() {
                 continue;
             }
-            let mut out = Vec::with_capacity(batch.len() * self.buffer.len());
-            for l in &batch {
-                for r in &self.buffer {
-                    let mut row = l.clone();
-                    row.extend(r.iter().cloned());
-                    out.push(row);
+            let (nl, nr) = (batch.len(), buf.len());
+            let mut lidx = Vec::with_capacity(nl * nr);
+            let mut ridx = Vec::with_capacity(nl * nr);
+            for l in 0..nl as u32 {
+                for r in 0..nr as u32 {
+                    lidx.push(l);
+                    ridx.push(r);
                 }
             }
-            return Ok(Some(out));
+            return Ok(Some(ColumnBatch::hcat(&batch.gather(&lidx), &buf.gather(&ridx))));
         }
         Ok(None)
     }
 
     fn close(&mut self) {
-        self.buffer.clear();
+        self.buffer = None;
         self.left.close();
         self.right.close();
     }
 }
 
-/// Grouped/global aggregation (pipeline breaker).
+// ---------------------------------------------------------------------------
+// Aggregation states
+// ---------------------------------------------------------------------------
+
+/// Mergeable per-group accumulator of one output item. `Vals` collects
+/// the non-null input values *in row order* and defers to [`aggregate`]
+/// at finalize — `SUM`/`AVG` and all DISTINCT aggregates use it, so
+/// float summation order (and hence the bits of the result) is
+/// identical at every thread count.
+#[derive(Debug, Clone)]
+enum AggState {
+    /// Non-null count.
+    Count(u64),
+    /// Current minimum (first minimal element wins, like `Iterator::min`).
+    Min(Option<Value>),
+    /// Current maximum (last maximal element wins, like `Iterator::max`).
+    Max(Option<Value>),
+    /// Ordered non-null values, finalized via [`aggregate`].
+    Vals(Vec<Value>),
+    /// First row's value (group-by column passthrough), NULL included.
+    First(Option<Value>),
+}
+
+fn new_states(items: &[PhysAggItem]) -> Vec<AggState> {
+    items
+        .iter()
+        .map(|item| match item {
+            PhysAggItem::Col(_) => AggState::First(None),
+            PhysAggItem::Agg { func, distinct, .. } => {
+                if *distinct {
+                    AggState::Vals(Vec::new())
+                } else {
+                    match func {
+                        AggFunc::Count => AggState::Count(0),
+                        AggFunc::Min => AggState::Min(None),
+                        AggFunc::Max => AggState::Max(None),
+                        AggFunc::Sum | AggFunc::Avg => AggState::Vals(Vec::new()),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn acc_state(state: &mut AggState, v: Value) {
+    match state {
+        AggState::Count(n) => {
+            if !v.is_null() {
+                *n += 1;
+            }
+        }
+        AggState::Min(cur) => {
+            if !v.is_null() {
+                match cur {
+                    Some(c) if v >= *c => {}
+                    _ => *cur = Some(v),
+                }
+            }
+        }
+        AggState::Max(cur) => {
+            if !v.is_null() {
+                match cur {
+                    Some(c) if v < *c => {}
+                    _ => *cur = Some(v),
+                }
+            }
+        }
+        AggState::Vals(vs) => {
+            if !v.is_null() {
+                vs.push(v);
+            }
+        }
+        AggState::First(f) => {
+            if f.is_none() {
+                *f = Some(v);
+            }
+        }
+    }
+}
+
+/// Merges a later chunk's state `b` into `a` (chunks arrive in input
+/// order, so "later" means later rows).
+fn merge_state(a: &mut AggState, b: AggState) {
+    match (a, b) {
+        (AggState::Count(x), AggState::Count(y)) => *x += y,
+        (AggState::Min(x), AggState::Min(Some(vy))) => match x {
+            // The earlier chunk's minimum wins ties, matching the
+            // sequential pass's first-among-equals behaviour.
+            Some(vx) if vy >= *vx => {}
+            _ => *x = Some(vy),
+        },
+        (AggState::Max(x), AggState::Max(Some(vy))) => match x {
+            Some(vx) if vy < *vx => {}
+            _ => *x = Some(vy),
+        },
+        (AggState::Vals(x), AggState::Vals(y)) => x.extend(y),
+        (AggState::First(x @ None), AggState::First(y)) => *x = y,
+        // States are built per item from the same plan: kinds always line up.
+        _ => {}
+    }
+}
+
+fn finalize_state(state: AggState, item: &PhysAggItem) -> Value {
+    match state {
+        AggState::Count(n) => Value::Int(n as i64),
+        AggState::Min(v) | AggState::Max(v) | AggState::First(v) => v.unwrap_or(Value::Null),
+        AggState::Vals(vs) => match item {
+            PhysAggItem::Agg { func, distinct, .. } => aggregate(*func, *distinct, vs.iter()),
+            PhysAggItem::Col(_) => Value::Null,
+        },
+    }
+}
+
+/// One chunk's grouped partial states, keys in first-appearance order.
+struct Partial {
+    order: Vec<Vec<Value>>,
+    groups: HashMap<Vec<Value>, Vec<AggState>>,
+}
+
+impl Partial {
+    fn new() -> Partial {
+        Partial { order: Vec::new(), groups: HashMap::new() }
+    }
+}
+
+/// Folds one batch into a partial, polling the captured governor's
+/// deadline mid-chunk when present.
+fn accumulate_batch(
+    p: &mut Partial,
+    batch: &ColumnBatch,
+    group: &[usize],
+    items: &[PhysAggItem],
+    gov: Option<&aqks_guard::Governor>,
+) -> Result<(), ExecError> {
+    for i in 0..batch.len() {
+        if i % CHECK_EVERY == CHECK_EVERY - 1 {
+            if let Some(g) = gov {
+                g.check_deadline("ops.HashAggregate")?;
+            }
+        }
+        let key: Vec<Value> = group.iter().map(|&c| batch.value(c, i)).collect();
+        let states = match p.groups.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                p.order.push(e.key().clone());
+                e.insert(new_states(items))
+            }
+        };
+        for (state, item) in states.iter_mut().zip(items) {
+            let col = match item {
+                PhysAggItem::Col(c) => *c,
+                PhysAggItem::Agg { arg, .. } => *arg,
+            };
+            acc_state(state, batch.value(col, i));
+        }
+    }
+    Ok(())
+}
+
+/// Splits `batches` into up to `workers` contiguous chunks balanced by
+/// row count. Contiguity is what makes the parallel merge trivial to
+/// keep deterministic: chunk order *is* input row order.
+fn chunk_ranges(batches: &[ColumnBatch], workers: usize) -> Vec<(usize, usize)> {
+    let total: usize = batches.iter().map(ColumnBatch::len).sum();
+    let target = total.div_ceil(workers).max(1);
+    let mut out = Vec::new();
+    let (mut start, mut acc) = (0usize, 0usize);
+    for (i, b) in batches.iter().enumerate() {
+        acc += b.len();
+        if acc >= target {
+            out.push((start, i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < batches.len() {
+        out.push((start, batches.len()));
+    }
+    out
+}
+
+/// Grouped/global aggregation (pipeline breaker). Two-phase when
+/// parallel: contiguous input chunks fold into per-chunk [`Partial`]s
+/// on the pool, then the partials merge *in chunk order* — group output
+/// order (first appearance) and `Vals` row order both come out equal to
+/// the sequential fold's, at any thread count.
 struct HashAggregate<'a> {
     child: Metered<'a>,
     group: &'a [usize],
     items: &'a [PhysAggItem],
+    threads: usize,
     output: Vec<Row>,
     emitted: usize,
     in_rows: u64,
     groups_out: u64,
+    par_threads: u32,
+    par_wall: Duration,
 }
 
 impl Operator for HashAggregate<'_> {
     fn open(&mut self) -> Result<(), ExecError> {
         self.child.open()?;
-        let mut order: Vec<Vec<Value>> = Vec::new();
-        let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+        let mut batches = Vec::new();
         while let Some(batch) = self.child.next()? {
             // Grouped rows are retained until finalize; charge them like
-            // hash-join build state.
+            // hash-join build state (on the plan's thread, always).
             aqks_guard::charge_rows("ops.HashAggregate.build", batch.len() as u64)?;
-            for row in batch {
-                self.in_rows += 1;
-                let key: Vec<Value> = self.group.iter().map(|&i| row[i].clone()).collect();
-                let entry = groups.entry(key.clone()).or_default();
-                if entry.is_empty() {
-                    order.push(key);
-                }
-                entry.push(row);
+            self.in_rows += batch.len() as u64;
+            if !batch.is_empty() {
+                batches.push(batch);
             }
         }
         aqks_guard::failpoint!("agg.finalize");
-        // A global aggregate over an empty input still yields one row.
-        if groups.is_empty() && self.group.is_empty() {
-            order.push(Vec::new());
-            groups.insert(Vec::new(), Vec::new());
-        }
-        self.groups_out = order.len() as u64;
-        for key in order {
-            let members = &groups[&key];
-            let mut out = Vec::with_capacity(self.items.len());
-            for item in self.items {
-                match item {
-                    PhysAggItem::Col(idx) => {
-                        let v = members.first().map(|r| r[*idx].clone()).unwrap_or(Value::Null);
-                        out.push(v);
-                    }
-                    PhysAggItem::Agg { func, arg, distinct } => {
-                        let vals = members.iter().map(|r| &r[*arg]);
-                        out.push(aggregate(*func, *distinct, vals));
+        let total: usize = batches.iter().map(ColumnBatch::len).sum();
+        let workers = if self.threads > 1 && total >= PAR_THRESHOLD { self.threads } else { 1 };
+        let (group, items) = (self.group, self.items);
+        let (mut order, mut groups) = if workers <= 1 {
+            let mut p = Partial::new();
+            for b in &batches {
+                accumulate_batch(&mut p, b, group, items, None)?;
+            }
+            (p.order, p.groups)
+        } else {
+            let chunks = chunk_ranges(&batches, workers);
+            let gov = aqks_guard::current();
+            let t = Instant::now();
+            let partials = par::run_tasks(workers, chunks.len(), "ops.HashAggregate", |ci| {
+                let (s, e) = chunks[ci];
+                let mut p = Partial::new();
+                for b in &batches[s..e] {
+                    accumulate_batch(&mut p, b, group, items, gov.as_ref())?;
+                }
+                Ok(p)
+            })?;
+            self.par_wall = t.elapsed();
+            self.par_threads = workers.min(chunks.len()) as u32;
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+            for mut p in partials {
+                for key in p.order {
+                    let Some(states) = p.groups.remove(&key) else { continue };
+                    match groups.entry(key) {
+                        Entry::Occupied(mut e) => {
+                            for (a, b) in e.get_mut().iter_mut().zip(states) {
+                                merge_state(a, b);
+                            }
+                        }
+                        Entry::Vacant(e) => {
+                            order.push(e.key().clone());
+                            e.insert(states);
+                        }
                     }
                 }
             }
-            self.output.push(out);
+            (order, groups)
+        };
+        // A global aggregate over an empty input still yields one row.
+        if order.is_empty() && self.group.is_empty() {
+            order.push(Vec::new());
+            groups.insert(Vec::new(), new_states(items));
+        }
+        self.groups_out = order.len() as u64;
+        for key in order {
+            let Some(states) = groups.remove(&key) else { continue };
+            let row: Row = states
+                .into_iter()
+                .zip(items)
+                .map(|(state, item)| finalize_state(state, item))
+                .collect();
+            self.output.push(row);
         }
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
         if self.emitted >= self.output.len() {
             return Ok(None);
         }
         let end = (self.emitted + BATCH_SIZE).min(self.output.len());
-        let batch = self.output[self.emitted..end].to_vec();
+        let batch = ColumnBatch::from_rows(self.items.len(), &self.output[self.emitted..end]);
         self.emitted = end;
         Ok(Some(batch))
     }
@@ -530,9 +1128,14 @@ impl Operator for HashAggregate<'_> {
     fn note(&self) -> Option<String> {
         Some(format!("groups={} from rows={}", self.groups_out, self.in_rows))
     }
+
+    fn parallel_info(&self) -> Option<(u32, Duration)> {
+        (self.par_threads > 1).then_some((self.par_threads, self.par_wall))
+    }
 }
 
-/// Column projection.
+/// Column projection — zero-copy: the output batch shares the selected
+/// columns' storage.
 struct Project<'a> {
     child: Metered<'a>,
     cols: &'a [usize],
@@ -543,14 +1146,9 @@ impl Operator for Project<'_> {
         self.child.open()
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
         match self.child.next()? {
-            Some(batch) => Ok(Some(
-                batch
-                    .into_iter()
-                    .map(|row| self.cols.iter().map(|&i| row[i].clone()).collect())
-                    .collect(),
-            )),
+            Some(batch) => Ok(Some(batch.select(self.cols))),
             None => Ok(None),
         }
     }
@@ -571,12 +1169,16 @@ impl Operator for Distinct<'_> {
         self.child.open()
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
         while let Some(batch) = self.child.next()? {
-            let fresh: Vec<Row> =
-                batch.into_iter().filter(|row| self.seen.insert(row.clone())).collect();
+            let mut fresh: Vec<u32> = Vec::new();
+            for i in 0..batch.len() {
+                if self.seen.insert(batch.row(i)) {
+                    fresh.push(i as u32);
+                }
+            }
             if !fresh.is_empty() {
-                return Ok(Some(fresh));
+                return Ok(Some(batch.gather(&fresh)));
             }
         }
         Ok(None)
@@ -592,6 +1194,7 @@ impl Operator for Distinct<'_> {
 struct Sort<'a> {
     child: Metered<'a>,
     keys: &'a [(usize, bool)],
+    width: usize,
     buffer: Vec<Row>,
     emitted: usize,
 }
@@ -600,7 +1203,8 @@ impl Operator for Sort<'_> {
     fn open(&mut self) -> Result<(), ExecError> {
         self.child.open()?;
         while let Some(batch) = self.child.next()? {
-            self.buffer.extend(batch);
+            self.width = self.width.max(batch.width());
+            self.buffer.extend(batch.to_rows());
         }
         let keys = self.keys;
         self.buffer.sort_by(|a, b| {
@@ -616,12 +1220,12 @@ impl Operator for Sort<'_> {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
         if self.emitted >= self.buffer.len() {
             return Ok(None);
         }
         let end = (self.emitted + BATCH_SIZE).min(self.buffer.len());
-        let batch = self.buffer[self.emitted..end].to_vec();
+        let batch = ColumnBatch::from_rows(self.width, &self.buffer[self.emitted..end]);
         self.emitted = end;
         Ok(Some(batch))
     }
@@ -643,15 +1247,14 @@ impl Operator for Limit<'_> {
         self.child.open()
     }
 
-    fn next(&mut self) -> Result<Option<Vec<Row>>, ExecError> {
+    fn next(&mut self) -> Result<Option<ColumnBatch>, ExecError> {
         if self.remaining == 0 {
             return Ok(None);
         }
         match self.child.next()? {
-            Some(mut batch) => {
-                if batch.len() > self.remaining {
-                    batch.truncate(self.remaining);
-                }
+            Some(batch) => {
+                let batch =
+                    if batch.len() > self.remaining { batch.head(self.remaining) } else { batch };
                 self.remaining -= batch.len();
                 Ok(Some(batch))
             }
@@ -668,9 +1271,24 @@ impl Operator for Limit<'_> {
 // Building and running
 // ---------------------------------------------------------------------------
 
-/// Materialized rows substituted for plan subtrees by node id — the
-/// executor half of `aqks-equiv`'s shared-subplan DAG.
-pub type SharedRows = HashMap<usize, Rc<Vec<Row>>>;
+/// Materialized batches substituted for plan subtrees by node id — the
+/// executor half of `aqks-equiv`'s shared-subplan DAG. The batch list
+/// is `Arc`-shared so every consumer replays the same storage.
+pub type SharedRows = HashMap<usize, Arc<Vec<ColumnBatch>>>;
+
+// Everything the parallel executor shares across threads (and the
+// future `aqks-server` shares across request handlers) must be
+// `Send + Sync`; enforced at compile time so an `Rc`/`RefCell` can't
+// creep back in.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<SharedRows>();
+    assert_send_sync::<StatsCell>();
+    assert_send_sync::<JoinTable>();
+    assert_send_sync::<Partial>();
+    assert_send_sync::<ExecStats>();
+    assert_send_sync::<OpMetrics>();
+};
 
 fn build<'a>(
     node: &'a PlanNode,
@@ -678,9 +1296,12 @@ fn build<'a>(
     stats: &StatsCell,
     governed: bool,
     shared: &SharedRows,
+    opts: ExecOptions,
 ) -> Result<Metered<'a>, ExecError> {
-    if let Some(rows) = shared.get(&node.id) {
-        let inner: Box<dyn Operator + 'a> = Box::new(CachedRows { rows: Rc::clone(rows), pos: 0 });
+    if let Some(batches) = shared.get(&node.id) {
+        let rows = batches.iter().map(|b| b.len() as u64).sum();
+        let inner: Box<dyn Operator + 'a> =
+            Box::new(CachedRows { batches: Arc::clone(batches), rows, pos: 0 });
         let inner: Box<dyn Operator + 'a> =
             if governed { Box::new(Guarded { site: "ops.Cached", inner }) } else { inner };
         return Ok(Metered { id: node.id, stats: stats.clone(), inner });
@@ -689,55 +1310,75 @@ fn build<'a>(
         PlanOp::Scan { relation, pushed, .. } => {
             let table =
                 db.table(relation).ok_or_else(|| ExecError::UnknownRelation(relation.clone()))?;
-            Box::new(Scan { rows: table.rows(), preds: pushed, pos: 0 })
+            Box::new(Scan {
+                rows: table.rows(),
+                preds: pushed,
+                threads: opts.threads,
+                width: 0,
+                pos: 0,
+                batches: None,
+                emitted: 0,
+                par_threads: 0,
+                par_wall: Duration::ZERO,
+            })
         }
-        PlanOp::DerivedTable { .. } => {
-            Box::new(Passthrough { child: build(&node.children[0], db, stats, governed, shared)? })
-        }
+        PlanOp::DerivedTable { .. } => Box::new(Passthrough {
+            child: build(&node.children[0], db, stats, governed, shared, opts)?,
+        }),
         PlanOp::Filter { preds } => Box::new(Filter {
-            child: build(&node.children[0], db, stats, governed, shared)?,
+            child: build(&node.children[0], db, stats, governed, shared, opts)?,
             preds,
         }),
         PlanOp::HashJoin { left_keys, right_keys, build_left } => Box::new(HashJoin {
-            left: build(&node.children[0], db, stats, governed, shared)?,
-            right: build(&node.children[1], db, stats, governed, shared)?,
+            left: build(&node.children[0], db, stats, governed, shared, opts)?,
+            right: build(&node.children[1], db, stats, governed, shared, opts)?,
             left_keys,
             right_keys,
             build_left: *build_left,
-            table: HashMap::new(),
+            threads: opts.threads,
+            build_data: None,
+            table: JoinTable::default(),
+            out: None,
+            emitted: 0,
             build_rows: 0,
             probe_rows: 0,
+            par_threads: 0,
+            par_wall: Duration::ZERO,
         }),
         PlanOp::CrossJoin => Box::new(CrossJoin {
-            left: build(&node.children[0], db, stats, governed, shared)?,
-            right: build(&node.children[1], db, stats, governed, shared)?,
-            buffer: Vec::new(),
+            left: build(&node.children[0], db, stats, governed, shared, opts)?,
+            right: build(&node.children[1], db, stats, governed, shared, opts)?,
+            buffer: None,
         }),
         PlanOp::HashAggregate { group, items, .. } => Box::new(HashAggregate {
-            child: build(&node.children[0], db, stats, governed, shared)?,
+            child: build(&node.children[0], db, stats, governed, shared, opts)?,
             group,
             items,
+            threads: opts.threads,
             output: Vec::new(),
             emitted: 0,
             in_rows: 0,
             groups_out: 0,
+            par_threads: 0,
+            par_wall: Duration::ZERO,
         }),
         PlanOp::Project { cols, .. } => Box::new(Project {
-            child: build(&node.children[0], db, stats, governed, shared)?,
+            child: build(&node.children[0], db, stats, governed, shared, opts)?,
             cols,
         }),
         PlanOp::Distinct => Box::new(Distinct {
-            child: build(&node.children[0], db, stats, governed, shared)?,
+            child: build(&node.children[0], db, stats, governed, shared, opts)?,
             seen: HashSet::new(),
         }),
         PlanOp::Sort { keys } => Box::new(Sort {
-            child: build(&node.children[0], db, stats, governed, shared)?,
+            child: build(&node.children[0], db, stats, governed, shared, opts)?,
             keys,
+            width: 0,
             buffer: Vec::new(),
             emitted: 0,
         }),
         PlanOp::Limit { n } => Box::new(Limit {
-            child: build(&node.children[0], db, stats, governed, shared)?,
+            child: build(&node.children[0], db, stats, governed, shared, opts)?,
             remaining: *n,
         }),
     };
@@ -753,21 +1394,37 @@ fn build<'a>(
 /// are stably sorted by value, so results are reproducible across runs
 /// and plan changes.
 pub fn run_plan(plan: &PlanNode, db: &Database) -> Result<(ResultTable, ExecStats), ExecError> {
-    run_plan_with_shared(plan, db, &SharedRows::new())
+    run_plan_opts(plan, db, &SharedRows::new(), ExecOptions::default())
 }
 
 /// [`run_plan`] with shared-subplan substitution: any node whose id
-/// appears in `shared` is executed as a cached-rows replay instead of
+/// appears in `shared` is executed as a cached-batch replay instead of
 /// its subtree (the subtree below it never builds or runs). The
 /// `aqks-equiv` shared-subplan DAG materializes each shared subtree
-/// once via [`materialize_plan`] and feeds the rows to every consumer
-/// through this entry point.
+/// once via [`materialize_batches`] and feeds the batches to every
+/// consumer through this entry point.
 pub fn run_plan_with_shared(
     plan: &PlanNode,
     db: &Database,
     shared: &SharedRows,
 ) -> Result<(ResultTable, ExecStats), ExecError> {
-    let (mut rows, stats) = pull_rows(plan, db, shared)?;
+    run_plan_opts(plan, db, shared, ExecOptions::default())
+}
+
+/// The fully-parameterized plan runner: shared-subplan substitution
+/// plus execution options (worker thread count). Results are identical
+/// at every `opts.threads` value; only the wall time changes.
+pub fn run_plan_opts(
+    plan: &PlanNode,
+    db: &Database,
+    shared: &SharedRows,
+    opts: ExecOptions,
+) -> Result<(ResultTable, ExecStats), ExecError> {
+    let (batches, stats) = pull_batches(plan, db, shared, opts)?;
+    let mut rows: Vec<Row> = Vec::new();
+    for b in &batches {
+        rows.extend(b.to_rows());
+    }
     if !plan.is_ordered() {
         rows.sort();
     }
@@ -777,51 +1434,90 @@ pub fn run_plan_with_shared(
 }
 
 /// Executes a plan and returns its raw output rows, *without* the
-/// stabilizing sort or column naming of [`run_plan`] — the
-/// materialization primitive for shared subtrees, whose consumers need
-/// operator output order, not presentation order.
+/// stabilizing sort or column naming of [`run_plan`] — kept for callers
+/// that want row-major output; shared-subtree materialization itself
+/// uses [`materialize_batches`] to stay columnar.
 pub fn materialize_plan(
     plan: &PlanNode,
     db: &Database,
 ) -> Result<(Vec<Row>, ExecStats), ExecError> {
-    pull_rows(plan, db, &SharedRows::new())
+    let (batches, stats) = pull_batches(plan, db, &SharedRows::new(), ExecOptions::default())?;
+    let mut rows = Vec::new();
+    for b in &batches {
+        rows.extend(b.to_rows());
+    }
+    Ok((rows, stats))
 }
 
-/// Builds, opens and drains a plan, collecting all rows and metrics.
-fn pull_rows(
+/// Executes a plan and returns its raw output *batches* in operator
+/// output order — the materialization primitive for shared subtrees,
+/// whose consumers replay the columnar storage without a row detour.
+pub fn materialize_batches(
+    plan: &PlanNode,
+    db: &Database,
+    opts: ExecOptions,
+) -> Result<(Vec<ColumnBatch>, ExecStats), ExecError> {
+    pull_batches(plan, db, &SharedRows::new(), opts)
+}
+
+/// [`materialize_batches`] with shared-subtree replay: plan nodes whose
+/// ids appear in `shared` are replaced by cached-row replays of the
+/// supplied batches. Because batches are `Arc`-shared column sets, a
+/// replay costs reference-count bumps per batch — the per-consumer work
+/// is independent of the cached row count.
+pub fn materialize_shared(
     plan: &PlanNode,
     db: &Database,
     shared: &SharedRows,
-) -> Result<(Vec<Row>, ExecStats), ExecError> {
+    opts: ExecOptions,
+) -> Result<(Vec<ColumnBatch>, ExecStats), ExecError> {
+    pull_batches(plan, db, shared, opts)
+}
+
+/// Builds, opens and drains a plan, collecting all batches and metrics.
+fn pull_batches(
+    plan: &PlanNode,
+    db: &Database,
+    shared: &SharedRows,
+    opts: ExecOptions,
+) -> Result<(Vec<ColumnBatch>, ExecStats), ExecError> {
     let t0 = Instant::now();
-    let stats: StatsCell = Rc::new(RefCell::new(vec![OpMetrics::default(); plan.max_id() + 1]));
+    let stats: StatsCell = Arc::new(Mutex::new(vec![OpMetrics::default(); plan.max_id() + 1]));
     // One ambient probe per plan: ungoverned runs skip the Guarded shims
     // entirely, keeping the default path free.
     let governed = aqks_guard::current().is_some();
-    let mut root = build(plan, db, &stats, governed, shared)?;
+    let mut root = build(plan, db, &stats, governed, shared, opts)?;
     root.open()?;
-    let mut rows: Vec<Row> = Vec::new();
+    let mut batches: Vec<ColumnBatch> = Vec::new();
     while let Some(batch) = root.next()? {
-        rows.extend(batch);
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
     }
     root.close();
     drop(root);
 
-    let mut ops =
-        Rc::try_unwrap(stats).map(RefCell::into_inner).unwrap_or_else(|rc| rc.borrow().clone());
+    let mut ops = Arc::try_unwrap(stats)
+        .map(|m| m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+        .unwrap_or_else(|arc| par::relock(&arc).clone());
     // rows-in is the sum of each node's children's rows-out (zero below
     // a cached replay: those subtrees never ran).
     plan.visit(&mut |node| {
         let rows_in: u64 = node.children.iter().map(|c| ops[c.id].rows_out).sum();
         ops[node.id].rows_in = rows_in;
     });
+    for m in &mut ops {
+        if m.threads == 0 {
+            m.threads = 1;
+        }
+    }
     // When an observability recorder is active on this thread (the
     // engine's `exec` span), graft the per-operator metrics into its
     // span tree so operator costs and pipeline phases land in one trace.
     if let Some(rec) = aqks_obs::current() {
         record_op_spans(&rec, plan, &ops, t0, None);
     }
-    Ok((rows, ExecStats { ops, wall: t0.elapsed() }))
+    Ok((batches, ExecStats { ops, wall: t0.elapsed() }))
 }
 
 /// Short operator name for trace spans (the EXPLAIN label minus its
@@ -846,7 +1542,9 @@ fn op_name(op: &PlanOp) -> &'static str {
 /// runs while it pulls from its inputs), so parent/child spans nest like
 /// an icicle graph and per-span self time is meaningful. Spans start at
 /// the plan run's `t0`: operators execute interleaved, so only the
-/// durations — not the offsets — are physical.
+/// durations — not the offsets — are physical. A `threads` counter is
+/// added only when the operator actually went parallel, keeping
+/// sequential traces byte-identical to the pre-parallel executor.
 fn record_op_spans(
     rec: &aqks_obs::Recorder,
     node: &PlanNode,
@@ -855,13 +1553,13 @@ fn record_op_spans(
     parent: Option<&aqks_obs::SpanHandle>,
 ) {
     let m = &ops[node.id];
-    let handle = rec.record_span(
-        parent,
-        format!("op:{}", op_name(&node.op)),
-        t0,
-        m.wall,
-        &[("rows_in", m.rows_in), ("rows_out", m.rows_out), ("batches", m.batches)],
-    );
+    let mut counters =
+        vec![("rows_in", m.rows_in), ("rows_out", m.rows_out), ("batches", m.batches)];
+    if m.threads > 1 {
+        counters.push(("threads", u64::from(m.threads)));
+    }
+    let handle =
+        rec.record_span(parent, format!("op:{}", op_name(&node.op)), t0, m.wall, &counters);
     for c in &node.children {
         record_op_spans(rec, c, ops, t0, Some(&handle));
     }
@@ -1019,6 +1717,9 @@ mod tests {
         let scan = p.children[0].id;
         assert!(stats.ops[scan].batches >= 3, "batched scan: {}", stats.ops[scan].batches);
         assert_eq!(stats.ops[scan].rows_out, 2500);
+        // A sequential run reports threads=1 on every operator.
+        assert_eq!(stats.max_threads(), 1);
+        assert_eq!(stats.parallel_ops(), 0);
     }
 
     /// LIMIT stops pulling batches from its input once satisfied.
@@ -1106,6 +1807,86 @@ mod tests {
         (db, stmt)
     }
 
+    /// The parallel paths (morsel scan, partitioned join build,
+    /// two-phase aggregate) produce byte-identical stabilized results
+    /// at every thread count, and the stats record where parallelism
+    /// applied.
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let (db, stmt) = join_fixture(6000);
+        let p = plan(&stmt, &db).unwrap();
+        let (reference, _) = run_plan(&p, &db).unwrap();
+        for threads in [2, 4, 8] {
+            let (t, stats) =
+                run_plan_opts(&p, &db, &SharedRows::new(), ExecOptions::with_threads(threads))
+                    .unwrap();
+            assert_eq!(t.rows, reference.rows, "threads={threads}");
+            assert!(stats.max_threads() > 1, "parallel sections ran at threads={threads}");
+            assert!(stats.parallel_ops() >= 1);
+        }
+    }
+
+    /// The two-phase aggregate preserves group order, float summation
+    /// order, DISTINCT handling and first-row group columns at every
+    /// thread count.
+    #[test]
+    fn parallel_aggregate_matches_sequential() {
+        let mut db = Database::new("t");
+        let mut s = RelationSchema::new("T");
+        s.add_attr("K", AttrType::Int).add_attr("F", AttrType::Float).add_attr("V", AttrType::Int);
+        db.add_relation(s).unwrap();
+        for i in 0..9000i64 {
+            let f = if i % 13 == 0 { Value::Null } else { Value::Float((i as f64) * 0.37 - 950.0) };
+            db.insert("T", vec![Value::Int(i % 97), f, Value::Int(i % 5)]).unwrap();
+        }
+        let stmt = SelectStatement {
+            items: vec![
+                SelectItem::Column { col: col("T", "K"), alias: None },
+                SelectItem::Aggregate {
+                    func: AggFunc::Sum,
+                    arg: col("T", "F"),
+                    distinct: false,
+                    alias: "s".into(),
+                },
+                SelectItem::Aggregate {
+                    func: AggFunc::Avg,
+                    arg: col("T", "F"),
+                    distinct: false,
+                    alias: "a".into(),
+                },
+                SelectItem::Aggregate {
+                    func: AggFunc::Count,
+                    arg: col("T", "V"),
+                    distinct: true,
+                    alias: "d".into(),
+                },
+                SelectItem::Aggregate {
+                    func: AggFunc::Min,
+                    arg: col("T", "F"),
+                    distinct: false,
+                    alias: "lo".into(),
+                },
+                SelectItem::Aggregate {
+                    func: AggFunc::Max,
+                    arg: col("T", "F"),
+                    distinct: false,
+                    alias: "hi".into(),
+                },
+            ],
+            from: vec![TableExpr::Relation { name: "T".into(), alias: "T".into() }],
+            group_by: vec![col("T", "K")],
+            ..Default::default()
+        };
+        let p = plan(&stmt, &db).unwrap();
+        let (reference, _) = run_plan(&p, &db).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let (t, _) =
+                run_plan_opts(&p, &db, &SharedRows::new(), ExecOptions::with_threads(threads))
+                    .unwrap();
+            assert_eq!(t.rows, reference.rows, "threads={threads}");
+        }
+    }
+
     /// Row cap sized to survive the build-side scan but not the hash
     /// table it feeds: the trip names `ops.HashJoin.build`, the
     /// materialization site, not the streaming scan.
@@ -1125,6 +1906,26 @@ mod tests {
         assert_eq!(gov.trip().map(|t| t.site), Some("ops.HashJoin.build"));
     }
 
+    /// Row charging happens on the plan's thread at the same sites
+    /// regardless of thread count, so the cap trips identically under a
+    /// parallel run.
+    #[test]
+    fn row_cap_trips_identically_when_parallel() {
+        let (db, stmt) = join_fixture(50);
+        let p = plan(&stmt, &db).unwrap();
+        let gov = aqks_guard::Governor::new(&aqks_guard::Budget::unlimited().with_max_rows(60));
+        let _g = aqks_guard::install(&gov);
+        let err =
+            run_plan_opts(&p, &db, &SharedRows::new(), ExecOptions::with_threads(4)).unwrap_err();
+        match err {
+            ExecError::Budget(t) => {
+                assert_eq!(t.kind, aqks_guard::BudgetKind::Rows);
+                assert_eq!(t.site, "ops.HashJoin.build");
+            }
+            other => panic!("expected budget trip, got {other:?}"),
+        }
+    }
+
     /// An expired deadline cancels the plan at the next per-batch
     /// checkpoint instead of running to completion.
     #[test]
@@ -1139,6 +1940,28 @@ mod tests {
             ExecError::Budget(t) => {
                 assert_eq!(t.kind, aqks_guard::BudgetKind::Deadline);
                 assert!(t.site.starts_with("ops."), "deadline caught in an operator: {}", t.site);
+            }
+            other => panic!("expected deadline trip, got {other:?}"),
+        }
+    }
+
+    /// Workers poll the captured governor mid-morsel: an expired
+    /// deadline cancels a parallel run with a structured budget trip —
+    /// no panic, and the scoped pool joins all workers before returning.
+    #[test]
+    fn expired_deadline_cancels_parallel_workers() {
+        let (db, stmt) = join_fixture(6000);
+        let p = plan(&stmt, &db).unwrap();
+        let gov = aqks_guard::Governor::new(
+            &aqks_guard::Budget::unlimited().with_timeout(Duration::ZERO),
+        );
+        let _g = aqks_guard::install(&gov);
+        let err =
+            run_plan_opts(&p, &db, &SharedRows::new(), ExecOptions::with_threads(4)).unwrap_err();
+        match err {
+            ExecError::Budget(t) => {
+                assert_eq!(t.kind, aqks_guard::BudgetKind::Deadline);
+                assert!(t.site.starts_with("ops."), "deadline site: {}", t.site);
             }
             other => panic!("expected deadline trip, got {other:?}"),
         }

@@ -801,6 +801,13 @@ fn render(plan: &PlanNode, stats: Option<&crate::ops::ExecStats>) -> String {
                     out.push_str(&format!(" in={}", m.rows_in));
                 }
                 out.push_str(&format!(" rows={} time={}", m.rows_out, fmt_dur(m.wall)));
+                if m.threads > 1 {
+                    out.push_str(&format!(
+                        " threads={} par={}%",
+                        m.threads,
+                        (m.parallel_fraction() * 100.0).round() as u64
+                    ));
+                }
                 if let Some(note) = &m.note {
                     out.push_str(&format!(" [{note}]"));
                 }
