@@ -50,7 +50,16 @@
 //! `--trace[=text|json|chrome]` flag does the same for ordinary one-shot
 //! and REPL queries; `chrome` additionally writes a `trace_event` JSON
 //! file (`--trace-out FILE`, default `aqks-trace.json`) loadable in
-//! `chrome://tracing` or Perfetto.
+//! `chrome://tracing` or Perfetto. `trace --slow` instead answers the
+//! queries through the ordinary (untraced) path — which files every
+//! query with the always-on flight recorder — and prints the retained
+//! slowest-query exemplar's span tree.
+//!
+//! Subcommand `aqks metrics [--prom|--json] [--dataset NAME] [QUERY]`
+//! answers the query (or the dataset's built-in workload) and prints
+//! the always-on metrics registry — engine phase/latency histograms,
+//! per-operator rows and peak memory, guard trips — in Prometheus text
+//! format v0.0.4 (the default) or as a JSON snapshot.
 //!
 //! REPL commands: `\schema` (relations), `\graph` (ORM graph), `\q`.
 
@@ -100,6 +109,9 @@ struct Options {
     shared: bool,
     explain_plan: bool,
     trace_cmd: bool,
+    metrics_cmd: bool,
+    metrics_json: bool,
+    slow: bool,
     analyze: bool,
     trace: Option<TraceFormat>,
     trace_out: String,
@@ -113,9 +125,10 @@ struct Options {
 }
 
 impl Options {
-    /// True once one of the `check`/`explain`/`trace` subcommands is set.
+    /// True once one of the `check`/`explain`/`trace`/`metrics`
+    /// subcommands is set.
     fn subcommand(&self) -> bool {
-        self.check || self.explain_plan || self.trace_cmd
+        self.check || self.explain_plan || self.trace_cmd || self.metrics_cmd
     }
 
     /// The resource budget assembled from the `--timeout-ms`/`--max-*`
@@ -155,6 +168,9 @@ fn parse_args() -> Result<Options, String> {
         shared: false,
         explain_plan: false,
         trace_cmd: false,
+        metrics_cmd: false,
+        metrics_json: false,
+        slow: false,
         analyze: false,
         trace: None,
         trace_out: "aqks-trace.json".into(),
@@ -187,6 +203,9 @@ fn parse_args() -> Result<Options, String> {
             "--plans" => opts.plans = true,
             "--equiv" => opts.equiv = true,
             "--shared" => opts.shared = true,
+            "--json" => opts.metrics_json = true,
+            "--prom" => opts.metrics_json = false,
+            "--slow" => opts.slow = true,
             "--trace" => opts.trace = Some(TraceFormat::Text),
             flag if flag.starts_with("--trace=") => {
                 opts.trace = Some(TraceFormat::parse(&flag["--trace=".len()..])?);
@@ -224,12 +243,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.threads = (num(&args, i, "--threads")? as usize).max(1);
             }
             "--help" | "-h" => {
-                println!("usage: aqks [check|explain|trace] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--plans] [--equiv] [--shared] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [--threads N] [QUERY]");
+                println!("usage: aqks [check|explain|trace|metrics] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--plans] [--equiv] [--shared] [--slow] [--prom|--json] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [--threads N] [QUERY]");
                 std::process::exit(0);
             }
             "check" if positional.is_empty() && !opts.subcommand() => opts.check = true,
             "explain" if positional.is_empty() && !opts.subcommand() => opts.explain_plan = true,
             "trace" if positional.is_empty() && !opts.subcommand() => opts.trace_cmd = true,
+            "metrics" if positional.is_empty() && !opts.subcommand() => opts.metrics_cmd = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -527,6 +547,66 @@ fn run_trace(
     failures
 }
 
+/// Answers each query through the ordinary (untraced) path — every call
+/// is metered by the always-on registry and filed with the flight
+/// recorder — then prints the retained slowest-query exemplar's span
+/// tree. Returns the number of failures.
+fn run_trace_slow(
+    engine: &Engine,
+    queries: &[String],
+    k: usize,
+    fmt: TraceFormat,
+    trace_out: &str,
+) -> usize {
+    let mut failures = 0;
+    for q in queries {
+        if let Err(e) = engine.answer(q, k) {
+            println!("── trace --slow `{q}`");
+            println!("  error: {e}");
+            failures += 1;
+        }
+    }
+    match aqks_obs::flight::global().slowest() {
+        Some(entry) => {
+            println!(
+                "── slowest query `{}` ({} µs total{})",
+                entry.query,
+                entry.total_ns / 1_000,
+                if entry.tripped.is_some() { ", budget tripped" } else { "" }
+            );
+            if let Some(t) = &entry.tripped {
+                println!("tripped: {t}");
+            }
+            emit_trace(&entry.trace, fmt, trace_out);
+        }
+        None => {
+            println!("  error: flight recorder is empty (metrics disabled?)");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Answers each query (feeding the always-on registry), then prints the
+/// registry exposition: Prometheus text format v0.0.4, or a JSON
+/// snapshot with `--json`. Returns the number of failures.
+fn run_metrics(engine: &Engine, queries: &[String], k: usize, json: bool) -> usize {
+    let mut failures = 0;
+    for q in queries {
+        if let Err(e) = engine.answer(q, k) {
+            eprintln!("error answering `{q}`: {e}");
+            failures += 1;
+        }
+    }
+    let snapshot = aqks_obs::metrics::global().snapshot();
+    if json {
+        print!("{}", aqks_obs::expo::render_json(&snapshot));
+    } else {
+        print!("{}", aqks_obs::expo::render_prometheus(&snapshot));
+    }
+    failures
+}
+
 /// Semantic-equivalence check for one query's interpretation set: each
 /// interpretation is planned with and without predicate pushdown and
 /// both variants are canonicalized (`aqks-equiv`) — a pair that fails
@@ -776,9 +856,27 @@ fn main() {
             .map(|q| vec![q.clone()])
             .unwrap_or_else(|| check_workload(&opts.dataset));
         let fmt = opts.trace.unwrap_or(TraceFormat::Text);
-        let failures = run_trace(&engine, &queries, opts.k, fmt, &opts.trace_out);
+        let failures = if opts.slow {
+            run_trace_slow(&engine, &queries, opts.k, fmt, &opts.trace_out)
+        } else {
+            run_trace(&engine, &queries, opts.k, fmt, &opts.trace_out)
+        };
         if failures > 0 {
             eprintln!("trace failed for {failures} quer(y/ies)");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if opts.metrics_cmd {
+        let queries = opts
+            .query
+            .as_ref()
+            .map(|q| vec![q.clone()])
+            .unwrap_or_else(|| check_workload(&opts.dataset));
+        let failures = run_metrics(&engine, &queries, opts.k, opts.metrics_json);
+        if failures > 0 {
+            eprintln!("metrics failed for {failures} quer(y/ies)");
             std::process::exit(1);
         }
         return;

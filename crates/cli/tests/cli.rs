@@ -103,7 +103,45 @@ fn explain_analyze_adds_per_operator_metrics() {
     assert!(stdout.contains("Scan"), "{stdout}");
     assert!(stdout.contains("rows="), "{stdout}");
     assert!(stdout.contains("time="), "{stdout}");
+    assert!(stdout.contains("mem="), "{stdout}");
     assert!(stdout.contains("total:"), "{stdout}");
+}
+
+#[test]
+fn metrics_prints_prometheus_exposition() {
+    let out =
+        aqks().args(["metrics", "--dataset", "university", "Green SUM Credit"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# TYPE aqks_engine_queries_total counter"), "{stdout}");
+    assert!(stdout.contains("aqks_engine_queries_total 1"), "{stdout}");
+    assert!(stdout.contains("# TYPE aqks_engine_answer_seconds histogram"), "{stdout}");
+    assert!(stdout.contains("aqks_engine_phase_seconds_bucket{phase=\"exec\""), "{stdout}");
+    assert!(stdout.contains("aqks_ops_rows_total{op=\"Scan\"}"), "{stdout}");
+    assert!(stdout.contains("aqks_ops_peak_bytes_bucket{op="), "{stdout}");
+}
+
+#[test]
+fn metrics_json_is_a_snapshot_object() {
+    let out = aqks()
+        .args(["metrics", "--json", "--dataset", "university", "Green SUM Credit"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"aqks_engine_queries\""), "{stdout}");
+    assert!(stdout.contains("\"p95\""), "{stdout}");
+}
+
+#[test]
+fn trace_slow_prints_the_slowest_exemplar() {
+    let out = aqks().args(["trace", "--slow", "--dataset", "university"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("── slowest query `"), "{stdout}");
+    assert!(stdout.contains("answer  total="), "{stdout}");
+    assert!(stdout.contains("op:"), "operator spans present: {stdout}");
 }
 
 #[test]

@@ -12,6 +12,7 @@
 
 use aqks_analyze::{Analyzer, Report};
 use aqks_guard::{Budget, Exhaustion, Governor};
+use aqks_obs::metrics::{Counter, Gauge, Histogram, LabeledHistogram, Unit};
 use aqks_obs::{PipelineTrace, Recorder};
 use aqks_orm::OrmGraph;
 use aqks_relational::{Database, DatabaseSchema, NormalizedView};
@@ -25,6 +26,45 @@ use crate::query::{KeywordQuery, Operator, Term};
 use crate::rank::rank_patterns;
 use crate::translate::{translate_ex, TranslateOptions};
 use crate::unnormalized::{rewrite, RewriteOptions};
+
+/// Answered keyword queries (every `answer`/`answer_governed` call).
+static QUERIES: Counter = Counter::new("aqks_engine_queries");
+
+/// End-to-end `answer` latency.
+static ANSWER_NS: Histogram = Histogram::new("aqks_engine_answer_ns", Unit::Nanos);
+
+/// Total result rows per answered query, summed over interpretations.
+static RESULT_ROWS: Histogram = Histogram::new("aqks_engine_result_rows", Unit::Count);
+
+/// Per-phase latency, labeled by pipeline phase name. Each occurrence
+/// of a phase span is one sample (`plan`/`exec` run once per
+/// interpretation, the front-end phases once per query).
+static PHASE_NS: LabeledHistogram =
+    LabeledHistogram::new("aqks_engine_phase_ns", "phase", Unit::Nanos);
+
+/// Entries currently held by the global flight recorder (ring +
+/// out-of-ring exemplars).
+static FLIGHT_RETAINED: Gauge = Gauge::new("aqks_flight_retained");
+
+/// Maps a span name to its static phase label; `None` for spans that
+/// are not top-level pipeline phases. The label set is closed so the
+/// labeled histogram's cardinality is bounded by the pipeline's shape.
+fn phase_label(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "parse" => "parse",
+        "match" => "match",
+        "pattern" => "pattern",
+        "annotate" => "annotate",
+        "rank" => "rank",
+        "translate" => "translate",
+        "analyze" => "analyze",
+        "plan" => "plan",
+        "plancheck" => "plancheck",
+        "exec" => "exec",
+        "guard" => "guard",
+        _ => return None,
+    })
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -359,8 +399,19 @@ impl Engine {
     /// Library panics are caught at this boundary and surface as
     /// [`CoreError::Internal`].
     pub fn answer(&self, query: &str, k: usize) -> Result<Vec<Interpretation>, CoreError> {
-        let _root = self.recorder.span("answer");
-        shielded(|| self.answer_inner(query, k))
+        let obs = self.begin_observation();
+        let result = {
+            let _root = self.recorder.span("answer");
+            shielded(|| self.answer_inner(query, k))
+        };
+        if let Some(t0) = obs {
+            let rows = result
+                .as_ref()
+                .map(|v| v.iter().map(|i| i.result.row_count() as u64).sum())
+                .unwrap_or(0);
+            self.finish_observation(query, t0, rows, None);
+        }
+        result
     }
 
     /// [`Engine::answer`] under a resource [`Budget`]: the engine
@@ -374,8 +425,22 @@ impl Engine {
         k: usize,
         budget: &Budget,
     ) -> Result<Governed<Vec<Interpretation>>, CoreError> {
-        let _root = self.recorder.span("answer");
-        self.governed(budget, || self.answer_inner(query, k))
+        let obs = self.begin_observation();
+        let result = {
+            let _root = self.recorder.span("answer");
+            self.governed(budget, || self.answer_inner(query, k))
+        };
+        if let Some(t0) = obs {
+            let (rows, tripped) = match &result {
+                Ok(g) => (
+                    g.value.iter().map(|i| i.result.row_count() as u64).sum(),
+                    g.exhaustion.as_ref().map(|e| e.to_string()),
+                ),
+                Err(_) => (0, None),
+            };
+            self.finish_observation(query, t0, rows, tripped);
+        }
+        result
     }
 
     fn answer_inner(&self, query: &str, k: usize) -> Result<Vec<Interpretation>, CoreError> {
@@ -494,6 +559,48 @@ impl Engine {
     /// [`Engine::explain`] with tracing (see [`Engine::answer_traced`]).
     pub fn explain_traced(&self, query: &str) -> Result<(Explanation, PipelineTrace), CoreError> {
         self.traced(|| self.explain(query))
+    }
+
+    /// Starts the always-on observation of one `answer` call: enables
+    /// the recorder (so phase spans land somewhere) and returns the
+    /// start instant. Returns `None` — observation off — when metrics
+    /// are globally disabled, or when the recorder is already enabled
+    /// by an enclosing `*_traced` call, whose trace must not be stolen.
+    fn begin_observation(&self) -> Option<std::time::Instant> {
+        if !aqks_obs::metrics::enabled() || self.recorder.is_enabled() {
+            return None;
+        }
+        self.recorder.enable();
+        let _ = self.recorder.take(); // discard stale spans
+        Some(std::time::Instant::now())
+    }
+
+    /// Finishes an observation started by [`Engine::begin_observation`]:
+    /// harvests the pipeline trace, folds its phase timings into the
+    /// global histograms, and files the trace with the flight recorder.
+    fn finish_observation(
+        &self,
+        query: &str,
+        t0: std::time::Instant,
+        rows: u64,
+        tripped: Option<String>,
+    ) {
+        let trace = self.recorder.take();
+        self.recorder.disable();
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        QUERIES.add(1);
+        ANSWER_NS.observe(total_ns);
+        RESULT_ROWS.observe(rows);
+        if let Some(root) = trace.roots.iter().find(|r| r.name == "answer") {
+            for child in &root.children {
+                if let Some(label) = phase_label(&child.name) {
+                    PHASE_NS.observe(label, child.total_ns);
+                }
+            }
+        }
+        let flight = aqks_obs::flight::global();
+        flight.record(query, total_ns, tripped, trace);
+        FLIGHT_RETAINED.set(flight.retained() as i64);
     }
 
     /// Runs `f` with the recorder enabled and snapshots the trace.
@@ -822,6 +929,48 @@ mod tests {
         assert!(engine.recorder().take().is_empty());
         let (_, trace) = engine.answer_traced("Java SUM Price", 1).unwrap();
         assert_eq!(trace.roots.len(), 1);
+    }
+
+    /// Plain `answer` feeds the always-on metrics and files its trace
+    /// with the flight recorder; a governed trip lands there too, as
+    /// the most recent tripped exemplar. Assertions are delta-based
+    /// because the registry and flight recorder are process-global and
+    /// tests run concurrently.
+    #[test]
+    fn answer_feeds_metrics_and_flight() {
+        aqks_obs::metrics::set_enabled(true);
+        let engine = Engine::new(university::normalized()).unwrap();
+        let snap = || aqks_obs::metrics::global().snapshot();
+        let flight = aqks_obs::flight::global();
+
+        let queries_before = snap().counter_total("aqks_engine_queries");
+        let recorded_before = flight.recorded();
+        engine.answer("Green SUM Credit", 1).unwrap();
+        assert!(snap().counter_total("aqks_engine_queries") > queries_before);
+        assert!(flight.recorded() > recorded_before);
+        let phases = snap();
+        for phase in ["parse", "exec"] {
+            let m = phases
+                .find("aqks_engine_phase_ns", Some(phase))
+                .unwrap_or_else(|| panic!("phase `{phase}` histogram missing"));
+            match &m.value {
+                aqks_obs::metrics::MetricValue::Histogram(h) => assert!(h.count > 0),
+                other => panic!("expected histogram, got {other:?}"),
+            }
+        }
+
+        // A governed trip files a tripped exemplar.
+        let budget = Budget::unlimited().with_max_patterns(1);
+        let g = engine.answer_governed("Green George COUNT Code", 3, &budget).unwrap();
+        assert!(g.exhaustion.is_some());
+        let tripped = flight.last_tripped().expect("tripped exemplar retained");
+        assert!(tripped.tripped.is_some());
+
+        // The traced surface is unaffected: its trace is not stolen by
+        // the observation path, and untraced state stays clean.
+        let (_, trace) = engine.answer_traced("Green SUM Credit", 1).unwrap();
+        assert_eq!(trace.roots.len(), 1);
+        assert!(!engine.recorder().is_enabled());
     }
 
     #[test]

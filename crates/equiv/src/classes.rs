@@ -57,5 +57,18 @@ pub fn analyze(plans: &[PlanNode], db: &Database) -> Result<ClassAnalysis, Equiv
         }
     }
     aqks_obs::counter("equiv.classes", classes.len() as u64);
+    if aqks_obs::metrics::enabled() {
+        CLASSES.add(classes.len() as u64);
+        let dups = plans.len().saturating_sub(classes.len()) as u64;
+        DUPLICATES.add(dups);
+    }
     Ok(ClassAnalysis { canonical, classes })
 }
+
+/// Equivalence classes found across all [`analyze`] calls.
+static CLASSES: aqks_obs::metrics::Counter = aqks_obs::metrics::Counter::new("aqks_equiv_classes");
+
+/// Plans proven redundant with an earlier class member — each one is a
+/// statement the shared executor never has to run.
+static DUPLICATES: aqks_obs::metrics::Counter =
+    aqks_obs::metrics::Counter::new("aqks_equiv_duplicates");

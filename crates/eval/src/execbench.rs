@@ -268,7 +268,7 @@ pub fn thread_counts(max: usize) -> Vec<usize> {
 /// A denormalized TPC-H' instance sized so the aggregate workload
 /// queries move tens of thousands of wide rows per plan — enough for
 /// the executor's parallel scan/join/aggregate paths to engage.
-fn sweep_database() -> aqks_relational::Database {
+pub(crate) fn sweep_database() -> aqks_relational::Database {
     let cfg = aqks_datasets::TpchConfig {
         seed: 42,
         parts: 400,
@@ -400,7 +400,7 @@ pub fn render_sweep_json(sweep: &ThreadSweep) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -16,6 +16,10 @@
 //!   from the workloads (equivalence classes, shared subtrees, and the
 //!   executed-rows reduction of deduplicated shared execution), writing
 //!   `BENCH_equiv.json`;
+//! * [`obsbench`] — measures the end-to-end cost of the always-on
+//!   metrics subsystem with interleaved enabled/disabled repetitions
+//!   and pins the disabled recording path's zero-allocation contract,
+//!   writing `BENCH_obs.json`;
 //! * [`analysis`] — runs the `aqks-analyze` static analyzer over every
 //!   statement both engines generate for the workloads: the paper engine
 //!   must come back with zero error findings, SQAK trips `AQ-P5` where
@@ -42,6 +46,7 @@ pub mod execbench;
 #[cfg(feature = "failpoints")]
 pub mod faults;
 pub mod fig11;
+pub mod obsbench;
 pub mod plans;
 pub mod tables;
 #[cfg(test)]
@@ -58,6 +63,7 @@ pub use execbench::{
 #[cfg(feature = "failpoints")]
 pub use faults::{run_fault_sweep, FaultOutcome};
 pub use fig11::{run_fig11, TimingRow};
+pub use obsbench::{run_obs_bench, ObsBench, QueryObsBench};
 pub use plans::{run_plan_sweep, verify_workload_plans, PlanCheckRow, PlanSweep};
 pub use tables::{run_table5, run_table6, run_table8, run_table9, ComparisonRow, EngineOutcome};
 pub use timing::TimingSummary;

@@ -6,6 +6,7 @@
 //! repro table5|table6|table8|table9|fig11|plans|all [--paper-scale] [--reps N]
 //! repro exec-bench [--smoke] [--out FILE] [--reps N] [--threads N]
 //! repro equiv-bench [--smoke] [--out FILE] [--k N]
+//! repro obs-bench [--smoke] [--out FILE] [--reps N]
 //! repro faults       # fault-injection sweep; needs --features failpoints
 //! ```
 //!
@@ -32,8 +33,35 @@
 //! multi-interpretation TPC-H' workload yields no nontrivial
 //! equivalence class, or when shared execution fails to move fewer rows
 //! than the per-plan baseline.
+//!
+//! `obs-bench` answers the TPC-H' aggregate workload with the always-on
+//! metrics registry disabled and enabled (interleaved A/B repetitions)
+//! and writes the per-query and median overhead to `BENCH_obs.json`.
+//! Exits non-zero when the median overhead exceeds 3% (5% under
+//! `--smoke`, whose short runs are noisier) or when the disabled
+//! recording path allocates — this binary installs a counting global
+//! allocator so the zero-allocation contract is checked for real.
 
-use aqks_eval::{execbench, fig11, tables, Scale};
+use aqks_eval::{execbench, fig11, obsbench, tables, Scale};
+
+/// Global allocator that feeds the `obs-bench` allocation probe: one
+/// relaxed atomic load per allocation while the probe is disarmed —
+/// unmeasurable next to the allocation itself.
+struct ProbeAlloc;
+
+unsafe impl std::alloc::GlobalAlloc for ProbeAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        obsbench::probe_alloc();
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: ProbeAlloc = ProbeAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -145,6 +173,60 @@ fn main() {
         eprintln!("wrote {out} ({} workloads)", rows.len());
         if failed {
             eprintln!("equiv-bench failed");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if what == "obs-bench" {
+        let bench = obsbench::run_obs_bench(reps);
+        let mut failed = false;
+        for r in &bench.rows {
+            match &r.error {
+                Some(e) => {
+                    eprintln!("tpch-prime/{}: FAILED: {e}", r.id);
+                    failed = true;
+                }
+                None => eprintln!(
+                    "tpch-prime/{}: disabled {:.0}µs, enabled {:.0}µs ({:+.2}%)",
+                    r.id, r.disabled.median_us, r.enabled.median_us, r.overhead_pct
+                ),
+            }
+        }
+        // Short smoke runs are noisier; the full run holds the paper
+        // contract of < 3% median overhead.
+        let cap = if smoke { 5.0 } else { 3.0 };
+        eprintln!(
+            "obs-bench: median overhead {:+.2}% (cap {cap}%), flight retained {}",
+            bench.median_overhead_pct, bench.flight_retained
+        );
+        if bench.median_overhead_pct > cap {
+            eprintln!(
+                "FAILED: enabled-metrics overhead {:.2}% > {cap}%",
+                bench.median_overhead_pct
+            );
+            failed = true;
+        }
+        match bench.disabled_path_allocations {
+            Some(0) => eprintln!("obs-bench: disabled recording path allocated nothing"),
+            Some(n) => {
+                eprintln!("FAILED: disabled recording path allocated {n} time(s)");
+                failed = true;
+            }
+            None => {
+                eprintln!("FAILED: allocation probe not installed");
+                failed = true;
+            }
+        }
+        let out = out_file.unwrap_or_else(|| "BENCH_obs.json".to_string());
+        let json = obsbench::render_json(&bench);
+        if let Err(e) = std::fs::write(&out, &json) {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {out} ({} queries)", bench.rows.len());
+        if failed {
+            eprintln!("obs-bench failed");
             std::process::exit(1);
         }
         return;

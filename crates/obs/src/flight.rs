@@ -1,0 +1,236 @@
+//! Query flight recorder: a bounded ring buffer of the most recent
+//! [`PipelineTrace`]s, plus two *exemplars* that survive ring eviction
+//! — the slowest query seen and the most recent budget-tripped query.
+//!
+//! The span recorder answers "trace this one call"; the flight
+//! recorder answers "what did that slow query half an hour ago do"
+//! without anyone having asked for a trace in advance. The engine
+//! feeds it from `Engine::answer*` whenever the metrics registry is
+//! enabled; readers snapshot entries (cheap `Arc` clones) without
+//! stopping recording.
+//!
+//! Memory is bounded by construction: at most `capacity` ring entries
+//! plus the two exemplar `Arc`s are retained, however many queries
+//! pass through.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::trace::PipelineTrace;
+
+/// One recorded flight: a finished query with its full span trace.
+#[derive(Debug)]
+pub struct FlightEntry {
+    /// Monotonic sequence number (1-based, global per recorder).
+    pub seq: u64,
+    /// The keyword query text.
+    pub query: String,
+    /// End-to-end wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Budget-exhaustion description when the query tripped a guard.
+    pub tripped: Option<String>,
+    /// The full span trace of the run.
+    pub trace: PipelineTrace,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    seq: u64,
+    ring: VecDeque<Arc<FlightEntry>>,
+    slowest: Option<Arc<FlightEntry>>,
+    last_tripped: Option<Arc<FlightEntry>>,
+}
+
+/// A bounded ring of recent flights plus the slowest / last-tripped
+/// exemplars. One short mutex section per record or read; entries are
+/// shared out as `Arc`s so snapshots never copy traces.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+/// Ring capacity of the global recorder.
+pub const DEFAULT_CAPACITY: usize = 32;
+
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl FlightRecorder {
+    /// Builds a recorder retaining at most `capacity` recent flights
+    /// (plus the two exemplars).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder { capacity: capacity.max(1), inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Records one finished query. Updates the slowest exemplar when
+    /// `total_ns` sets a new record and the tripped exemplar when
+    /// `tripped` is set; evicts the oldest ring entry beyond capacity.
+    pub fn record(
+        &self,
+        query: &str,
+        total_ns: u64,
+        tripped: Option<String>,
+        trace: PipelineTrace,
+    ) {
+        let mut inner = relock(&self.inner);
+        inner.seq += 1;
+        let entry = Arc::new(FlightEntry {
+            seq: inner.seq,
+            query: query.to_string(),
+            total_ns,
+            tripped,
+            trace,
+        });
+        if inner.slowest.as_ref().is_none_or(|s| entry.total_ns > s.total_ns) {
+            inner.slowest = Some(Arc::clone(&entry));
+        }
+        if entry.tripped.is_some() {
+            inner.last_tripped = Some(Arc::clone(&entry));
+        }
+        inner.ring.push_back(entry);
+        while inner.ring.len() > self.capacity {
+            inner.ring.pop_front();
+        }
+    }
+
+    /// The most recent flights, oldest first (at most `capacity`).
+    pub fn recent(&self) -> Vec<Arc<FlightEntry>> {
+        relock(&self.inner).ring.iter().cloned().collect()
+    }
+
+    /// The slowest query ever recorded, even if long since evicted
+    /// from the ring.
+    pub fn slowest(&self) -> Option<Arc<FlightEntry>> {
+        relock(&self.inner).slowest.clone()
+    }
+
+    /// The most recent budget-tripped query, even if evicted.
+    pub fn last_tripped(&self) -> Option<Arc<FlightEntry>> {
+        relock(&self.inner).last_tripped.clone()
+    }
+
+    /// Number of flights currently in the ring.
+    pub fn len(&self) -> usize {
+        relock(&self.inner).ring.len()
+    }
+
+    /// Whether no flight was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        let inner = relock(&self.inner);
+        inner.ring.is_empty() && inner.slowest.is_none() && inner.last_tripped.is_none()
+    }
+
+    /// Total flights recorded over the recorder's lifetime.
+    pub fn recorded(&self) -> u64 {
+        relock(&self.inner).seq
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distinct entries currently retained (ring plus
+    /// exemplars not also in the ring) — the memory-ceiling figure.
+    pub fn retained(&self) -> usize {
+        let inner = relock(&self.inner);
+        let mut n = inner.ring.len();
+        for e in [&inner.slowest, &inner.last_tripped].into_iter().flatten() {
+            if !inner.ring.iter().any(|r| Arc::ptr_eq(r, e)) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Drops every retained flight and resets the sequence counter.
+    pub fn clear(&self) {
+        *relock(&self.inner) = Inner::default();
+    }
+}
+
+static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-wide flight recorder the engine records into.
+pub fn global() -> &'static FlightRecorder {
+    GLOBAL.get_or_init(|| FlightRecorder::new(DEFAULT_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with_spans(n: usize) -> PipelineTrace {
+        let rec = crate::Recorder::enabled();
+        for i in 0..n {
+            let _s = rec.span(if i % 2 == 0 { "exec" } else { "plan" });
+        }
+        rec.take()
+    }
+
+    #[test]
+    fn exemplars_survive_1000_query_mixed_workload_under_bounded_memory() {
+        let fr = FlightRecorder::new(16);
+        // 1000 mixed queries: latencies cycle, the global maximum is
+        // planted early (so its ring entry is long evicted), and every
+        // 97th query trips a budget guard.
+        let mut expected_slowest = 0u64;
+        let mut expected_last_tripped = 0u64;
+        for i in 1..=1000u64 {
+            let total_ns = if i == 137 { 9_999_999_999 } else { 1_000 + (i * 7919) % 500_000 };
+            if total_ns > expected_slowest {
+                expected_slowest = total_ns;
+            }
+            let tripped = (i % 97 == 0).then(|| format!("rows budget at ops.Scan (query {i})"));
+            if tripped.is_some() {
+                expected_last_tripped = i;
+            }
+            fr.record(&format!("query {i}"), total_ns, tripped, trace_with_spans(3));
+            // Bounded memory ceiling: never more than capacity + 2
+            // entries retained, at any point in the stream.
+            assert!(fr.retained() <= fr.capacity() + 2, "retained {} at i={i}", fr.retained());
+        }
+        assert_eq!(fr.recorded(), 1000);
+        assert_eq!(fr.len(), 16);
+        let slowest = fr.slowest().expect("slowest exemplar");
+        assert_eq!(slowest.seq, 137, "slowest exemplar evicted from ring must survive");
+        assert_eq!(slowest.total_ns, expected_slowest);
+        assert!(!slowest.trace.is_empty());
+        let tripped = fr.last_tripped().expect("tripped exemplar");
+        assert_eq!(tripped.seq, expected_last_tripped);
+        assert!(tripped.tripped.as_deref().unwrap_or("").contains("ops.Scan"));
+        // The ring holds exactly the most recent 16, oldest first.
+        let seqs: Vec<u64> = fr.recent().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (985..=1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_recorder_has_no_exemplars() {
+        let fr = FlightRecorder::new(4);
+        assert!(fr.is_empty());
+        assert_eq!(fr.len(), 0);
+        assert!(fr.slowest().is_none());
+        assert!(fr.last_tripped().is_none());
+        assert_eq!(fr.retained(), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let fr = FlightRecorder::new(4);
+        fr.record("q", 10, Some("tripped".into()), trace_with_spans(1));
+        assert!(!fr.is_empty());
+        fr.clear();
+        assert!(fr.is_empty());
+        assert_eq!(fr.recorded(), 0);
+    }
+
+    #[test]
+    fn slowest_tie_keeps_the_first() {
+        let fr = FlightRecorder::new(4);
+        fr.record("first", 100, None, trace_with_spans(1));
+        fr.record("second", 100, None, trace_with_spans(1));
+        assert_eq!(fr.slowest().expect("slowest").seq, 1);
+    }
+}

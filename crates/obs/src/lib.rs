@@ -28,10 +28,30 @@
 //! 4. **Externally-timed work joins the tree.** Measurements accumulated
 //!    elsewhere (the Volcano executor's per-operator `ExecStats`) are
 //!    grafted in as completed spans via [`Recorder::record_span`].
+//!
+//! Alongside the per-call recorder, three sibling modules provide
+//! *cumulative* telemetry with the same cost discipline:
+//!
+//! * [`metrics`] — an always-on registry of counters, gauges, and
+//!   log-linear histograms (lock-free recording, zero-alloc disabled
+//!   path, allocation-free histogram merges);
+//! * [`flight`] — a bounded ring-buffer flight recorder keeping the N
+//!   most recent [`PipelineTrace`]s plus the slowest and last
+//!   budget-tripped exemplars;
+//! * [`expo`] — Prometheus text-format v0.0.4 and JSON exposition of a
+//!   metrics snapshot.
 
+pub mod expo;
+pub mod flight;
 pub mod json;
+pub mod metrics;
 pub mod recorder;
 pub mod trace;
 
+pub use flight::{FlightEntry, FlightRecorder};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, LabeledCounter, LabeledHistogram, Registry,
+    Snapshot, Unit,
+};
 pub use recorder::{counter, current, Recorder, Span, SpanHandle};
 pub use trace::{PipelineTrace, SpanNode};

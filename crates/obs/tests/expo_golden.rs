@@ -1,0 +1,57 @@
+//! Golden-file test for the Prometheus exposition: a deterministically
+//! populated registry must render byte-identically run after run —
+//! stable metric ordering, stable label ordering, stable number
+//! formatting. Regenerate with `UPDATE_GOLDEN=1 cargo test -p aqks-obs`.
+
+use aqks_obs::metrics::{Registry, Unit};
+
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("aqks_engine_queries").add(120);
+    r.counter("aqks_equiv_classes").add(9);
+    r.gauge("aqks_flight_retained").set(18);
+    r.labeled_counter("aqks_guard_trips", "site", "engine.translate").add(1);
+    r.labeled_counter("aqks_guard_trips", "site", "ops.Scan").add(4);
+    let phases = r.labeled_histogram("aqks_engine_phase_ns", "phase", "parse", Unit::Nanos);
+    for v in [2_400, 3_100, 2_950, 14_000] {
+        phases.record(v);
+    }
+    let exec = r.labeled_histogram("aqks_engine_phase_ns", "phase", "exec", Unit::Nanos);
+    for v in [310_000, 250_000, 1_950_000, 420_000, 388_000] {
+        exec.record(v);
+    }
+    let rows = r.histogram("aqks_engine_result_rows", Unit::Count);
+    for v in [0, 1, 1, 3, 25, 4_096] {
+        rows.record(v);
+    }
+    let peak = r.labeled_histogram("aqks_ops_peak_bytes", "op", "HashJoin", Unit::Bytes);
+    for v in [65_536, 1_048_576] {
+        peak.record(v);
+    }
+    r
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let rendered = aqks_obs::expo::render_prometheus(&golden_registry().snapshot());
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (run with UPDATE_GOLDEN=1)", path.display()));
+    assert_eq!(
+        rendered,
+        golden,
+        "Prometheus exposition drifted from {}; regenerate with UPDATE_GOLDEN=1 if intended",
+        path.display()
+    );
+}
+
+#[test]
+fn exposition_is_deterministic_across_renders() {
+    let a = aqks_obs::expo::render_prometheus(&golden_registry().snapshot());
+    let b = aqks_obs::expo::render_prometheus(&golden_registry().snapshot());
+    assert_eq!(a, b);
+}

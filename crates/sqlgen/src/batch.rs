@@ -193,6 +193,30 @@ impl Column {
         self.validity.get(i)
     }
 
+    /// Exact bytes of this column's typed storage and validity bitmap:
+    /// element storage (including per-`String`/`Value` heap payloads)
+    /// plus the bitmap words. Vec spare capacity is not counted — the
+    /// figure is the data actually resident, which is what operator
+    /// memory accounting reports.
+    pub fn byte_size(&self) -> u64 {
+        let data = match &self.data {
+            ColumnData::Int(v) => v.len() * std::mem::size_of::<i64>(),
+            ColumnData::Float(v) => v.len() * std::mem::size_of::<f64>(),
+            ColumnData::Str(v) => v.iter().map(|s| std::mem::size_of::<String>() + s.len()).sum(),
+            ColumnData::Any(v) => v
+                .iter()
+                .map(|val| {
+                    std::mem::size_of::<Value>()
+                        + match val {
+                            Value::Str(s) => s.len(),
+                            _ => 0,
+                        }
+                })
+                .sum(),
+        };
+        (data + self.validity.words.len() * std::mem::size_of::<u64>()) as u64
+    }
+
     /// Slot `i` as an owned [`Value`] (NULL slots yield `Value::Null`).
     pub fn value(&self, i: usize) -> Value {
         if !self.validity.get(i) {
@@ -329,6 +353,14 @@ impl ColumnBatch {
     /// Value at (column `c`, row `i`) as an owned [`Value`].
     pub fn value(&self, c: usize, i: usize) -> Value {
         self.columns[c].value(i)
+    }
+
+    /// Exact resident bytes of the batch: the sum of its columns'
+    /// [`Column::byte_size`]. `Arc`-shared columns are counted in every
+    /// batch that references them — the figure answers "how much data
+    /// does this batch address", not unique heap ownership.
+    pub fn byte_size(&self) -> u64 {
+        self.columns.iter().map(|c| c.byte_size()).sum()
     }
 
     /// Row `i` materialized as an owned row.

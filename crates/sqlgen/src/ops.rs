@@ -67,6 +67,11 @@ pub struct OpMetrics {
     pub threads: u32,
     /// Inclusive wall time spent inside parallel sections.
     pub parallel_wall: Duration,
+    /// Estimated peak resident bytes attributable to this operator: the
+    /// larger of its retained columnar state (hash-join build side,
+    /// sort/aggregate input buffers) and its largest emitted batch.
+    /// Exact per [`ColumnBatch::byte_size`] column accounting.
+    pub peak_bytes: u64,
     /// Operator-specific annotation (e.g. hash-join build/probe sizes).
     pub note: Option<String>,
 }
@@ -151,6 +156,13 @@ trait Operator {
     fn parallel_info(&self) -> Option<(u32, Duration)> {
         None
     }
+    /// Bytes of columnar state this operator retained (build sides,
+    /// buffered inputs, materialized outputs), read just *before*
+    /// `close` while the state is still live. Streaming operators
+    /// return 0 and are accounted by their largest emitted batch.
+    fn mem_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Shim recording metrics around an operator.
@@ -183,6 +195,7 @@ impl Operator for Metered<'_> {
             if let Ok(Some(batch)) = &r {
                 m.rows_out += batch.len() as u64;
                 m.batches += 1;
+                m.peak_bytes = m.peak_bytes.max(batch.byte_size());
             }
         });
         r
@@ -190,12 +203,16 @@ impl Operator for Metered<'_> {
 
     fn close(&mut self) {
         let t = Instant::now();
+        // Retained-state bytes must be read while the state is live —
+        // `close` is where operators drop it.
+        let mem = self.inner.mem_bytes();
         self.inner.close();
         let note = self.inner.note();
         let par_info = self.inner.parallel_info();
         self.bump(|m| {
             m.wall += t.elapsed();
             m.note = note;
+            m.peak_bytes = m.peak_bytes.max(mem);
             if let Some((threads, pw)) = par_info {
                 m.threads = threads;
                 m.parallel_wall = pw;
@@ -244,6 +261,10 @@ impl Operator for Guarded<'_> {
     fn parallel_info(&self) -> Option<(u32, Duration)> {
         self.inner.parallel_info()
     }
+
+    fn mem_bytes(&self) -> u64 {
+        self.inner.mem_bytes()
+    }
 }
 
 /// Replays batches materialized once by a shared subplan (see
@@ -279,6 +300,10 @@ impl Operator for CachedRows {
 
     fn note(&self) -> Option<String> {
         Some(format!("cached rows={}", self.rows))
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        self.batches.iter().map(ColumnBatch::byte_size).sum()
     }
 }
 
@@ -448,6 +473,11 @@ impl Operator for Scan<'_> {
 
     fn parallel_info(&self) -> Option<(u32, Duration)> {
         (self.par_threads > 1).then_some((self.par_threads, self.par_wall))
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        // The parallel path materializes every surviving batch at open.
+        self.batches.as_ref().map_or(0, |bs| bs.iter().map(ColumnBatch::byte_size).sum())
     }
 }
 
@@ -782,6 +812,14 @@ impl Operator for HashJoin<'_> {
     fn parallel_info(&self) -> Option<(u32, Duration)> {
         (self.par_threads > 1).then_some((self.par_threads, self.par_wall))
     }
+
+    fn mem_bytes(&self) -> u64 {
+        // Build side plus (in parallel mode) the materialized probe
+        // output; the hash table's key index is not columnar and is
+        // not counted.
+        self.build_data.as_ref().map_or(0, ColumnBatch::byte_size)
+            + self.out.as_ref().map_or(0, |o| o.iter().map(ColumnBatch::byte_size).sum())
+    }
 }
 
 /// Cross product, used only when no equi-join connects the inputs. The
@@ -833,6 +871,10 @@ impl Operator for CrossJoin<'_> {
         self.buffer = None;
         self.left.close();
         self.right.close();
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        self.buffer.as_ref().map_or(0, ColumnBatch::byte_size)
     }
 }
 
@@ -1030,6 +1072,7 @@ struct HashAggregate<'a> {
     output: Vec<Row>,
     emitted: usize,
     in_rows: u64,
+    in_bytes: u64,
     groups_out: u64,
     par_threads: u32,
     par_wall: Duration,
@@ -1044,6 +1087,7 @@ impl Operator for HashAggregate<'_> {
             // hash-join build state (on the plan's thread, always).
             aqks_guard::charge_rows("ops.HashAggregate.build", batch.len() as u64)?;
             self.in_rows += batch.len() as u64;
+            self.in_bytes += batch.byte_size();
             if !batch.is_empty() {
                 batches.push(batch);
             }
@@ -1132,6 +1176,12 @@ impl Operator for HashAggregate<'_> {
     fn parallel_info(&self) -> Option<(u32, Duration)> {
         (self.par_threads > 1).then_some((self.par_threads, self.par_wall))
     }
+
+    fn mem_bytes(&self) -> u64 {
+        // Peak is the buffered input (held until finalize), measured
+        // as the batches streamed in.
+        self.in_bytes
+    }
 }
 
 /// Column projection — zero-copy: the output batch shares the selected
@@ -1162,6 +1212,7 @@ impl Operator for Project<'_> {
 struct Distinct<'a> {
     child: Metered<'a>,
     seen: HashSet<Row>,
+    seen_bytes: u64,
 }
 
 impl Operator for Distinct<'_> {
@@ -1178,7 +1229,11 @@ impl Operator for Distinct<'_> {
                 }
             }
             if !fresh.is_empty() {
-                return Ok(Some(batch.gather(&fresh)));
+                let out = batch.gather(&fresh);
+                // The seen-set retains exactly the distinct rows — the
+                // rows this operator emits.
+                self.seen_bytes += out.byte_size();
+                return Ok(Some(out));
             }
         }
         Ok(None)
@@ -1188,6 +1243,10 @@ impl Operator for Distinct<'_> {
         self.seen.clear();
         self.child.close();
     }
+
+    fn mem_bytes(&self) -> u64 {
+        self.seen_bytes
+    }
 }
 
 /// ORDER BY over the output columns (pipeline breaker).
@@ -1196,6 +1255,7 @@ struct Sort<'a> {
     keys: &'a [(usize, bool)],
     width: usize,
     buffer: Vec<Row>,
+    in_bytes: u64,
     emitted: usize,
 }
 
@@ -1204,6 +1264,7 @@ impl Operator for Sort<'_> {
         self.child.open()?;
         while let Some(batch) = self.child.next()? {
             self.width = self.width.max(batch.width());
+            self.in_bytes += batch.byte_size();
             self.buffer.extend(batch.to_rows());
         }
         let keys = self.keys;
@@ -1233,6 +1294,12 @@ impl Operator for Sort<'_> {
     fn close(&mut self) {
         self.buffer.clear();
         self.child.close();
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        // The whole input is buffered until emitted, measured as the
+        // batches streamed in.
+        self.in_bytes
     }
 }
 
@@ -1358,6 +1425,7 @@ fn build<'a>(
             output: Vec::new(),
             emitted: 0,
             in_rows: 0,
+            in_bytes: 0,
             groups_out: 0,
             par_threads: 0,
             par_wall: Duration::ZERO,
@@ -1369,12 +1437,14 @@ fn build<'a>(
         PlanOp::Distinct => Box::new(Distinct {
             child: build(&node.children[0], db, stats, governed, shared, opts)?,
             seen: HashSet::new(),
+            seen_bytes: 0,
         }),
         PlanOp::Sort { keys } => Box::new(Sort {
             child: build(&node.children[0], db, stats, governed, shared, opts)?,
             keys,
             width: 0,
             buffer: Vec::new(),
+            in_bytes: 0,
             emitted: 0,
         }),
         PlanOp::Limit { n } => Box::new(Limit {
@@ -1517,8 +1587,29 @@ fn pull_batches(
     if let Some(rec) = aqks_obs::current() {
         record_op_spans(&rec, plan, &ops, t0, None);
     }
+    // Always-on cumulative telemetry: per-operator-kind rows/batches
+    // counters and wall/peak-bytes histograms in the global registry.
+    if aqks_obs::metrics::enabled() {
+        plan.visit(&mut |node| {
+            let m = &ops[node.id];
+            let name = op_name(&node.op);
+            OP_ROWS.add(name, m.rows_out);
+            OP_BATCHES.add(name, m.batches);
+            OP_WALL_NS.observe(name, m.wall.as_nanos() as u64);
+            OP_PEAK_BYTES.observe(name, m.peak_bytes);
+        });
+    }
     Ok((batches, ExecStats { ops, wall: t0.elapsed() }))
 }
+
+/// Cumulative per-operator-kind metrics, labeled by [`op_name`].
+static OP_ROWS: aqks_obs::LabeledCounter = aqks_obs::LabeledCounter::new("aqks_ops_rows", "op");
+static OP_BATCHES: aqks_obs::LabeledCounter =
+    aqks_obs::LabeledCounter::new("aqks_ops_batches", "op");
+static OP_WALL_NS: aqks_obs::LabeledHistogram =
+    aqks_obs::LabeledHistogram::new("aqks_ops_wall_ns", "op", aqks_obs::Unit::Nanos);
+static OP_PEAK_BYTES: aqks_obs::LabeledHistogram =
+    aqks_obs::LabeledHistogram::new("aqks_ops_peak_bytes", "op", aqks_obs::Unit::Bytes);
 
 /// Short operator name for trace spans (the EXPLAIN label minus its
 /// plan-specific detail, so span names are stable across queries).

@@ -17,12 +17,25 @@
 //! Observability: when a recorder is installed and the parallel path is
 //! actually taken, a `par:<site>` span wraps the pool and each worker
 //! records a `worker` child span with its completed-task count, using
-//! the cross-thread `SpanHandle` API.
+//! the cross-thread `SpanHandle` API. Always-on metrics mirror the same
+//! numbers into the global registry: each worker accumulates its task
+//! count locally and merges it with a single atomic add at scope exit,
+//! so totals are exact regardless of scheduling or thread count.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use aqks_obs::metrics::{Counter, LabeledCounter};
+
 use crate::exec::ExecError;
+
+/// Completed parallel tasks, labeled by call site. Each worker adds its
+/// local tally exactly once when it exits, so the per-site total equals
+/// the task count of every pool run at that site.
+static PAR_TASKS: LabeledCounter = LabeledCounter::new("aqks_par_tasks", "site");
+
+/// Worker-pool launches that actually took the parallel path.
+static PAR_POOLS: Counter = Counter::new("aqks_par_pools");
 
 /// Rows per parallel work unit handed to a worker at a time.
 pub(crate) const MORSEL_SIZE: usize = 2048;
@@ -88,6 +101,9 @@ where
 
     let span = aqks_obs::current().map(|rec| rec.span(format!("par:{site}")));
     let handle = span.as_ref().map(|s| s.handle());
+    if aqks_obs::metrics::enabled() {
+        PAR_POOLS.add(1);
+    }
 
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
@@ -123,6 +139,12 @@ where
                 }
                 if let Some(s) = &wspan {
                     s.add("par.tasks", done);
+                }
+                // One merge per worker lifetime: the handoff to the
+                // shared registry happens here, not per task, so the
+                // hot loop stays free of shared-cacheline traffic.
+                if done > 0 && aqks_obs::metrics::enabled() {
+                    PAR_TASKS.add(site, done);
                 }
             });
         }
@@ -197,6 +219,33 @@ mod tests {
         });
         // Not all 10k tasks ran: the failed flag short-circuits workers.
         assert!(started.load(Ordering::Relaxed) < 10_000);
+    }
+
+    #[test]
+    fn worker_task_counters_merge_exactly_across_threads() {
+        // A unique site label partitions this test's registry deltas
+        // from concurrent tests, so the comparison can be exact.
+        aqks_obs::metrics::set_enabled(true);
+        let delta = |snap: &aqks_obs::metrics::Snapshot| {
+            snap.find("aqks_par_tasks", Some("test.par.merge"))
+                .map(|m| match &m.value {
+                    aqks_obs::metrics::MetricValue::Counter(v) => *v,
+                    _ => panic!("aqks_par_tasks is a counter"),
+                })
+                .unwrap_or(0)
+        };
+        let before = delta(&aqks_obs::metrics::global().snapshot());
+        for _ in 0..4 {
+            run_tasks(8, 1_000, "test.par.merge", |i| {
+                std::hint::black_box(i);
+                Ok(())
+            })
+            .unwrap();
+        }
+        let after = delta(&aqks_obs::metrics::global().snapshot());
+        // Every task is counted exactly once, no matter which worker
+        // ran it or how the morsels interleaved.
+        assert_eq!(after - before, 4_000);
     }
 
     #[test]

@@ -800,7 +800,12 @@ fn render(plan: &PlanNode, stats: Option<&crate::ops::ExecStats>) -> String {
                 if !node.children.is_empty() {
                     out.push_str(&format!(" in={}", m.rows_in));
                 }
-                out.push_str(&format!(" rows={} time={}", m.rows_out, fmt_dur(m.wall)));
+                out.push_str(&format!(
+                    " rows={} time={} mem={}",
+                    m.rows_out,
+                    fmt_dur(m.wall),
+                    fmt_bytes(m.peak_bytes)
+                ));
                 if m.threads > 1 {
                     out.push_str(&format!(
                         " threads={} par={}%",
@@ -824,6 +829,17 @@ fn render(plan: &PlanNode, stats: Option<&crate::ops::ExecStats>) -> String {
         out.push_str(&format!("total: {}\n", fmt_dur(stats.wall)));
     }
     out
+}
+
+/// Human-friendly byte count: B below 1 KiB, then KiB/MiB.
+pub(crate) fn fmt_bytes(b: u64) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0))
+    }
 }
 
 /// Human-friendly duration: µs below 1 ms, ms below 1 s.

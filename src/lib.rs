@@ -19,6 +19,8 @@
 //! * [`equiv`] — verified plan canonicalization, equivalence classes,
 //!   and shared-subplan execution
 //! * [`guard`] — resource budgets, cooperative cancellation, failpoints
+//! * [`obs`] — pipeline tracing, always-on metrics + flight recorder,
+//!   Prometheus/JSON exposition
 //!
 //! ## Quickstart
 //!
@@ -58,6 +60,7 @@ pub use aqks_core as core;
 pub use aqks_datasets as datasets;
 pub use aqks_equiv as equiv;
 pub use aqks_guard as guard;
+pub use aqks_obs as obs;
 pub use aqks_orm as orm;
 pub use aqks_plancheck as plancheck;
 pub use aqks_relational as relational;
