@@ -61,6 +61,18 @@
 //! per-operator rows and peak memory, guard trips — in Prometheus text
 //! format v0.0.4 (the default) or as a JSON snapshot.
 //!
+//! Subcommand `aqks serve [--dataset NAME] [--addr HOST:PORT]
+//! [--workers N] [--queue-depth N]` loads the dataset once and serves
+//! it as a concurrent TCP query service (`aqks-server`): bounded
+//! admission queue, per-request deadlines clamped by the budget flags,
+//! typed wire errors, graceful drain on stdin EOF or `quit`.
+//!
+//! Subcommand `aqks client --addr HOST:PORT [--k N] [--timeout-ms N]
+//! QUERY` sends one keyword query to a running server through the
+//! retrying client (exponential backoff with jitter on retryable
+//! errors) and prints the interpretations; a budget-degraded answer
+//! exits with code 3 like a local exhausted query.
+//!
 //! REPL commands: `\schema` (relations), `\graph` (ORM graph), `\q`.
 
 use std::io::{BufRead, Write};
@@ -110,6 +122,11 @@ struct Options {
     explain_plan: bool,
     trace_cmd: bool,
     metrics_cmd: bool,
+    serve_cmd: bool,
+    client_cmd: bool,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
     metrics_json: bool,
     slow: bool,
     analyze: bool,
@@ -125,10 +142,15 @@ struct Options {
 }
 
 impl Options {
-    /// True once one of the `check`/`explain`/`trace`/`metrics`
-    /// subcommands is set.
+    /// True once one of the `check`/`explain`/`trace`/`metrics`/
+    /// `serve`/`client` subcommands is set.
     fn subcommand(&self) -> bool {
-        self.check || self.explain_plan || self.trace_cmd || self.metrics_cmd
+        self.check
+            || self.explain_plan
+            || self.trace_cmd
+            || self.metrics_cmd
+            || self.serve_cmd
+            || self.client_cmd
     }
 
     /// The resource budget assembled from the `--timeout-ms`/`--max-*`
@@ -169,6 +191,11 @@ fn parse_args() -> Result<Options, String> {
         explain_plan: false,
         trace_cmd: false,
         metrics_cmd: false,
+        serve_cmd: false,
+        client_cmd: false,
+        addr: "127.0.0.1:7878".into(),
+        workers: 4,
+        queue_depth: 64,
         metrics_json: false,
         slow: false,
         analyze: false,
@@ -242,14 +269,28 @@ fn parse_args() -> Result<Options, String> {
                 i += 1;
                 opts.threads = (num(&args, i, "--threads")? as usize).max(1);
             }
+            "--addr" => {
+                i += 1;
+                opts.addr = args.get(i).ok_or("--addr needs HOST:PORT")?.to_string();
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = (num(&args, i, "--workers")? as usize).max(1);
+            }
+            "--queue-depth" => {
+                i += 1;
+                opts.queue_depth = num(&args, i, "--queue-depth")? as usize;
+            }
             "--help" | "-h" => {
-                println!("usage: aqks [check|explain|trace|metrics] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--plans] [--equiv] [--shared] [--slow] [--prom|--json] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [--threads N] [QUERY]");
+                println!("usage: aqks [check|explain|trace|metrics|serve|client] [--dataset NAME|DIR] [--paper-scale] [--k N] [--sqak] [--explain] [--analyze] [--plans] [--equiv] [--shared] [--slow] [--prom|--json] [--trace[=text|json|chrome]] [--trace-out FILE] [--export DIR] [--timeout-ms N] [--max-rows N] [--max-patterns N] [--max-interpretations N] [--threads N] [--addr HOST:PORT] [--workers N] [--queue-depth N] [QUERY]");
                 std::process::exit(0);
             }
             "check" if positional.is_empty() && !opts.subcommand() => opts.check = true,
             "explain" if positional.is_empty() && !opts.subcommand() => opts.explain_plan = true,
             "trace" if positional.is_empty() && !opts.subcommand() => opts.trace_cmd = true,
             "metrics" if positional.is_empty() && !opts.subcommand() => opts.metrics_cmd = true,
+            "serve" if positional.is_empty() && !opts.subcommand() => opts.serve_cmd = true,
+            "client" if positional.is_empty() && !opts.subcommand() => opts.client_cmd = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -782,6 +823,113 @@ fn run_check(
     errors
 }
 
+/// `aqks serve`: loads the dataset once and serves it over TCP until
+/// stdin reaches EOF (or `quit` is typed), then drains cleanly. The
+/// budget flags become server policy: `--timeout-ms` is the default
+/// per-request deadline, `--max-rows`/`--max-patterns` are hard caps
+/// client hints cannot exceed.
+fn run_serve(engine: Engine, opts: &Options) -> i32 {
+    let mut cfg = aqks_server::ServerConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        queue_depth: opts.queue_depth,
+        ..aqks_server::ServerConfig::default()
+    };
+    if let Some(ms) = opts.timeout_ms {
+        cfg.default_deadline = std::time::Duration::from_millis(ms);
+    }
+    cfg.max_rows = opts.max_rows;
+    cfg.max_patterns = opts.max_patterns;
+    let server = match aqks_server::Server::start(std::sync::Arc::new(engine), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind `{}`: {e}", opts.addr);
+            return 1;
+        }
+    };
+    eprintln!(
+        "serving on {} ({} worker(s), queue depth {}); EOF or `quit` to drain",
+        server.addr(),
+        opts.workers,
+        opts.queue_depth
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let stats = server.stats();
+    server.shutdown();
+    eprintln!(
+        "drained: {} accepted, {} ok ({} degraded), {} error(s), {} shed",
+        stats.accepted,
+        stats.ok,
+        stats.degraded,
+        stats.errors,
+        stats.shed()
+    );
+    0
+}
+
+/// `aqks client`: sends one keyword query to a running `aqks serve`
+/// with the shipped retrying client and prints the interpretations.
+/// Exit codes: 0 ok, 1 typed server/transport error, 2 usage,
+/// [`EXIT_EXHAUSTED`] when the answer degraded under its budget.
+fn run_client(opts: &Options) -> i32 {
+    use std::net::ToSocketAddrs;
+    let Some(query) = &opts.query else {
+        eprintln!(
+            "error: `aqks client` needs a query, e.g. aqks client --addr {} 'Green SUM Credit'",
+            opts.addr
+        );
+        return 2;
+    };
+    let addr = match opts.addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("error: cannot resolve `{}`", opts.addr);
+            return 2;
+        }
+    };
+    let mut client = aqks_server::Client::connect(addr, aqks_server::ClientConfig::default());
+    let mut request = aqks_server::Request::new(query.clone());
+    request.k = opts.k;
+    request.timeout_ms = opts.timeout_ms;
+    request.max_rows = opts.max_rows;
+    request.max_patterns = opts.max_patterns;
+    request.max_interps = opts.max_interpretations;
+    match client.query(&request) {
+        Ok(answer) => {
+            for (rank, interp) in answer.interpretations.iter().enumerate() {
+                println!("── interpretation #{}", rank + 1);
+                println!("{}", interp.sql);
+                println!("{}", interp.columns.join(" | "));
+                for row in &interp.rows {
+                    println!("{}", row.join(" | "));
+                }
+            }
+            eprintln!("({} µs server time)", answer.server_us);
+            client.quit();
+            if let Some(d) = &answer.degraded {
+                eprintln!("budget exhausted: {d} (partial={})", answer.partial);
+                return EXIT_EXHAUSTED;
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            client.quit();
+            1
+        }
+    }
+}
+
 fn main() {
     // One-line diagnostics instead of a backtrace dump if anything gets
     // past the engine's panic shield; the process still exits non-zero.
@@ -802,6 +950,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // `client` talks to a running server; it needs no local dataset.
+    if opts.client_cmd {
+        std::process::exit(run_client(&opts));
+    }
+
     let db = match load_dataset(&opts.dataset, opts.paper_scale) {
         Ok(db) => db,
         Err(e) => {
@@ -829,6 +983,10 @@ fn main() {
     engine.set_threads(opts.threads);
     if engine.is_unnormalized() {
         eprintln!("(unnormalized database: querying through the normalized view)");
+    }
+
+    if opts.serve_cmd {
+        std::process::exit(run_serve(engine, &opts));
     }
 
     if opts.explain_plan {

@@ -160,7 +160,36 @@ pub struct Explanation {
     pub patterns: Vec<PatternReport>,
 }
 
+/// Per-thread trace recorders. Every OS thread calling into a shared
+/// engine gets its own lazily-created [`Recorder`], so concurrent
+/// `answer` calls — the query server runs many workers over one
+/// `Arc<Engine>` — never steal each other's spans, traces, or always-on
+/// observations. Entries are created on first use and live for the
+/// engine's lifetime; worker pools are fixed-size, so the map stays
+/// small and the per-call cost is one short-held lock.
+struct ThreadRecorders {
+    map: std::sync::Mutex<std::collections::HashMap<std::thread::ThreadId, Recorder>>,
+}
+
+impl ThreadRecorders {
+    fn new() -> ThreadRecorders {
+        ThreadRecorders { map: std::sync::Mutex::new(std::collections::HashMap::new()) }
+    }
+
+    /// The calling thread's recorder (created disabled on first use).
+    fn get(&self) -> Recorder {
+        let id = std::thread::current().id();
+        let mut map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry(id).or_insert_with(Recorder::disabled).clone()
+    }
+}
+
 /// The semantic keyword-search engine.
+///
+/// `Engine` is `Send + Sync`: after construction every field is either
+/// immutable (schema, ORM graph, inverted index) or behind a lock (the
+/// per-thread recorder map), so one engine can be shared across a
+/// worker pool via `Arc` — the query server does exactly that.
 pub struct Engine {
     db: Database,
     original_schema: DatabaseSchema,
@@ -171,10 +200,20 @@ pub struct Engine {
     options: EngineOptions,
     /// Worker threads for parallel plan execution (1 = sequential).
     threads: usize,
-    /// Pipeline tracing sink; disabled by default, so every span below
-    /// costs one atomic load until someone asks for a trace.
-    recorder: Recorder,
+    /// Per-thread pipeline tracing sinks; disabled by default, so every
+    /// span below costs one atomic load until someone asks for a trace.
+    recorders: ThreadRecorders,
 }
+
+/// Compile-time proof that a shared engine can cross a worker-pool
+/// boundary: a future non-`Sync` interior cache is a build error here,
+/// not a data race in production (mirrors `sqlgen::par`'s asserts).
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<Engine>();
+const _: () = assert_send_sync::<std::sync::Arc<Engine>>();
+const _: () = assert_send_sync::<Governed<Vec<Interpretation>>>();
+const _: () = assert_send_sync::<Interpretation>();
+const _: () = assert_send_sync::<CoreError>();
 
 impl Engine {
     /// Builds an engine with default options.
@@ -200,7 +239,7 @@ impl Engine {
                 view: None,
                 options,
                 threads: 1,
-                recorder: Recorder::disabled(),
+                recorders: ThreadRecorders::new(),
             })
         } else {
             let view = NormalizedView::build(&schema);
@@ -216,7 +255,7 @@ impl Engine {
                 view: Some(view),
                 options,
                 threads: 1,
-                recorder: Recorder::disabled(),
+                recorders: ThreadRecorders::new(),
             })
         }
     }
@@ -253,12 +292,13 @@ impl Engine {
         &self.db
     }
 
-    /// The engine's trace recorder. Disabled (and effectively free) by
-    /// default; enable it around a call — or use
-    /// [`Engine::answer_traced`] / [`Engine::explain_traced`] — to
-    /// collect a [`PipelineTrace`].
-    pub fn recorder(&self) -> &Recorder {
-        &self.recorder
+    /// The calling thread's trace recorder for this engine. Disabled
+    /// (and effectively free) by default; enable it around a call — or
+    /// use [`Engine::answer_traced`] / [`Engine::explain_traced`] — to
+    /// collect a [`PipelineTrace`]. Recorders are per thread, so
+    /// concurrent callers on a shared engine observe independently.
+    pub fn recorder(&self) -> Recorder {
+        self.recorders.get()
     }
 
     /// Parses, matches, generates, ranks, and translates — everything but
@@ -302,28 +342,29 @@ impl Engine {
     }
 
     fn generate_inner(&self, query: &str, k: usize) -> Result<Vec<GeneratedSql>, CoreError> {
+        let rec = self.recorders.get();
         let query = {
-            let _s = self.recorder.span("parse");
+            let _s = rec.span("parse");
             KeywordQuery::parse(query)?
         };
         let matches = {
-            let s = self.recorder.span("match");
+            let s = rec.span("match");
             let matches = self.term_matches(&query)?;
             s.add("matches.total", matches.iter().map(Vec::len).sum::<usize>() as u64);
             matches
         };
         let patterns = {
-            let s = self.recorder.span("pattern");
+            let s = rec.span("pattern");
             let patterns = generate_patterns(&query, &matches, &self.graph, &self.namespace)?;
             s.add("patterns.generated", patterns.len() as u64);
             patterns
         };
         let patterns = {
-            let _s = self.recorder.span("annotate");
+            let _s = rec.span("annotate");
             disambiguate(patterns, &self.namespace)
         };
         let patterns = {
-            let s = self.recorder.span("rank");
+            let s = rec.span("rank");
             let ranked = rank_patterns(patterns);
             s.add("patterns.ranked", ranked.len() as u64);
             ranked
@@ -332,7 +373,7 @@ impl Engine {
         // Translate all top-k patterns, then analyze all statements, so a
         // trace shows exactly one `translate` and one `analyze` phase.
         let translated = {
-            let s = self.recorder.span("translate");
+            let s = rec.span("translate");
             let mut translated = Vec::new();
             for p in patterns.into_iter().take(k) {
                 // Each translated pattern is one interpretation charged
@@ -362,7 +403,7 @@ impl Engine {
             translated
         };
 
-        let _s = self.recorder.span("analyze");
+        let _s = rec.span("analyze");
         let mut out = Vec::with_capacity(translated.len());
         for (p, sql, sql_text) in translated {
             let diagnostics = self.analyze(&sql);
@@ -401,7 +442,7 @@ impl Engine {
     pub fn answer(&self, query: &str, k: usize) -> Result<Vec<Interpretation>, CoreError> {
         let obs = self.begin_observation();
         let result = {
-            let _root = self.recorder.span("answer");
+            let _root = self.recorders.get().span("answer");
             shielded(|| self.answer_inner(query, k))
         };
         if let Some(t0) = obs {
@@ -427,7 +468,7 @@ impl Engine {
     ) -> Result<Governed<Vec<Interpretation>>, CoreError> {
         let obs = self.begin_observation();
         let result = {
-            let _root = self.recorder.span("answer");
+            let _root = self.recorders.get().span("answer");
             self.governed(budget, || self.answer_inner(query, k))
         };
         if let Some(t0) = obs {
@@ -444,6 +485,7 @@ impl Engine {
     }
 
     fn answer_inner(&self, query: &str, k: usize) -> Result<Vec<Interpretation>, CoreError> {
+        let rec = self.recorders.get();
         let generated = self.generate_inner(query, k)?;
         let mut out = Vec::with_capacity(generated.len());
         for g in generated {
@@ -453,14 +495,14 @@ impl Engine {
                 break;
             }
             let plan = {
-                let _s = self.recorder.span("plan");
+                let _s = rec.span("plan");
                 aqks_sqlgen::plan(&g.sql, &self.db).map_err(CoreError::from)?
             };
             {
                 // Debug builds statically verify every plan before it
                 // runs; release builds skip in a branch (the span keeps
                 // traces shape-stable across profiles).
-                let s = self.recorder.span("plancheck");
+                let s = rec.span("plancheck");
                 if cfg!(debug_assertions) {
                     s.add("plancheck.checked", 1);
                 }
@@ -473,7 +515,7 @@ impl Engine {
                 }
             }
             let run = {
-                let s = self.recorder.span("exec");
+                let s = rec.span("exec");
                 let run = aqks_sqlgen::run_plan_opts(
                     &plan,
                     &self.db,
@@ -548,7 +590,7 @@ impl Engine {
             Err(e) => return Err(e),
         };
         let exhaustion = gov.trip().map(|t| {
-            let s = self.recorder.span("guard");
+            let s = self.recorders.get().span("guard");
             s.add("guard.trips", 1);
             s.add(format!("guard.trip.{}", t.site), 1);
             t.exhaust(!value.is_empty())
@@ -567,11 +609,12 @@ impl Engine {
     /// are globally disabled, or when the recorder is already enabled
     /// by an enclosing `*_traced` call, whose trace must not be stolen.
     fn begin_observation(&self) -> Option<std::time::Instant> {
-        if !aqks_obs::metrics::enabled() || self.recorder.is_enabled() {
+        let rec = self.recorders.get();
+        if !aqks_obs::metrics::enabled() || rec.is_enabled() {
             return None;
         }
-        self.recorder.enable();
-        let _ = self.recorder.take(); // discard stale spans
+        rec.enable();
+        let _ = rec.take(); // discard stale spans
         Some(std::time::Instant::now())
     }
 
@@ -585,8 +628,9 @@ impl Engine {
         rows: u64,
         tripped: Option<String>,
     ) {
-        let trace = self.recorder.take();
-        self.recorder.disable();
+        let rec = self.recorders.get();
+        let trace = rec.take();
+        rec.disable();
         let total_ns = t0.elapsed().as_nanos() as u64;
         QUERIES.add(1);
         ANSWER_NS.observe(total_ns);
@@ -610,15 +654,16 @@ impl Engine {
         &self,
         f: impl FnOnce() -> Result<T, CoreError>,
     ) -> Result<(T, PipelineTrace), CoreError> {
-        let was_enabled = self.recorder.is_enabled();
+        let rec = self.recorders.get();
+        let was_enabled = rec.is_enabled();
         if !was_enabled {
-            self.recorder.enable();
+            rec.enable();
         }
-        let _ = self.recorder.take(); // discard stale spans
+        let _ = rec.take(); // discard stale spans
         let result = f();
-        let trace = self.recorder.take();
+        let trace = rec.take();
         if !was_enabled {
-            self.recorder.disable();
+            rec.disable();
         }
         Ok((result?, trace))
     }
@@ -627,13 +672,14 @@ impl Engine {
     /// ranked patterns with their scores — the trace behind
     /// [`Engine::generate`], for debugging and the CLI's `--explain`.
     pub fn explain(&self, query: &str) -> Result<Explanation, CoreError> {
-        let _root = self.recorder.span("explain");
+        let rec = self.recorders.get();
+        let _root = rec.span("explain");
         let parsed = {
-            let _s = self.recorder.span("parse");
+            let _s = rec.span("parse");
             KeywordQuery::parse(query)?
         };
         let matches = {
-            let s = self.recorder.span("match");
+            let s = rec.span("match");
             let matches = self.term_matches(&parsed)?;
             s.add("matches.total", matches.iter().map(Vec::len).sum::<usize>() as u64);
             matches
@@ -671,17 +717,17 @@ impl Engine {
             .collect();
 
         let patterns = {
-            let s = self.recorder.span("pattern");
+            let s = rec.span("pattern");
             let patterns = generate_patterns(&parsed, &matches, &self.graph, &self.namespace)?;
             s.add("patterns.generated", patterns.len() as u64);
             patterns
         };
         let annotated = {
-            let _s = self.recorder.span("annotate");
+            let _s = rec.span("annotate");
             disambiguate(patterns, &self.namespace)
         };
         let ranked = {
-            let _s = self.recorder.span("rank");
+            let _s = rec.span("rank");
             rank_patterns(annotated)
         };
         let pattern_reports = ranked

@@ -20,6 +20,10 @@
 //!   metrics subsystem with interleaved enabled/disabled repetitions
 //!   and pins the disabled recording path's zero-allocation contract,
 //!   writing `BENCH_obs.json`;
+//! * [`servebench`] — drives the `aqks-server` query service with a
+//!   closed-loop Zipf-mixed load (and, on failpoints builds, a chaos
+//!   sweep over the server's fault-injection sites), writing
+//!   throughput, p50/p99 latency, and shed rate to `BENCH_serve.json`;
 //! * [`analysis`] — runs the `aqks-analyze` static analyzer over every
 //!   statement both engines generate for the workloads: the paper engine
 //!   must come back with zero error findings, SQAK trips `AQ-P5` where
@@ -48,6 +52,7 @@ pub mod faults;
 pub mod fig11;
 pub mod obsbench;
 pub mod plans;
+pub mod servebench;
 pub mod tables;
 #[cfg(test)]
 mod tests;
@@ -65,6 +70,7 @@ pub use faults::{run_fault_sweep, FaultOutcome};
 pub use fig11::{run_fig11, TimingRow};
 pub use obsbench::{run_obs_bench, ObsBench, QueryObsBench};
 pub use plans::{run_plan_sweep, verify_workload_plans, PlanCheckRow, PlanSweep};
+pub use servebench::{run_serve_bench, ChaosSummary, LoadConfig, ServeBench};
 pub use tables::{run_table5, run_table6, run_table8, run_table9, ComparisonRow, EngineOutcome};
 pub use timing::TimingSummary;
 pub use workload::{acmdl_queries, tpch_queries, EvalQuery, Scale};

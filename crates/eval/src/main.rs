@@ -7,6 +7,7 @@
 //! repro exec-bench [--smoke] [--out FILE] [--reps N] [--threads N]
 //! repro equiv-bench [--smoke] [--out FILE] [--k N]
 //! repro obs-bench [--smoke] [--out FILE] [--reps N]
+//! repro serve-bench [--smoke] [--out FILE] [--clients N] [--requests N] [--workers N] [--chaos]
 //! repro faults       # fault-injection sweep; needs --features failpoints
 //! ```
 //!
@@ -41,6 +42,17 @@
 //! `--smoke`, whose short runs are noisier) or when the disabled
 //! recording path allocates — this binary installs a counting global
 //! allocator so the zero-allocation contract is checked for real.
+//!
+//! `serve-bench` starts the `aqks-server` query service in-process and
+//! drives it with `--clients` closed-loop threads issuing `--requests`
+//! Zipf-mixed queries each against `--workers` server workers, writing
+//! throughput, exact p50/p99 latency, and shed rate to
+//! `BENCH_serve.json`. The load is trivial by construction, so the run
+//! *fails* on any protocol error or nonzero shed count — admission
+//! control firing at this load means the service regressed. `--chaos`
+//! (failpoints builds) additionally arms each server-side failpoint and
+//! verifies every injected fault surfaces as a typed wire error while
+//! the server keeps serving.
 
 use aqks_eval::{execbench, fig11, obsbench, tables, Scale};
 
@@ -70,6 +82,10 @@ fn main() {
     let mut k = 3usize;
     let mut threads = 1usize;
     let mut smoke = false;
+    let mut chaos = false;
+    let mut clients = 4usize;
+    let mut requests = 50usize;
+    let mut workers = 4usize;
     let mut out_file: Option<String> = None;
     let mut what = "all".to_string();
     let mut i = 0;
@@ -77,6 +93,19 @@ fn main() {
         match args[i].as_str() {
             "--paper-scale" => {}
             "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
+            "--clients" => {
+                i += 1;
+                clients = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(4);
+            }
+            "--requests" => {
+                i += 1;
+                requests = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(50);
+            }
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(4);
+            }
             "--out" => {
                 i += 1;
                 out_file = match args.get(i) {
@@ -129,6 +158,79 @@ fn main() {
             eprintln!("`repro faults` needs the fault-injection build: cargo run -p aqks-eval --features failpoints --bin repro -- faults");
             std::process::exit(2);
         }
+    }
+
+    if what == "serve-bench" {
+        if smoke {
+            clients = clients.min(2);
+            requests = requests.min(10);
+        }
+        let cfg =
+            aqks_eval::servebench::LoadConfig { clients, requests_per_client: requests, workers };
+        let bench = aqks_eval::servebench::run_serve_bench(&cfg);
+        eprintln!(
+            "serve-bench: {} client(s) x {} request(s), {} worker(s): {:.1} req/s, p50 {:.0}µs, p99 {:.0}µs",
+            bench.clients,
+            bench.requests_per_client,
+            bench.workers,
+            bench.throughput_rps,
+            bench.p50_us,
+            bench.p99_us
+        );
+        eprintln!(
+            "serve-bench: ok {}, degraded {}, server errors {}, protocol errors {}, shed rate {:.4}",
+            bench.ok, bench.degraded, bench.server_errors, bench.protocol_errors, bench.shed_rate
+        );
+        let mut failed = false;
+        if bench.protocol_errors > 0 {
+            eprintln!("FAILED: {} protocol error(s) under trivial load", bench.protocol_errors);
+            failed = true;
+        }
+        if bench.server_errors > 0 {
+            eprintln!("FAILED: {} typed server error(s) under trivial load", bench.server_errors);
+            failed = true;
+        }
+        if bench.stats.shed() > 0 {
+            eprintln!(
+                "FAILED: admission control shed {} request(s) at trivial load",
+                bench.stats.shed()
+            );
+            failed = true;
+        }
+        let chaos_summary = if chaos {
+            #[cfg(feature = "failpoints")]
+            {
+                let summary = aqks_eval::servebench::run_chaos_sweep();
+                eprintln!(
+                    "serve-bench chaos: {}/{} site(s) typed, {}/{} recovered",
+                    summary.typed_errors, summary.sites, summary.recoveries, summary.sites
+                );
+                if !summary.passed() {
+                    eprintln!("FAILED: chaos sweep");
+                    failed = true;
+                }
+                Some(summary)
+            }
+            #[cfg(not(feature = "failpoints"))]
+            {
+                eprintln!("`--chaos` needs the fault-injection build: cargo run -p aqks-eval --features failpoints --bin repro -- serve-bench --chaos");
+                std::process::exit(2);
+            }
+        } else {
+            None
+        };
+        let out = out_file.unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let json = aqks_eval::servebench::render_json(&bench, chaos_summary.as_ref());
+        if let Err(e) = std::fs::write(&out, &json) {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {out}");
+        if failed {
+            eprintln!("serve-bench failed");
+            std::process::exit(1);
+        }
+        return;
     }
 
     if what == "equiv-bench" {

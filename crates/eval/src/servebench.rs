@@ -1,0 +1,342 @@
+//! Closed-loop load benchmark for the `aqks-server` query service,
+//! serialized as `BENCH_serve.json`.
+//!
+//! An in-process server on a loopback port (university dataset, shared
+//! `Arc<Engine>`) is driven by N closed-loop client threads issuing a
+//! Zipf-weighted mix of known-good keyword queries through the shipped
+//! retrying [`aqks_server::Client`]. Each thread records every
+//! request's wall latency; the harness reports throughput, exact
+//! p50/p99 over the pooled latencies, and the server's shed rate.
+//!
+//! At the bench's trivial load (a handful of clients against a default
+//! queue) admission control must never fire: the harness *fails* on any
+//! protocol-level error or nonzero shed count, which is exactly the CI
+//! smoke gate. With the `failpoints` feature, `run_chaos_sweep` arms
+//! each server-side failpoint process-globally, proves the fault comes
+//! back as the right typed wire error while the connection and pool
+//! survive, and re-answers a query after disarming.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aqks_core::Engine;
+use aqks_datasets::university;
+use aqks_server::{Client, ClientConfig, ClientError, Request, Server, ServerConfig, ServerStats};
+
+/// The query mix: known-good keyword queries over the university
+/// dataset, weighted by a Zipf-like popularity so a few queries
+/// dominate (as real query logs do) while the tail still runs.
+const MIX: [&str; 4] = [
+    "Green SUM Credit",
+    "Java SUM Price",
+    "COUNT Lecturer GROUPBY Course",
+    "Green George COUNT Code",
+];
+
+/// Configuration of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Server worker threads.
+    pub workers: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig { clients: 4, requests_per_client: 50, workers: 4 }
+    }
+}
+
+/// The measured outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// The run's configuration.
+    pub clients: usize,
+    /// Requests each client issued.
+    pub requests_per_client: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Successful answers observed by clients.
+    pub ok: u64,
+    /// Typed server errors observed by clients.
+    pub server_errors: u64,
+    /// Protocol/transport failures observed by clients — must be zero.
+    pub protocol_errors: u64,
+    /// Answers carrying a `degraded=` flag.
+    pub degraded: u64,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Requests answered per second.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds (exact, pooled).
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds (exact, pooled).
+    pub p99_us: f64,
+    /// Shed requests / admitted+shed requests, from server counters.
+    pub shed_rate: f64,
+    /// The server's own cumulative statistics.
+    pub stats: ServerStats,
+}
+
+/// Deterministic Zipf(s≈1) picker over [`MIX`]: weight of rank r is
+/// 1/(r+1), sampled with a splitmix-style hash of (seed, step).
+fn pick_query(seed: u64, step: u64) -> &'static str {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(step);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    let weights = [12u64, 6, 4, 3]; // ~ 1/1, 1/2, 1/3, 1/4
+    let total: u64 = weights.iter().sum();
+    let mut draw = x % total;
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return MIX[i];
+        }
+        draw -= w;
+    }
+    MIX[0]
+}
+
+/// Runs the closed-loop load and measures it.
+pub fn run_serve_bench(cfg: &LoadConfig) -> ServeBench {
+    let engine =
+        Arc::new(Engine::new(university::normalized()).expect("university dataset builds"));
+    let server = Server::start(
+        engine,
+        ServerConfig { workers: cfg.workers.max(1), ..ServerConfig::default() },
+    )
+    .expect("server binds a loopback port");
+    let addr = server.addr();
+
+    let ok = Arc::new(AtomicU64::new(0));
+    let server_errors = Arc::new(AtomicU64::new(0));
+    let protocol_errors = Arc::new(AtomicU64::new(0));
+    let degraded = Arc::new(AtomicU64::new(0));
+
+    let t0 = Instant::now();
+    let handles: Vec<std::thread::JoinHandle<Vec<u64>>> = (0..cfg.clients.max(1))
+        .map(|c| {
+            let (ok, server_errors, protocol_errors, degraded) = (
+                Arc::clone(&ok),
+                Arc::clone(&server_errors),
+                Arc::clone(&protocol_errors),
+                Arc::clone(&degraded),
+            );
+            let requests = cfg.requests_per_client;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(
+                    addr,
+                    ClientConfig { jitter_seed: 77 + c as u64, ..ClientConfig::default() },
+                );
+                let mut latencies = Vec::with_capacity(requests);
+                for step in 0..requests {
+                    let mut req = Request::new(pick_query(c as u64 + 1, step as u64));
+                    req.k = 1;
+                    let t = Instant::now();
+                    match client.query(&req) {
+                        Ok(answer) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if answer.degraded.is_some() {
+                                degraded.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(ClientError::Server(_)) => {
+                            server_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    latencies.push(t.elapsed().as_micros() as u64);
+                }
+                client.quit();
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread panicked"));
+    }
+    let wall = t0.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)] as f64
+    };
+    let total = latencies.len() as u64;
+    let offered = stats.admitted + stats.shed();
+    ServeBench {
+        clients: cfg.clients.max(1),
+        requests_per_client: cfg.requests_per_client,
+        workers: cfg.workers.max(1),
+        ok: ok.load(Ordering::Relaxed),
+        server_errors: server_errors.load(Ordering::Relaxed),
+        protocol_errors: protocol_errors.load(Ordering::Relaxed),
+        degraded: degraded.load(Ordering::Relaxed),
+        wall,
+        throughput_rps: if wall.as_secs_f64() > 0.0 {
+            total as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        shed_rate: if offered > 0 { stats.shed() as f64 / offered as f64 } else { 0.0 },
+        stats,
+    }
+}
+
+/// Serializes the bench as `BENCH_serve.json`.
+pub fn render_json(bench: &ServeBench, chaos: Option<&ChaosSummary>) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"clients\": {},\n", bench.clients));
+    s.push_str(&format!("  \"requests_per_client\": {},\n", bench.requests_per_client));
+    s.push_str(&format!("  \"workers\": {},\n", bench.workers));
+    s.push_str(&format!("  \"ok\": {},\n", bench.ok));
+    s.push_str(&format!("  \"server_errors\": {},\n", bench.server_errors));
+    s.push_str(&format!("  \"protocol_errors\": {},\n", bench.protocol_errors));
+    s.push_str(&format!("  \"degraded\": {},\n", bench.degraded));
+    s.push_str(&format!("  \"wall_ms\": {:.1},\n", bench.wall.as_secs_f64() * 1000.0));
+    s.push_str(&format!("  \"throughput_rps\": {:.1},\n", bench.throughput_rps));
+    s.push_str(&format!("  \"p50_us\": {:.1},\n", bench.p50_us));
+    s.push_str(&format!("  \"p99_us\": {:.1},\n", bench.p99_us));
+    s.push_str(&format!("  \"shed_rate\": {:.4},\n", bench.shed_rate));
+    s.push_str(&format!("  \"shed_depth\": {},\n", bench.stats.shed_depth));
+    s.push_str(&format!("  \"shed_age\": {},\n", bench.stats.shed_age));
+    match chaos {
+        Some(c) => {
+            s.push_str("  \"chaos\": {\n");
+            s.push_str(&format!("    \"sites\": {},\n", c.sites));
+            s.push_str(&format!("    \"typed_errors\": {},\n", c.typed_errors));
+            s.push_str(&format!("    \"recoveries\": {},\n", c.recoveries));
+            s.push_str(&format!("    \"passed\": {}\n", c.passed()));
+            s.push_str("  }\n");
+        }
+        None => s.push_str("  \"chaos\": null\n"),
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// The outcome of the server chaos sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSummary {
+    /// Failpoint sites exercised.
+    pub sites: usize,
+    /// Sites whose injected fault surfaced as the expected typed error.
+    pub typed_errors: usize,
+    /// Sites after which the same server answered correctly again.
+    pub recoveries: usize,
+}
+
+impl ChaosSummary {
+    /// Every site must fault typed AND recover.
+    pub fn passed(&self) -> bool {
+        self.typed_errors == self.sites && self.recoveries == self.sites
+    }
+}
+
+/// Arms each server-side failpoint (and one engine-internal site)
+/// process-globally against a live server, asserting that every
+/// injected fault surfaces as a typed wire error and that the same
+/// server answers correctly after disarming. Failpoints builds only.
+#[cfg(feature = "failpoints")]
+pub fn run_chaos_sweep() -> ChaosSummary {
+    use aqks_guard::failpoint;
+    use aqks_server::ErrorCode;
+
+    let engine =
+        Arc::new(Engine::new(university::normalized()).expect("university dataset builds"));
+    let server =
+        Server::start(engine, ServerConfig::default()).expect("server binds a loopback port");
+    let cfg = ClientConfig { max_attempts: 1, ..ClientConfig::default() };
+    let mut client = Client::connect(server.addr(), cfg);
+
+    let sites: [(&str, ErrorCode); 5] = [
+        ("server.enqueue", ErrorCode::Fault),
+        ("server.execute", ErrorCode::Fault),
+        ("server.respond", ErrorCode::Fault),
+        ("index.lookup", ErrorCode::Fault),
+        ("server.worker.panic", ErrorCode::Internal),
+    ];
+    let mut summary = ChaosSummary { sites: sites.len(), typed_errors: 0, recoveries: 0 };
+    for (site, expected) in sites {
+        failpoint::enable_global(site);
+        match client.query(&Request::new("Green SUM Credit")) {
+            Err(ClientError::Server(w)) if w.code == expected => {
+                eprintln!("chaos {site}: typed `{}` error ({})", w.code.name(), w.message);
+                summary.typed_errors += 1;
+            }
+            other => eprintln!("chaos {site}: UNEXPECTED outcome {other:?}"),
+        }
+        failpoint::disable_global(site);
+        match client.query(&Request::new("Green SUM Credit")) {
+            Ok(answer)
+                if answer.interpretations.len() == 1
+                    && !answer.interpretations[0].rows.is_empty() =>
+            {
+                summary.recoveries += 1;
+            }
+            other => eprintln!("chaos {site}: NO RECOVERY ({other:?})"),
+        }
+    }
+    failpoint::clear_global();
+
+    // Post-sweep, a fresh connection must still answer correctly.
+    let mut fresh =
+        Client::connect(server.addr(), ClientConfig { max_attempts: 1, ..ClientConfig::default() });
+    match fresh.query(&Request::new("Java SUM Price")) {
+        Ok(a) if !a.interpretations.is_empty() => {}
+        other => {
+            eprintln!("chaos post-sweep: server no longer answers ({other:?})");
+            summary.recoveries = 0; // force failure
+        }
+    }
+    server.shutdown();
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_mix_is_skewed_and_total() {
+        let mut counts = [0usize; 4];
+        for step in 0..4000 {
+            let q = pick_query(3, step);
+            let idx = MIX.iter().position(|m| *m == q).expect("query from the mix");
+            counts[idx] += 1;
+        }
+        // Head dominates the tail, and every query appears.
+        assert!(counts[0] > counts[3], "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn trivial_load_runs_clean() {
+        let cfg = LoadConfig { clients: 2, requests_per_client: 5, workers: 2 };
+        let bench = run_serve_bench(&cfg);
+        assert_eq!(bench.ok, 10);
+        assert_eq!(bench.protocol_errors, 0);
+        assert_eq!(bench.server_errors, 0);
+        assert_eq!(bench.stats.shed(), 0);
+        assert!(bench.p99_us >= bench.p50_us);
+        assert!(bench.throughput_rps > 0.0);
+        let json = render_json(&bench, None);
+        assert!(json.contains("\"shed_rate\": 0.0000"), "{json}");
+        assert!(json.contains("\"chaos\": null"), "{json}");
+    }
+}

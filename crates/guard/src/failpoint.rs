@@ -17,9 +17,13 @@
 //! builds. With the feature, a site fires when either
 //!
 //! * it appears in the `AQKS_FAILPOINTS` environment variable (a
-//!   comma/semicolon/space-separated site list, read once per process), or
+//!   comma/semicolon/space-separated site list, read once per process),
 //! * it was armed on this thread via `enable` (thread-local, so
-//!   parallel tests do not interfere; `disable` / `clear` disarm).
+//!   parallel tests do not interfere; `disable` / `clear` disarm), or
+//! * it was armed process-wide via `enable_global` — the arming channel
+//!   for multi-threaded components like the query server, whose worker
+//!   threads cannot see a test thread's local arming
+//!   (`disable_global` / `clear_global` disarm).
 
 use std::fmt;
 
@@ -42,11 +46,18 @@ impl std::error::Error for FailpointError {}
 mod registry {
     use std::cell::RefCell;
     use std::collections::HashSet;
-    use std::sync::OnceLock;
+    use std::sync::{OnceLock, RwLock};
 
     thread_local! {
         static ARMED: RefCell<HashSet<String>> = RefCell::new(HashSet::new());
     }
+
+    /// Process-wide armed sites, visible from every thread — the arming
+    /// channel for multi-threaded components (the query server's
+    /// acceptor/worker threads). Guarded by a lock rather than a
+    /// thread-local so a chaos driver can arm and disarm sites while
+    /// other threads are mid-request.
+    static GLOBAL: RwLock<Option<HashSet<String>>> = RwLock::new(None);
 
     static FROM_ENV: OnceLock<HashSet<String>> = OnceLock::new();
 
@@ -79,13 +90,44 @@ mod registry {
         ARMED.with(|a| a.borrow_mut().clear());
     }
 
+    fn relock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+        l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Arm `site` on every thread of the process.
+    pub fn enable_global(site: &str) {
+        relock(&GLOBAL).get_or_insert_with(HashSet::new).insert(site.to_string());
+    }
+
+    /// Disarm a globally armed `site`.
+    pub fn disable_global(site: &str) {
+        if let Some(set) = relock(&GLOBAL).as_mut() {
+            set.remove(site);
+        }
+    }
+
+    /// Disarm every globally armed site.
+    pub fn clear_global() {
+        *relock(&GLOBAL) = None;
+    }
+
+    fn global_contains(site: &str) -> bool {
+        GLOBAL
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .is_some_and(|s| s.contains(site))
+    }
+
     pub fn should_fire(site: &str) -> bool {
-        ARMED.with(|a| a.borrow().contains(site)) || env_sites().contains(site)
+        ARMED.with(|a| a.borrow().contains(site))
+            || global_contains(site)
+            || env_sites().contains(site)
     }
 }
 
 #[cfg(feature = "failpoints")]
-pub use registry::{clear, disable, enable};
+pub use registry::{clear, clear_global, disable, disable_global, enable, enable_global};
 
 /// Is `site` armed? Constant `false` without the `failpoints` feature,
 /// so `failpoint!` sites vanish from default builds.
@@ -145,6 +187,23 @@ mod tests {
         enable("b");
         clear();
         assert!(!should_fire("a") && !should_fire("b"));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn global_arming_crosses_threads() {
+        assert!(!should_fire("g.site"));
+        enable_global("g.site");
+        // Unlike thread-local arming, every thread sees a global site.
+        let other = std::thread::spawn(|| should_fire("g.site")).join().unwrap();
+        assert!(other);
+        assert!(should_fire("g.site"));
+        disable_global("g.site");
+        assert!(!should_fire("g.site"));
+        enable_global("g.a");
+        enable_global("g.b");
+        clear_global();
+        assert!(!should_fire("g.a") && !should_fire("g.b"));
     }
 
     #[cfg(feature = "failpoints")]

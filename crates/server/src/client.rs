@@ -1,0 +1,331 @@
+//! A retrying line-protocol client.
+//!
+//! [`Client`] owns one connection and transparently reconnects. Its
+//! retry loop is the client half of the server's robustness contract:
+//! it retries only what the wire says is retryable (`overloaded`,
+//! `shutdown`, `timeout`, and transport-level timeouts/resets), backs
+//! off exponentially with deterministic jitter so a thundering herd of
+//! clients de-synchronizes, and gives up immediately on semantic errors
+//! that can never succeed (`parse`, `nomatch`, `semantic`, `protocol`).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{
+    parse_err_line, parse_ok_header, unescape, Answer, ErrorCode, Request, WireError, WireInterp,
+};
+
+/// Why a request ultimately failed after the retry budget was spent.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server answered with a typed error that is not retryable
+    /// (or retries were exhausted on a retryable one).
+    Server(WireError),
+    /// Connecting, reading, or writing failed at the transport layer
+    /// after all retries.
+    Io(std::io::Error),
+    /// The server sent a frame that violates the protocol grammar.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Server(e) => write!(f, "server error {e}"),
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Whether the failure class would have been retryable (used by
+    /// callers that manage their own retry budget).
+    pub fn retryable(&self) -> bool {
+        match self {
+            ClientError::Server(e) => e.code.retryable(),
+            ClientError::Io(_) => true,
+            ClientError::Protocol(_) => false,
+        }
+    }
+}
+
+/// Retry and timeout policy for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base * 2^(n-1)`, capped at `max`,
+    /// then scaled by a jitter factor in `[0.5, 1.0]`.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_max: Duration,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout — also the client-side deadline for the
+    /// server to produce a response.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Seed for the deterministic jitter sequence; give each client a
+    /// distinct seed so their retry schedules diverge.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// xorshift64* — a tiny deterministic generator for backoff jitter.
+/// Not for anything security-relevant; it only has to de-correlate
+/// retry schedules across clients.
+struct Jitter(u64);
+
+impl Jitter {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A factor in `[0.5, 1.0]` applied to the exponential backoff.
+    fn factor(&mut self) -> f64 {
+        0.5 + (self.next() % 1000) as f64 / 2000.0
+    }
+}
+
+/// A connection to an `aqks-server`, with reconnect-and-retry.
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<BufReader<TcpStream>>,
+    jitter: Jitter,
+}
+
+impl Client {
+    /// Creates a client for `addr`; no connection is made until the
+    /// first request.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Client {
+        let seed = cfg.jitter_seed;
+        Client { addr, cfg, conn: None, jitter: Jitter(seed) }
+    }
+
+    /// The backoff before retry attempt `attempt` (1-based).
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self.cfg.backoff_base.saturating_mul(1u32 << attempt.min(16).saturating_sub(1));
+        let capped = exp.min(self.cfg.backoff_max);
+        capped.mul_f64(self.jitter.factor())
+    }
+
+    fn ensure_conn(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
+            stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+            stream.set_write_timeout(Some(self.cfg.write_timeout))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    /// Sends `request` with the configured retry policy and returns the
+    /// parsed answer. Retryable failures (typed `overloaded`/`shutdown`/
+    /// `timeout` frames, transport errors) are retried on a fresh
+    /// connection after jittered exponential backoff; non-retryable
+    /// errors return immediately.
+    pub fn query(&mut self, request: &Request) -> Result<Answer, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 1..=self.cfg.max_attempts.max(1) {
+            if attempt > 1 {
+                let pause = self.backoff(attempt - 1);
+                std::thread::sleep(pause);
+            }
+            match self.query_once(request) {
+                Ok(answer) => return Ok(answer),
+                Err(e) => {
+                    if matches!(e, ClientError::Io(_)) {
+                        self.conn = None; // transport state is suspect
+                    }
+                    if !e.retryable() {
+                        return Err(e);
+                    }
+                    // Retryable server frames leave the connection in a
+                    // clean frame boundary; reconnect anyway on shutdown
+                    // (the server is about to close it).
+                    if matches!(&e, ClientError::Server(w) if w.code == ErrorCode::Shutdown) {
+                        self.conn = None;
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Protocol("retry loop finished without an attempt".to_string())
+        }))
+    }
+
+    /// One attempt: write the frame, read one response.
+    fn query_once(&mut self, request: &Request) -> Result<Answer, ClientError> {
+        let line = request.render();
+        let reader = self.ensure_conn().map_err(ClientError::Io)?;
+        {
+            let stream = reader.get_ref().try_clone().map_err(ClientError::Io)?;
+            let mut w = BufWriter::new(stream);
+            writeln!(w, "{line}").map_err(ClientError::Io)?;
+            w.flush().map_err(ClientError::Io)?;
+        }
+        read_response(reader)
+    }
+
+    /// Round-trips a `PING`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let reader = self.ensure_conn().map_err(ClientError::Io)?;
+        {
+            let stream = reader.get_ref().try_clone().map_err(ClientError::Io)?;
+            let mut w = BufWriter::new(stream);
+            writeln!(w, "PING").map_err(ClientError::Io)?;
+            w.flush().map_err(ClientError::Io)?;
+        }
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(ClientError::Io)?;
+        if line.trim_end() == "PONG" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!("expected PONG, got `{}`", line.trim_end())))
+        }
+    }
+
+    /// Sends `QUIT` and drops the connection.
+    pub fn quit(&mut self) {
+        if let Some(reader) = self.conn.take() {
+            if let Ok(stream) = reader.get_ref().try_clone() {
+                let mut w = BufWriter::new(stream);
+                let _ = writeln!(w, "QUIT");
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+/// Reads one complete response (an `ERR` line or an `OK` block through
+/// its terminating `.`).
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Answer, ClientError> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(ClientError::Io)?;
+    if line.is_empty() {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-request",
+        )));
+    }
+    let trimmed = line.trim_end();
+    if let Some(rest) = trimmed.strip_prefix("ERR ") {
+        let err = parse_err_line(rest).map_err(ClientError::Protocol)?;
+        return Err(ClientError::Server(err));
+    }
+    let Some(rest) = trimmed.strip_prefix("OK").map(|r| r.trim_start()) else {
+        return Err(ClientError::Protocol(format!("unexpected frame `{}`", truncate(trimmed, 64))));
+    };
+    let mut answer = parse_ok_header(rest).map_err(ClientError::Protocol)?;
+    // Interpretation blocks until the `.` terminator.
+    let mut current: Option<WireInterp> = None;
+    loop {
+        let mut body = String::new();
+        reader.read_line(&mut body).map_err(ClientError::Io)?;
+        if body.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-response",
+            )));
+        }
+        let body = body.trim_end_matches(['\n', '\r']);
+        if body == "." {
+            if let Some(interp) = current.take() {
+                answer.interpretations.push(interp);
+            }
+            return Ok(answer);
+        }
+        if let Some(sql) = body.strip_prefix("S ") {
+            if let Some(done) = current.take() {
+                answer.interpretations.push(done);
+            }
+            current =
+                Some(WireInterp { sql: unescape(sql), columns: Vec::new(), rows: Vec::new() });
+        } else if let Some(cols) = body.strip_prefix("C ") {
+            let interp = current
+                .as_mut()
+                .ok_or_else(|| ClientError::Protocol("C line before S line".to_string()))?;
+            interp.columns = cols.split('\t').map(unescape).collect();
+        } else if let Some(vals) = body.strip_prefix("R ") {
+            let interp = current
+                .as_mut()
+                .ok_or_else(|| ClientError::Protocol("R line before S line".to_string()))?;
+            interp.rows.push(vals.split('\t').map(unescape).collect());
+        } else {
+            return Err(ClientError::Protocol(format!(
+                "unexpected body line `{}`",
+                truncate(body, 64)
+            )));
+        }
+    }
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut a = Jitter(7);
+        let mut b = Jitter(7);
+        for _ in 0..100 {
+            let fa = a.factor();
+            assert_eq!(fa, b.factor());
+            assert!((0.5..=1.0).contains(&fa), "{fa}");
+        }
+        // Different seeds diverge.
+        let mut c = Jitter(8);
+        let diverges = (0..10).any(|_| Jitter(7).factor() != c.factor());
+        assert!(diverges);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let cfg = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(100),
+            ..ClientConfig::default()
+        };
+        let mut client = Client::connect("127.0.0.1:1".parse().expect("literal addr parses"), cfg);
+        let b1 = client.backoff(1);
+        let b4 = client.backoff(4);
+        // Jitter scales by [0.5, 1.0]; bounds hold regardless of draw.
+        assert!(b1 >= Duration::from_millis(5) && b1 <= Duration::from_millis(10), "{b1:?}");
+        assert!(b4 >= Duration::from_millis(40) && b4 <= Duration::from_millis(100), "{b4:?}");
+        let b10 = client.backoff(10);
+        assert!(b10 <= Duration::from_millis(100), "cap violated: {b10:?}");
+    }
+}

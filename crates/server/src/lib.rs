@@ -1,0 +1,53 @@
+//! `aqks-server` — a fault-tolerant concurrent query service.
+//!
+//! The engine answers keyword queries involving aggregates and GROUPBY
+//! (Zeng, Lee & Ling, EDBT 2016); this crate makes it a long-running
+//! shared service. One process loads a database once and serves many
+//! clients over a line-oriented TCP protocol, sharing the immutable
+//! schema graph and inverted index across a fixed worker pool through
+//! an `Arc<Engine>`.
+//!
+//! The design center is *robustness under load and faults*, not raw
+//! throughput:
+//!
+//! * **Admission control** — a bounded queue with depth-based rejection
+//!   at enqueue and age-based shedding at dequeue, both surfaced as a
+//!   typed, retryable `overloaded` wire error.
+//! * **Graceful degradation** — per-request deadlines (client hints
+//!   clamped by server policy) flow into the guard [`aqks_guard::Budget`];
+//!   exhaustion produces an `OK … degraded=` answer with partial
+//!   results, never a dropped connection.
+//! * **Lifecycle hardening** — read/write timeouts, a maximum frame
+//!   length with skip-to-newline recovery, idle reaping, and a clean
+//!   drain on shutdown.
+//! * **Fault containment** — the worker path runs behind
+//!   `catch_unwind`, so a panicking query answers `ERR code=internal`
+//!   and the pool keeps serving; `server.*` failpoints let chaos sweeps
+//!   prove every injected fault surfaces as a typed wire error.
+//!
+//! [`protocol`] defines the wire grammar, [`server`] the service, and
+//! [`client`] a retrying client with exponential backoff and jitter.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientConfig, ClientError};
+pub use protocol::{Answer, ClientFrame, ErrorCode, Request, Response, WireError, WireInterp};
+pub use server::{Server, ServerConfig, ServerStats};
+
+// Compile-time proof that the public service types cross thread
+// boundaries safely (the worker pool, connection threads, and bench
+// clients all share them). Mirrors `sqlgen::par`.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<aqks_core::Engine>();
+const _: () = assert_send_sync::<std::sync::Arc<aqks_core::Engine>>();
+const _: () = assert_send_sync::<Request>();
+const _: () = assert_send_sync::<Response>();
+const _: () = assert_send_sync::<Answer>();
+const _: () = assert_send_sync::<WireError>();
+const _: () = assert_send_sync::<ErrorCode>();
+const _: () = assert_send_sync::<ServerConfig>();
+const _: () = assert_send_sync::<ServerStats>();
+const _: () = assert_send_sync::<Server>();
+const _: () = assert_send_sync::<Client>();

@@ -1,0 +1,515 @@
+//! The wire protocol: UTF-8 lines over TCP, one frame per line.
+//!
+//! The grammar is deliberately small enough to debug with `nc`:
+//!
+//! ```text
+//! request  = "Q" SP *(key "=" value SP) "|" text LF   ; keyword query
+//!          | "PING" LF                                ; liveness probe
+//!          | "QUIT" LF                                ; orderly close
+//! keys     = "k" | "timeout_ms" | "max_rows" | "max_patterns"
+//!          | "max_interps"
+//!
+//! response = "OK" SP "n=" count SP "rows=" count SP "us=" micros
+//!            [SP "degraded=" kind "@" site] [SP "partial=" bool] LF
+//!            *( "S" SP sql LF                          ; one per interp
+//!               "C" SP col *(TAB col) LF
+//!               *( "R" SP val *(TAB val) LF ) )
+//!            "." LF                                    ; end of response
+//!          | "ERR" SP "code=" code SP "retryable=" bool SP "msg=" text LF
+//!          | "PONG" LF
+//!          | "BYE" LF
+//! ```
+//!
+//! Every free-text field (query, SQL, column names, values, error
+//! messages) is backslash-escaped so it can never contain a raw LF or
+//! TAB; frames therefore always stay one line and the framing can never
+//! be corrupted by data. The error taxonomy is closed ([`ErrorCode`])
+//! and each code carries its retry class on the wire, so clients never
+//! guess whether retrying is safe.
+
+use std::fmt;
+
+/// Escapes a free-text field for the wire: backslash, LF, CR, and TAB
+/// become two-character escapes. The result contains no control
+/// characters that could break line or field framing.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. Unknown escapes and a trailing lone backslash
+/// decode to the literal character, so a buggy peer degrades to mojibake
+/// instead of a framing error.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// The closed error taxonomy of the wire protocol. Retryability is a
+/// property of the code, stated on the wire, so client and server can
+/// never disagree about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Admission control rejected the request (queue full, connection
+    /// limit, or the request aged out in the queue). Retryable — the
+    /// overload is transient by construction.
+    Overloaded,
+    /// The server is draining for shutdown; retry against a healthy
+    /// replica (or the same address after restart).
+    Shutdown,
+    /// An I/O deadline expired mid-exchange. Retryable: the request may
+    /// simply be re-sent.
+    Timeout,
+    /// The query text violates the keyword-query grammar. Not
+    /// retryable — the same request can never succeed.
+    Parse,
+    /// A term matches nothing / no interpretation exists. Semantically
+    /// final: not retryable.
+    NoMatch,
+    /// The engine rejected the query for semantic reasons (bad operand,
+    /// no pattern, analysis rejection). Not retryable.
+    Semantic,
+    /// A malformed frame: unknown verb, bad key, or an over-long line.
+    /// Not retryable as-is.
+    Protocol,
+    /// A deterministic failpoint fired (fault-injection builds only).
+    /// Not retryable by default — chaos sweeps assert on seeing it.
+    Fault,
+    /// The engine or server hit a bug (caught panic, lost worker). The
+    /// connection survives; the request is not retryable because the
+    /// failure is not known to be transient.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Parse => "parse",
+            ErrorCode::NoMatch => "nomatch",
+            ErrorCode::Semantic => "semantic",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Fault => "fault",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Whether a client may safely retry the identical request.
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::Shutdown | ErrorCode::Timeout)
+    }
+
+    /// Parses a wire name back into the taxonomy.
+    pub fn parse(name: &str) -> Option<ErrorCode> {
+        Some(match name {
+            "overloaded" => ErrorCode::Overloaded,
+            "shutdown" => ErrorCode::Shutdown,
+            "timeout" => ErrorCode::Timeout,
+            "parse" => ErrorCode::Parse,
+            "nomatch" => ErrorCode::NoMatch,
+            "semantic" => ErrorCode::Semantic,
+            "protocol" => ErrorCode::Protocol,
+            "fault" => ErrorCode::Fault,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parsed query request: the keyword text plus per-request resource
+/// hints. Hints are *requests*; the server clamps them by its policy
+/// (a client cannot ask for a longer deadline than the server allows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The keyword query text.
+    pub text: String,
+    /// Top-k interpretations to return.
+    pub k: usize,
+    /// Requested deadline in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Requested intermediate-row cap.
+    pub max_rows: Option<u64>,
+    /// Requested enumerated-pattern cap.
+    pub max_patterns: Option<u64>,
+    /// Requested interpretation cap.
+    pub max_interps: Option<u64>,
+}
+
+impl Request {
+    /// A request with default hints (server policy decides everything).
+    pub fn new(text: impl Into<String>) -> Request {
+        Request {
+            text: text.into(),
+            k: 1,
+            timeout_ms: None,
+            max_rows: None,
+            max_patterns: None,
+            max_interps: None,
+        }
+    }
+
+    /// Renders the request as its wire line (without the trailing LF).
+    pub fn render(&self) -> String {
+        let mut line = String::from("Q ");
+        if self.k != 1 {
+            line.push_str(&format!("k={} ", self.k));
+        }
+        if let Some(v) = self.timeout_ms {
+            line.push_str(&format!("timeout_ms={v} "));
+        }
+        if let Some(v) = self.max_rows {
+            line.push_str(&format!("max_rows={v} "));
+        }
+        if let Some(v) = self.max_patterns {
+            line.push_str(&format!("max_patterns={v} "));
+        }
+        if let Some(v) = self.max_interps {
+            line.push_str(&format!("max_interps={v} "));
+        }
+        line.push('|');
+        line.push_str(&escape(&self.text));
+        line
+    }
+}
+
+/// One frame sent by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientFrame {
+    /// A keyword query with resource hints.
+    Query(Request),
+    /// Liveness probe; the server answers `PONG`.
+    Ping,
+    /// Orderly close; the server answers `BYE` and closes.
+    Quit,
+}
+
+/// Parses one client line (no trailing LF). Errors are human-readable
+/// fragments for the `ERR code=protocol` message.
+pub fn parse_frame(line: &str) -> Result<ClientFrame, String> {
+    let line = line.trim_end_matches('\r');
+    if line == "PING" {
+        return Ok(ClientFrame::Ping);
+    }
+    if line == "QUIT" {
+        return Ok(ClientFrame::Quit);
+    }
+    let Some(rest) = line.strip_prefix("Q ").or(if line == "Q" { Some("") } else { None }) else {
+        let verb = line.split_whitespace().next().unwrap_or("");
+        return Err(format!("unknown verb `{}`", truncate(verb, 32)));
+    };
+    let Some((opts, text)) = rest.split_once('|') else {
+        return Err("query frame missing `|` separator".to_string());
+    };
+    let mut req = Request::new(unescape(text));
+    for tok in opts.split_whitespace() {
+        let Some((key, value)) = tok.split_once('=') else {
+            return Err(format!("malformed option `{}` (expected key=value)", truncate(tok, 32)));
+        };
+        let parsed: u64 = value.parse().map_err(|_| {
+            format!("option `{key}` has non-numeric value `{}`", truncate(value, 32))
+        })?;
+        match key {
+            "k" => req.k = (parsed as usize).max(1),
+            "timeout_ms" => req.timeout_ms = Some(parsed),
+            "max_rows" => req.max_rows = Some(parsed),
+            "max_patterns" => req.max_patterns = Some(parsed),
+            "max_interps" => req.max_interps = Some(parsed),
+            other => return Err(format!("unknown option `{}`", truncate(other, 32))),
+        }
+    }
+    if req.text.trim().is_empty() {
+        return Err("empty query text".to_string());
+    }
+    Ok(ClientFrame::Query(req))
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+/// One executed interpretation in a success response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireInterp {
+    /// The SQL the interpretation executed.
+    pub sql: String,
+    /// Column names of the result table.
+    pub columns: Vec<String>,
+    /// Result rows, values rendered as text.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A complete response to one query frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The query was answered (possibly degraded under its budget).
+    Ok(Answer),
+    /// A typed error; the connection stays open.
+    Err(WireError),
+}
+
+/// The payload of an `OK` response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Answer {
+    /// Executed interpretations, best-ranked first.
+    pub interpretations: Vec<WireInterp>,
+    /// `Some("<kind>@<site>")` when a resource budget tripped and the
+    /// answer degraded to whatever completed before the trip.
+    pub degraded: Option<String>,
+    /// True when a degraded answer still carries partial results.
+    pub partial: bool,
+    /// Server-side wall time in microseconds.
+    pub server_us: u64,
+}
+
+/// The payload of an `ERR` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The taxonomy code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error payload.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError { code, message: message.into() }
+    }
+
+    /// Renders the single `ERR` line (without trailing LF).
+    pub fn render(&self) -> String {
+        format!(
+            "ERR code={} retryable={} msg={}",
+            self.code.name(),
+            self.code.retryable(),
+            escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl Answer {
+    /// Renders the multi-line `OK` block including the terminating `.`
+    /// line (without trailing LF after the dot).
+    pub fn render(&self) -> String {
+        let total_rows: usize = self.interpretations.iter().map(|i| i.rows.len()).sum();
+        let mut out = format!(
+            "OK n={} rows={} us={}",
+            self.interpretations.len(),
+            total_rows,
+            self.server_us
+        );
+        if let Some(d) = &self.degraded {
+            out.push_str(&format!(" degraded={}", escape(d)));
+            out.push_str(&format!(" partial={}", self.partial));
+        }
+        out.push('\n');
+        for interp in &self.interpretations {
+            out.push_str("S ");
+            out.push_str(&escape(&interp.sql));
+            out.push('\n');
+            out.push_str("C ");
+            let cols: Vec<String> = interp.columns.iter().map(|c| escape(c)).collect();
+            out.push_str(&cols.join("\t"));
+            out.push('\n');
+            for row in &interp.rows {
+                out.push_str("R ");
+                let vals: Vec<String> = row.iter().map(|v| escape(v)).collect();
+                out.push_str(&vals.join("\t"));
+                out.push('\n');
+            }
+        }
+        out.push('.');
+        out
+    }
+}
+
+/// Parses an `OK` header line (after the `OK ` prefix was matched);
+/// returns the answer shell whose interpretation blocks follow.
+pub fn parse_ok_header(rest: &str) -> Result<Answer, String> {
+    let mut answer = Answer::default();
+    for tok in rest.split_whitespace() {
+        let Some((key, value)) = tok.split_once('=') else {
+            return Err(format!("malformed OK field `{}`", truncate(tok, 32)));
+        };
+        match key {
+            "n" | "rows" => {} // derivable from the blocks; validated by framing
+            "us" => answer.server_us = value.parse().map_err(|_| "bad us field".to_string())?,
+            "degraded" => answer.degraded = Some(unescape(value)),
+            "partial" => answer.partial = value == "true",
+            other => return Err(format!("unknown OK field `{}`", truncate(other, 32))),
+        }
+    }
+    Ok(answer)
+}
+
+/// Parses an `ERR` line (after the `ERR ` prefix was matched).
+pub fn parse_err_line(rest: &str) -> Result<WireError, String> {
+    let mut code = None;
+    let mut message = String::new();
+    for tok in rest.splitn(3, ' ') {
+        if let Some(v) = tok.strip_prefix("code=") {
+            code = ErrorCode::parse(v);
+        } else if let Some(v) = tok.strip_prefix("msg=") {
+            message = unescape(v);
+        }
+        // retryable= is derivable from the code; ignored on parse.
+    }
+    match code {
+        Some(code) => Ok(WireError { code, message }),
+        None => Err("ERR line missing a known code".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_control_characters() {
+        let nasty = "a\tb\nc\rd\\e|f";
+        let wire = escape(nasty);
+        assert!(!wire.contains('\n') && !wire.contains('\t') && !wire.contains('\r'));
+        assert_eq!(unescape(&wire), nasty);
+        // Lenient decode of a lone trailing backslash.
+        assert_eq!(unescape("x\\"), "x\\");
+        assert_eq!(unescape("x\\q"), "xq");
+    }
+
+    #[test]
+    fn request_render_parse_round_trips() {
+        let req = Request {
+            text: "Green SUM Credit".to_string(),
+            k: 3,
+            timeout_ms: Some(250),
+            max_rows: Some(10_000),
+            max_patterns: None,
+            max_interps: Some(5),
+        };
+        let line = req.render();
+        match parse_frame(&line).unwrap() {
+            ClientFrame::Query(parsed) => assert_eq!(parsed, req),
+            other => panic!("expected query frame, got {other:?}"),
+        }
+        assert_eq!(parse_frame("PING").unwrap(), ClientFrame::Ping);
+        assert_eq!(parse_frame("QUIT").unwrap(), ClientFrame::Quit);
+    }
+
+    #[test]
+    fn query_text_with_pipe_and_newline_survives() {
+        let req = Request::new("weird | query \n text");
+        let line = req.render();
+        assert_eq!(line.lines().count(), 1, "{line:?}");
+        match parse_frame(&line).unwrap() {
+            ClientFrame::Query(parsed) => assert_eq!(parsed.text, "weird | query \n text"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_with_reasons() {
+        assert!(parse_frame("FROB x").unwrap_err().contains("unknown verb"));
+        assert!(parse_frame("Q k=3 no-separator").unwrap_err().contains("missing `|`"));
+        assert!(parse_frame("Q bogus=1 |x").unwrap_err().contains("unknown option"));
+        assert!(parse_frame("Q k=banana |x").unwrap_err().contains("non-numeric"));
+        assert!(parse_frame("Q |   ").unwrap_err().contains("empty query"));
+    }
+
+    #[test]
+    fn error_codes_carry_retry_class() {
+        for code in [ErrorCode::Overloaded, ErrorCode::Shutdown, ErrorCode::Timeout] {
+            assert!(code.retryable(), "{code}");
+        }
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::NoMatch,
+            ErrorCode::Semantic,
+            ErrorCode::Protocol,
+            ErrorCode::Fault,
+            ErrorCode::Internal,
+        ] {
+            assert!(!code.retryable(), "{code}");
+        }
+        for code in [ErrorCode::Overloaded, ErrorCode::Parse, ErrorCode::Internal] {
+            assert_eq!(ErrorCode::parse(code.name()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("gremlins"), None);
+    }
+
+    #[test]
+    fn err_line_round_trips() {
+        let err = WireError::new(ErrorCode::Overloaded, "queue full (depth 64)");
+        let line = err.render();
+        assert!(line.starts_with("ERR code=overloaded retryable=true msg="));
+        let parsed = parse_err_line(line.strip_prefix("ERR ").unwrap()).unwrap();
+        assert_eq!(parsed, err);
+    }
+
+    #[test]
+    fn ok_block_renders_framing() {
+        let answer = Answer {
+            interpretations: vec![WireInterp {
+                sql: "SELECT a FROM t".to_string(),
+                columns: vec!["a".to_string(), "b\tc".to_string()],
+                rows: vec![vec!["1".to_string(), "x\ny".to_string()]],
+            }],
+            degraded: Some("deadline@ops.Scan".to_string()),
+            partial: true,
+            server_us: 42,
+        };
+        let block = answer.render();
+        let lines: Vec<&str> = block.lines().collect();
+        assert_eq!(lines[0], "OK n=1 rows=1 us=42 degraded=deadline@ops.Scan partial=true");
+        assert!(lines[1].starts_with("S "));
+        assert!(lines[2].starts_with("C "));
+        assert!(lines[3].starts_with("R "));
+        assert_eq!(*lines.last().unwrap(), ".");
+        // Embedded tabs/newlines in values never add lines or fields.
+        assert_eq!(lines.len(), 5);
+        let header = parse_ok_header(lines[0].strip_prefix("OK ").unwrap()).unwrap();
+        assert_eq!(header.degraded.as_deref(), Some("deadline@ops.Scan"));
+        assert!(header.partial);
+        assert_eq!(header.server_us, 42);
+    }
+}

@@ -1,0 +1,118 @@
+//! Satellite: concurrent budget trips against one shared engine.
+//!
+//! M clients hammer the service with starvation budgets. Every response
+//! must be a structured exhaustion (an `OK … degraded=` answer carrying
+//! partial results) — never a dropped connection or untyped failure —
+//! the flight recorder must retain a tripped exemplar for the
+//! starved query, and the always-on counters must account for every
+//! query exactly, whether one worker serializes them or eight race.
+//!
+//! Runs in its own test binary so the process-global metrics registry
+//! and flight recorder see only this scenario's traffic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aqks_core::Engine;
+use aqks_datasets::university;
+use aqks_server::{Client, ClientConfig, Request, Server, ServerConfig};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 5;
+
+/// The starved query: several interpretations exist, so an
+/// interpretation budget of 1 always trips after the first executes —
+/// a structured exhaustion that still carries partial results.
+const QUERY: &str = "Green George COUNT Code";
+
+struct Outcome {
+    engine_queries: u64,
+    flight_recorded: u64,
+    ok: u64,
+    degraded: u64,
+}
+
+fn run_scenario(workers: usize) -> Outcome {
+    let snap = || aqks_obs::metrics::global().snapshot();
+    let flight = aqks_obs::flight::global();
+    let queries_before = snap().counter_total("aqks_engine_queries");
+    let recorded_before = flight.recorded();
+
+    let engine = Arc::new(Engine::new(university::normalized()).expect("dataset builds"));
+    let cfg = ServerConfig { workers, ..ServerConfig::default() };
+    let server = Server::start(engine, cfg).expect("server binds");
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(
+                    addr,
+                    ClientConfig {
+                        max_attempts: 1,
+                        jitter_seed: 1000 + i as u64,
+                        read_timeout: Duration::from_secs(30),
+                        ..ClientConfig::default()
+                    },
+                );
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let mut req = Request::new(QUERY);
+                    req.k = 3;
+                    req.max_interps = Some(1); // starvation budget
+                    let answer = client.query(&req).expect("starved query still answers");
+                    let degraded = answer.degraded.expect("every response is exhausted");
+                    assert!(degraded.starts_with("interpretation"), "{degraded}");
+                    assert!(
+                        !answer.interpretations.is_empty(),
+                        "exhaustion still carries the partial results"
+                    );
+                }
+                client.quit();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+
+    // The flight recorder retains the starved query as its most recent
+    // tripped exemplar, with the trip annotated.
+    let exemplar = flight.last_tripped().expect("tripped exemplar retained");
+    assert_eq!(exemplar.query, QUERY);
+    let trip = exemplar.tripped.as_deref().expect("exemplar records the trip");
+    assert!(trip.contains("interpretation"), "{trip}");
+
+    let stats = server.stats();
+    server.shutdown();
+    Outcome {
+        engine_queries: snap().counter_total("aqks_engine_queries") - queries_before,
+        flight_recorded: flight.recorded() - recorded_before,
+        ok: stats.ok,
+        degraded: stats.degraded,
+    }
+}
+
+#[test]
+fn concurrent_trips_account_exactly_at_any_worker_count() {
+    aqks_obs::metrics::set_enabled(true);
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+
+    let serial = run_scenario(1);
+    let concurrent = run_scenario(8);
+
+    for (label, outcome) in [("1 worker", &serial), ("8 workers", &concurrent)] {
+        assert_eq!(outcome.ok, total, "{label}: every request answered OK");
+        assert_eq!(outcome.degraded, total, "{label}: every answer degraded");
+        assert_eq!(
+            outcome.engine_queries, total,
+            "{label}: engine counter accounts for each query exactly once"
+        );
+        assert_eq!(
+            outcome.flight_recorded, total,
+            "{label}: flight recorder filed each query exactly once"
+        );
+    }
+    // The whole point: observability does not depend on concurrency.
+    assert_eq!(serial.engine_queries, concurrent.engine_queries);
+    assert_eq!(serial.flight_recorded, concurrent.flight_recorded);
+}
